@@ -1,0 +1,226 @@
+//! Kernel images and the `packData`/`pushData`/`unpackData` programming
+//! model (Figure 10).
+//!
+//! The host packs code segments for each application plus shared common
+//! code into one image with a metadata header (`packData`), pushes the
+//! image bytes to the accelerator's memory (`pushData`), and the server
+//! parses the metadata and loads each segment to its target address
+//! (`unpackData`) before booting agents at the segment entry points.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes heading every image.
+const MAGIC: u32 = 0xD7A7_1E55; // "DRAmLESS"
+
+/// One code segment of an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Human-readable name ("app0", "shared", …).
+    pub name: String,
+    /// Accelerator memory address to load the segment at.
+    pub load_addr: u64,
+    /// Boot entry point (the "magic address" the server writes into the
+    /// agent's L2), `None` for non-executable data/shared segments.
+    pub entry: Option<u64>,
+    /// The code/data bytes.
+    pub payload: Bytes,
+}
+
+/// Errors produced when parsing an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseImageError {
+    /// The magic header is absent or wrong.
+    BadMagic,
+    /// The image is shorter than its header claims.
+    Truncated,
+    /// A segment name is not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for ParseImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseImageError::BadMagic => write!(f, "image header magic mismatch"),
+            ParseImageError::Truncated => write!(f, "image shorter than header claims"),
+            ParseImageError::BadName => write!(f, "segment name is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for ParseImageError {}
+
+/// A packed kernel image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelImage {
+    segments: Vec<Segment>,
+}
+
+impl KernelImage {
+    /// `packData`: builds an image from segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty.
+    pub fn pack(segments: Vec<Segment>) -> Self {
+        assert!(!segments.is_empty(), "an image needs at least one segment");
+        KernelImage { segments }
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total payload bytes (what `pushData` must transfer).
+    pub fn payload_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.payload.len() as u64).sum()
+    }
+
+    /// Serializes to wire bytes.
+    ///
+    /// Layout: `magic u32 | count u32 | {name_len u16, name, load u64,
+    /// entry_present u8, entry u64, len u32, payload}*`.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u32(self.segments.len() as u32);
+        for s in &self.segments {
+            buf.put_u16(s.name.len() as u16);
+            buf.put_slice(s.name.as_bytes());
+            buf.put_u64(s.load_addr);
+            buf.put_u8(u8::from(s.entry.is_some()));
+            buf.put_u64(s.entry.unwrap_or(0));
+            buf.put_u32(s.payload.len() as u32);
+            buf.put_slice(&s.payload);
+        }
+        buf.freeze()
+    }
+
+    /// `unpackData`: parses wire bytes back into an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseImageError`] when the magic is wrong, the buffer
+    /// is truncated, or a name is invalid.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, ParseImageError> {
+        if data.remaining() < 8 {
+            return Err(ParseImageError::Truncated);
+        }
+        if data.get_u32() != MAGIC {
+            return Err(ParseImageError::BadMagic);
+        }
+        let count = data.get_u32() as usize;
+        let mut segments = Vec::with_capacity(count);
+        for _ in 0..count {
+            if data.remaining() < 2 {
+                return Err(ParseImageError::Truncated);
+            }
+            let name_len = data.get_u16() as usize;
+            if data.remaining() < name_len {
+                return Err(ParseImageError::Truncated);
+            }
+            let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec())
+                .map_err(|_| ParseImageError::BadName)?;
+            if data.remaining() < 8 + 1 + 8 + 4 {
+                return Err(ParseImageError::Truncated);
+            }
+            let load_addr = data.get_u64();
+            let has_entry = data.get_u8() != 0;
+            let entry_raw = data.get_u64();
+            let len = data.get_u32() as usize;
+            if data.remaining() < len {
+                return Err(ParseImageError::Truncated);
+            }
+            segments.push(Segment {
+                name,
+                load_addr,
+                entry: has_entry.then_some(entry_raw),
+                payload: data.copy_to_bytes(len),
+            });
+        }
+        Ok(KernelImage { segments })
+    }
+
+    /// The executable segments in image order (what the server schedules
+    /// onto agents).
+    pub fn executables(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.entry.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> KernelImage {
+        KernelImage::pack(vec![
+            Segment {
+                name: "shared".into(),
+                load_addr: 0x1000,
+                entry: None,
+                payload: Bytes::from_static(b"common-code"),
+            },
+            Segment {
+                name: "app0".into(),
+                load_addr: 0x2000,
+                entry: Some(0x2000),
+                payload: Bytes::from_static(b"kernel-code-0"),
+            },
+            Segment {
+                name: "app1".into(),
+                load_addr: 0x4000,
+                entry: Some(0x4010),
+                payload: Bytes::from_static(b"kernel-code-1!"),
+            },
+        ])
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let img = image();
+        let wire = img.to_bytes();
+        let back = KernelImage::from_bytes(wire).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let img = image();
+        assert_eq!(img.payload_bytes(), 11 + 13 + 14);
+    }
+
+    #[test]
+    fn executables_excludes_shared() {
+        let img = image();
+        let names: Vec<&str> = img.executables().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["app0", "app1"]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = image().to_bytes().to_vec();
+        wire[0] ^= 0xFF;
+        assert_eq!(
+            KernelImage::from_bytes(Bytes::from(wire)),
+            Err(ParseImageError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let wire = image().to_bytes();
+        for cut in [0, 4, 9, 12, wire.len() - 1] {
+            let sliced = wire.slice(0..cut);
+            assert!(
+                KernelImage::from_bytes(sliced).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_image_rejected() {
+        KernelImage::pack(vec![]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Processing-element parameters and statistics.
+
+use serde::{Deserialize, Serialize};
+use sim_core::energy::Watts;
+use sim_core::time::{Freq, Picos};
+
+/// Static parameters of one PE (TMS320C66x-class core, Figure 6b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeConfig {
+    /// Core clock (the paper's platform runs 1 GHz cores).
+    pub clock: Freq,
+    /// L1 hit latency in core cycles.
+    pub l1_hit_cycles: u64,
+    /// L2 hit latency in core cycles.
+    pub l2_hit_cycles: u64,
+    /// Crossbar + MCU traversal added to every off-PE memory request.
+    pub xbar_latency: Picos,
+    /// Power while retiring instructions.
+    pub p_active: Watts,
+    /// Power while stalled on memory.
+    pub p_stall: Watts,
+    /// Power in PSC sleep state.
+    pub p_sleep: Watts,
+}
+
+impl Default for PeConfig {
+    fn default() -> Self {
+        PeConfig {
+            clock: Freq::from_ghz(1),
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 12,
+            xbar_latency: Picos::from_ns(30),
+            p_active: Watts::from_w(1.15),
+            p_stall: Watts::from_w(0.40),
+            p_sleep: Watts::from_mw(25.0),
+        }
+    }
+}
+
+/// Per-PE execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles spent computing.
+    pub compute_cycles: u64,
+    /// Time stalled on memory (L1 miss service).
+    pub stall_time: Picos,
+    /// Time computing.
+    pub compute_time: Picos,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+}
+
+impl PeStats {
+    /// Average IPC over the PE's busy window.
+    pub fn ipc(&self) -> f64 {
+        let total = self.compute_time + self.stall_time;
+        if total.is_zero() {
+            0.0
+        } else {
+            // instructions / cycles, with cycles = busy time at 1 GHz.
+            self.instructions as f64 / (total.as_ns_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_platform() {
+        let c = PeConfig::default();
+        assert_eq!(c.clock.cycle(), Picos::from_ns(1));
+        assert!(c.p_active.as_w() > c.p_stall.as_w());
+        assert!(c.p_stall.as_w() > c.p_sleep.as_w());
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let s = PeStats {
+            instructions: 8_000,
+            compute_time: Picos::from_us(1),
+            stall_time: Picos::from_us(3),
+            ..Default::default()
+        };
+        // 8000 instructions over 4000 ns of 1 GHz cycles = 2 IPC.
+        assert!((s.ipc() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_pe_has_zero_ipc() {
+        assert_eq!(PeStats::default().ipc(), 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Kernel execution traces.
+//!
+//! A [`Trace`] is what a compiled kernel looks like to the performance
+//! model: alternating compute blocks (instruction counts per functional
+//! unit class) and explicit memory operations with addresses. The
+//! [`workloads`] crate produces traces by *actually running* each
+//! Polybench kernel with instrumented array accesses, so the address
+//! streams and read/write mixes are the real ones.
+//!
+//! [`workloads`]: https://docs.rs/workloads
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction counts of one compute block, by functional-unit class
+/// (Figure 6b: a PE has two of each).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrBlock {
+    /// `.M` (multiply / DSP-intrinsic MAC) instructions.
+    pub m: u64,
+    /// `.L` (logical / compare) instructions.
+    pub l: u64,
+    /// `.S` (general arithmetic / branch) instructions.
+    pub s: u64,
+    /// `.D` (address generation / load-store assist) instructions.
+    pub d: u64,
+}
+
+impl InstrBlock {
+    /// A block of `n` balanced ALU instructions.
+    pub fn alu(n: u64) -> Self {
+        InstrBlock {
+            m: 0,
+            l: n / 2,
+            s: n - n / 2,
+            d: 0,
+        }
+    }
+
+    /// A block of multiply-accumulate work with its address math.
+    pub fn mac(muls: u64, addr_ops: u64) -> Self {
+        InstrBlock {
+            m: muls,
+            l: 0,
+            s: addr_ops / 2,
+            d: addr_ops - addr_ops / 2,
+        }
+    }
+
+    /// Total instructions in the block.
+    pub fn total(&self) -> u64 {
+        self.m + self.l + self.s + self.d
+    }
+
+    /// Issue cycles on a PE with two units per class (VLIW: all four
+    /// classes issue in parallel, two instructions per class per cycle).
+    pub fn cycles(&self) -> u64 {
+        let per = |n: u64| n.div_ceil(2);
+        per(self.m)
+            .max(per(self.l))
+            .max(per(self.s))
+            .max(per(self.d))
+            .max(
+                // A non-empty block takes at least a cycle.
+                u64::from(self.total() > 0),
+            )
+    }
+
+    /// Merges another block into this one.
+    pub fn merge(&mut self, other: InstrBlock) {
+        self.m += other.m;
+        self.l += other.l;
+        self.s += other.s;
+        self.d += other.d;
+    }
+}
+
+/// One step of a kernel trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// Execute a compute block on the functional units.
+    Compute(InstrBlock),
+    /// Load `len` bytes from `addr` (blocks the PE until data arrives).
+    Load {
+        /// Byte address in the accelerator's data space.
+        addr: u64,
+        /// Access size in bytes.
+        len: u32,
+    },
+    /// Store `len` bytes to `addr`.
+    Store {
+        /// Byte address in the accelerator's data space.
+        addr: u64,
+        /// Access size in bytes.
+        len: u32,
+    },
+}
+
+/// A per-PE instruction/memory trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends a compute block, merging into a preceding compute op so
+    /// traces stay compact.
+    pub fn compute(&mut self, block: InstrBlock) {
+        if block.total() == 0 {
+            return;
+        }
+        if let Some(TraceOp::Compute(last)) = self.ops.last_mut() {
+            last.merge(block);
+        } else {
+            self.ops.push(TraceOp::Compute(block));
+        }
+    }
+
+    /// Appends a load.
+    pub fn load(&mut self, addr: u64, len: u32) {
+        assert!(len > 0, "zero-length load");
+        self.ops.push(TraceOp::Load { addr, len });
+    }
+
+    /// Appends a store.
+    pub fn store(&mut self, addr: u64, len: u32) {
+        assert!(len > 0, "zero-length store");
+        self.ops.push(TraceOp::Store { addr, len });
+    }
+
+    /// Total instructions (compute + one per memory op).
+    pub fn instructions(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Compute(b) => b.total(),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// `(loads, stores, bytes_loaded, bytes_stored)`.
+    pub fn memory_profile(&self) -> (u64, u64, u64, u64) {
+        let mut p = (0, 0, 0, 0);
+        for op in &self.ops {
+            match *op {
+                TraceOp::Load { len, .. } => {
+                    p.0 += 1;
+                    p.2 += len as u64;
+                }
+                TraceOp::Store { len, .. } => {
+                    p.1 += 1;
+                    p.3 += len as u64;
+                }
+                TraceOp::Compute(_) => {}
+            }
+        }
+        p
+    }
+
+    /// The trace with DSP intrinsics *removed*: §VI's ported Polybench
+    /// embeds multi-way multiply/add and 16-bit integer intrinsics that
+    /// "merge multiple multiply and accumulation operations into one";
+    /// the scalarized variant issues those operations individually (the
+    /// un-optimized port), roughly tripling `.M`-class issue pressure.
+    /// Used by the intrinsics ablation bench.
+    pub fn scalarized(&self) -> Trace {
+        let ops = self.ops.iter().map(|op| match *op {
+            TraceOp::Compute(b) => TraceOp::Compute(InstrBlock {
+                m: b.m * 3,
+                l: b.l,
+                s: b.s + b.m, // extra move/accumulate glue
+                d: b.d,
+            }),
+            other => other,
+        });
+        let mut t = Trace::new();
+        for op in ops {
+            match op {
+                TraceOp::Compute(b) => t.compute(b),
+                TraceOp::Load { addr, len } => t.load(addr, len),
+                TraceOp::Store { addr, len } => t.store(addr, len),
+            }
+        }
+        t
+    }
+
+    /// The distinct store target addresses, word-aligned — exactly what
+    /// the server announces to the PRAM controller for selective erasing.
+    pub fn store_targets(&self, word_bytes: u64) -> Vec<u64> {
+        let mut set = std::collections::BTreeSet::new();
+        for op in &self.ops {
+            if let TraceOp::Store { addr, len } = *op {
+                let first = addr / word_bytes;
+                let last = (addr + len as u64 - 1) / word_bytes;
+                for w in first..=last {
+                    set.insert(w * word_bytes);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+impl FromIterator<TraceOp> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceOp>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for op in iter {
+            match op {
+                TraceOp::Compute(b) => t.compute(b),
+                TraceOp::Load { addr, len } => t.load(addr, len),
+                TraceOp::Store { addr, len } => t.store(addr, len),
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_block_cycles_parallel_issue() {
+        // 8 instructions spread over all classes issue in one cycle.
+        let b = InstrBlock {
+            m: 2,
+            l: 2,
+            s: 2,
+            d: 2,
+        };
+        assert_eq!(b.cycles(), 1);
+        // 8 multiplies alone need 4 cycles (two .M units).
+        let b = InstrBlock {
+            m: 8,
+            ..Default::default()
+        };
+        assert_eq!(b.cycles(), 4);
+        // Empty block: zero cycles.
+        assert_eq!(InstrBlock::default().cycles(), 0);
+        // One instruction: one cycle.
+        assert_eq!(
+            InstrBlock {
+                l: 1,
+                ..Default::default()
+            }
+            .cycles(),
+            1
+        );
+    }
+
+    #[test]
+    fn compute_blocks_coalesce() {
+        let mut t = Trace::new();
+        t.compute(InstrBlock::alu(4));
+        t.compute(InstrBlock::alu(4));
+        assert_eq!(t.len(), 1);
+        t.load(0, 8);
+        t.compute(InstrBlock::alu(2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.instructions(), 11);
+    }
+
+    #[test]
+    fn memory_profile_counts() {
+        let mut t = Trace::new();
+        t.load(0, 8);
+        t.load(64, 8);
+        t.store(128, 4);
+        let (l, s, bl, bs) = t.memory_profile();
+        assert_eq!((l, s, bl, bs), (2, 1, 16, 4));
+    }
+
+    #[test]
+    fn store_targets_are_word_aligned_and_deduped() {
+        let mut t = Trace::new();
+        t.store(100, 8); // word 3 (96..128)
+        t.store(104, 8); // word 3 again
+        t.store(30, 8); // words 0 and 1
+        let targets = t.store_targets(32);
+        assert_eq!(targets, vec![0, 32, 96]);
+    }
+
+    #[test]
+    fn scalarized_traces_need_more_cycles() {
+        let mut t = Trace::new();
+        t.compute(InstrBlock {
+            m: 8,
+            l: 2,
+            s: 2,
+            d: 2,
+        });
+        t.load(0, 8);
+        let s = t.scalarized();
+        let cycles = |tr: &Trace| -> u64 {
+            tr.ops()
+                .iter()
+                .map(|op| match op {
+                    TraceOp::Compute(b) => b.cycles(),
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert!(cycles(&s) > cycles(&t));
+        // Memory behaviour is untouched.
+        assert_eq!(s.memory_profile(), t.memory_profile());
+    }
+
+    #[test]
+    fn zero_compute_blocks_dropped() {
+        let mut t = Trace::new();
+        t.compute(InstrBlock::default());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length load")]
+    fn zero_load_rejected() {
+        Trace::new().load(0, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The crossbar network connecting PEs to the server's MCU (Figure 6a).
+//!
+//! Each PE owns a master and a slave port on the crossbar; traffic to the
+//! memory subsystem funnels into the MCU's ports. By default the
+//! execution engine charges a fixed traversal latency
+//! ([`crate::pe::PeConfig::xbar_latency`]) — the crossbar is generously
+//! provisioned on the real platform. This module supplies the optional
+//! *contended* model for ablations: a fixed number of MCU-facing ports,
+//! each carrying one outstanding transfer at a time at a finite port
+//! bandwidth, so heavy miss traffic from many agents queues.
+
+use serde::{Deserialize, Serialize};
+use sim_core::time::Picos;
+use sim_core::timeline::TimelineBank;
+
+/// Contended-crossbar parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XbarConfig {
+    /// MCU-facing ports (concurrent in-flight transfers).
+    pub ports: usize,
+    /// Per-hop traversal latency.
+    pub hop_latency: Picos,
+    /// Port bandwidth in bytes/second (the 256-bit bus of Fig. 6b at the
+    /// core clock).
+    pub bytes_per_sec: u64,
+}
+
+impl Default for XbarConfig {
+    fn default() -> Self {
+        XbarConfig {
+            ports: 2, // MC1 + MC2 of Figure 6b
+            hop_latency: Picos::from_ns(10),
+            bytes_per_sec: 32_000_000_000, // 256-bit @ 1 GHz
+        }
+    }
+}
+
+/// The contended crossbar.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    config: XbarConfig,
+    ports: TimelineBank,
+    transfers: u64,
+}
+
+impl Crossbar {
+    /// Builds the crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(config: XbarConfig) -> Self {
+        Crossbar {
+            ports: TimelineBank::new(config.ports),
+            config,
+            transfers: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &XbarConfig {
+        &self.config
+    }
+
+    /// Transfers completed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Carries `bytes` across the crossbar starting no earlier than `at`;
+    /// returns when the payload has fully traversed.
+    pub fn transfer(&mut self, at: Picos, bytes: u32) -> Picos {
+        let dur = self.config.hop_latency
+            + Picos::from_ps(bytes as u64 * 1_000_000_000_000 / self.config.bytes_per_sec);
+        let port = self.ports.first_free(at);
+        let start = self.ports.get_mut(port).reserve(at, dur);
+        self.transfers += 1;
+        start + dur
+    }
+
+    /// Aggregate busy time across ports (utilization accounting).
+    pub fn busy_total(&self) -> Picos {
+        self.ports.busy_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_hop_plus_bandwidth() {
+        let mut x = Crossbar::new(XbarConfig::default());
+        let done = x.transfer(Picos::ZERO, 256);
+        // 10 ns hop + 256 B / 32 GB/s = 8 ns.
+        assert_eq!(done, Picos::from_ns(18));
+    }
+
+    #[test]
+    fn two_ports_carry_two_transfers_in_parallel() {
+        let mut x = Crossbar::new(XbarConfig::default());
+        let a = x.transfer(Picos::ZERO, 256);
+        let b = x.transfer(Picos::ZERO, 256);
+        assert_eq!(a, b, "both ports free: no queueing");
+        let c = x.transfer(Picos::ZERO, 256);
+        assert!(c > a, "third transfer queues behind a port");
+        assert_eq!(x.transfers(), 3);
+    }
+
+    #[test]
+    fn queueing_respects_earliest_free_port() {
+        let mut x = Crossbar::new(
+            Crossbar::new(XbarConfig {
+                ports: 1,
+                ..Default::default()
+            })
+            .config,
+        );
+        let a = x.transfer(Picos::ZERO, 2560);
+        let b = x.transfer(Picos::from_ns(5), 256);
+        assert!(b > a);
+        assert!(x.busy_total() > Picos::from_ns(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_ports_rejected() {
+        Crossbar::new(XbarConfig {
+            ports: 0,
+            ..Default::default()
+        });
+    }
+}

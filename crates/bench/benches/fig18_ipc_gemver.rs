@@ -1,0 +1,61 @@
+//! Figure 18: total-IPC time series under the read-intensive gemver
+//! workload for the key configurations.
+//!
+//! Paper: Integrated-SLC/MLC/TLC and PAGE-buffer show long zero-IPC
+//! plateaus while pages stage through DRAM; DRAM-less and NOR-intf keep
+//! the PEs fed (DRAM-less +292% IPC vs PAGE-buffer).
+
+use dramless::{SystemKind, SystemParams};
+use workloads::Kernel;
+
+#[allow(dead_code)] // unused when included as a module by the sibling bench
+fn main() {
+    bench::banner("Figure 18", "total IPC over time, gemver (read-intensive)");
+    run_ipc_series(Kernel::Gemver);
+}
+
+pub fn run_ipc_series(kernel: Kernel) {
+    let p = SystemParams::default();
+    let w = bench::suite()
+        .into_iter()
+        .find(|w| w.kernel == kernel)
+        .expect("kernel in suite");
+    let built = w.build(p.agents);
+    let kinds = [
+        SystemKind::IntegratedSlc,
+        SystemKind::IntegratedTlc,
+        SystemKind::PageBuffer,
+        SystemKind::NorIntf,
+        SystemKind::DramLessFirmware,
+        SystemKind::DramLess,
+    ];
+    let mut avg = Vec::new();
+    for kind in kinds {
+        let out = dramless::system::simulate_built(kind, &built, &p);
+        // IPC per bucket = instructions / bucket cycles (1 GHz → ns).
+        let bucket_cycles = out.exec.ipc_series.bucket_width().as_ns_f64();
+        println!();
+        bench::print_series(kind.label(), &out.exec.ipc_series, 16, bucket_cycles);
+        avg.push((kind, out.total_ipc()));
+    }
+    println!("\naverage total IPC:");
+    for (k, ipc) in &avg {
+        println!("  {:<22} {ipc:.3}", k.label());
+    }
+    let dl = avg
+        .iter()
+        .find(|(k, _)| *k == SystemKind::DramLess)
+        .expect("DL")
+        .1;
+    let pb = avg
+        .iter()
+        .find(|(k, _)| *k == SystemKind::PageBuffer)
+        .expect("PB")
+        .1;
+    let paper = match kernel {
+        Kernel::Gemver => "paper gemver: ~3.9x",
+        Kernel::Doitg => "paper doitg: ~1.9x",
+        _ => "paper: n/a",
+    };
+    println!("\nDRAM-less IPC = {:.1}x PAGE-buffer ({paper})", dl / pb);
+}

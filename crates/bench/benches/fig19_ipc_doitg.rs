@@ -1,0 +1,15 @@
+//! Figure 19: total-IPC time series under the write-intensive doitg
+//! workload.
+//!
+//! Paper: storage-induced stalls are ~14.6x longer than under gemver for
+//! the Integrated tiers; DRAM-less sustains the highest IPC.
+
+use workloads::Kernel;
+
+#[path = "fig18_ipc_gemver.rs"]
+mod fig18;
+
+fn main() {
+    bench::banner("Figure 19", "total IPC over time, doitg (write-intensive)");
+    fig18::run_ipc_series(Kernel::Doitg);
+}

@@ -1,0 +1,62 @@
+//! Figure 20: overall core power and cumulative energy over time for
+//! gemver (read-intensive).
+//!
+//! Paper: NOR-intf draws ~14% less PE power (idle .L/.S/.M units) but
+//! burns more total energy than DRAM-less due to its longer runtime;
+//! Integrated-SLC and PAGE-buffer stretch completion and cost 7x / 1.9x
+//! the energy of DRAM-less.
+
+use dramless::{SystemKind, SystemParams};
+use workloads::Kernel;
+
+#[allow(dead_code)] // unused when included as a module by the sibling bench
+fn main() {
+    bench::banner("Figure 20", "core power + total energy over time, gemver");
+    run_power_series(Kernel::Gemver);
+}
+
+pub fn run_power_series(kernel: Kernel) {
+    let p = SystemParams::default();
+    let w = bench::suite()
+        .into_iter()
+        .find(|w| w.kernel == kernel)
+        .expect("kernel in suite");
+    let built = w.build(p.agents);
+    let kinds = [
+        SystemKind::IntegratedSlc,
+        SystemKind::PageBuffer,
+        SystemKind::NorIntf,
+        SystemKind::DramLess,
+    ];
+    println!("\n-- PE power over time (W) --");
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let out = dramless::system::simulate_built(kind, &built, &p);
+        let bucket_secs = out.exec.power_series.bucket_width().as_secs_f64();
+        println!();
+        bench::print_series(kind.label(), &out.exec.power_series, 16, bucket_secs);
+        rows.push((kind, out.exec.total_time, out.total_energy()));
+    }
+    println!("\n-- completion time and total energy --");
+    for (k, t, e) in &rows {
+        println!(
+            "  {:<22} completes {:>10}   total {:>10}",
+            k.label(),
+            format!("{t}"),
+            format!("{e}")
+        );
+    }
+    let dl = rows
+        .iter()
+        .find(|(k, _, _)| *k == SystemKind::DramLess)
+        .expect("DL");
+    for (k, _, e) in &rows {
+        if *k != SystemKind::DramLess {
+            println!(
+                "  {} energy = {:.1}x DRAM-less",
+                k.label(),
+                e.as_j() / dl.2.as_j()
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 21: overall core power and cumulative energy over time for
+//! doitg (write-intensive).
+//!
+//! Paper: NOR-intf takes ~4x PAGE-buffer's execution time; DRAM-less
+//! completes 50-88% sooner than every alternative.
+
+use workloads::Kernel;
+
+#[path = "fig20_power_gemver.rs"]
+mod fig20;
+
+fn main() {
+    bench::banner("Figure 21", "core power + total energy over time, doitg");
+    fig20::run_power_series(Kernel::Doitg);
+}

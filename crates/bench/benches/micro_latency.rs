@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the PRAM controller primitives — the
+//! §V-A claims at operation granularity: interleaving's latency hiding
+//! and selective erasing's write-latency cut, plus raw device phase
+//! costs and the wall-clock cost of the simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pram::{BufferId, BurstLen, PramModule, PramTiming, RowId};
+use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
+use sim_core::{MemoryBackend, Picos};
+
+fn bench_simulated_latencies(c: &mut Criterion) {
+    // Not a wall-clock benchmark: report the *simulated* latencies the
+    // model produces for the paper's key operations, then benchmark the
+    // simulator's own throughput below.
+    let mut m = PramModule::new(PramTiming::table2(), 1);
+    let row = RowId::new(0, 0);
+    let lb = m.geometry().lower_row_bits;
+    let pre = m.pre_active(Picos::ZERO, BufferId::B0, row.upper(lb));
+    let act = m.activate(pre.end, BufferId::B0, row.lower(lb));
+    let (rd, _) = m.read_burst(act.end, Picos::ZERO, BufferId::B0, 0, BurstLen::Bl16);
+    println!("simulated three-phase read: {}", rd.end);
+
+    for s in [SchedulerKind::BareMetal, SchedulerKind::Final] {
+        let mut ctrl = PramController::new(SubsystemConfig::paper(s, 3));
+        let mut t = Picos::ZERO;
+        for i in 0..256u64 {
+            t = ctrl.read(t, i * 512, 512).end;
+        }
+        println!("simulated 128 KiB stream read under {}: {}", s.label(), t);
+    }
+
+    let mut group = c.benchmark_group("simulator-throughput");
+    group.bench_function("controller_read_512B", |b| {
+        let mut ctrl = PramController::new(SubsystemConfig::paper(SchedulerKind::Final, 3));
+        let mut t = Picos::ZERO;
+        let mut addr = 0u64;
+        b.iter(|| {
+            t = ctrl.read(t, addr, 512).end;
+            addr = (addr + 512) % (1 << 28);
+        });
+    });
+    group.bench_function("controller_write_512B", |b| {
+        let mut ctrl = PramController::new(SubsystemConfig::paper(SchedulerKind::Final, 3));
+        let mut t = Picos::ZERO;
+        let mut addr = 0u64;
+        b.iter(|| {
+            t = ctrl.write(t, addr, 512).end;
+            addr = (addr + 512) % (1 << 28);
+        });
+    });
+    group.bench_function("device_three_phase_read", |b| {
+        let mut m = PramModule::new(PramTiming::table2(), 1);
+        let lb = m.geometry().lower_row_bits;
+        let mut t = Picos::ZERO;
+        let mut r = 0u32;
+        b.iter(|| {
+            let row = RowId::new((r % 16) as u8, r / 16);
+            let pre = m.pre_active(t, BufferId::B0, row.upper(lb));
+            let act = m.activate(pre.end, BufferId::B0, row.lower(lb));
+            let (rd, _) = m.read_burst(act.end, Picos::ZERO, BufferId::B0, 0, BurstLen::Bl16);
+            t = rd.end;
+            r = (r + 1) % (1 << 20);
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulated_latencies
+}
+criterion_main!(benches);

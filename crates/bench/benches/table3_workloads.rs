@@ -1,0 +1,37 @@
+//! Table III: characteristics of the evaluated workloads, measured from
+//! the instrumented kernels.
+
+fn main() {
+    bench::banner(
+        "Table III",
+        "workload characteristics (measured from real kernel runs)",
+    );
+    let p = bench::params();
+    println!(
+        "{:<10} {:>6} {:>11} {:>9} {:>9} {:>8} {:>12} {:>8}",
+        "kernel", "n", "footprint", "input", "output", "write%", "instructions", "class"
+    );
+    for w in bench::suite() {
+        let b = w.build(p.agents);
+        let c = b.character;
+        let class = if w.kernel.is_read_intensive() {
+            "read"
+        } else if w.kernel.is_write_intensive() {
+            "write"
+        } else {
+            "mixed"
+        };
+        println!(
+            "{:<10} {:>6} {:>9}KB {:>7}KB {:>7}KB {:>7.1}% {:>12} {:>8}",
+            w.kernel.label(),
+            w.n,
+            c.footprint / 1024,
+            c.bytes_in / 1024,
+            c.bytes_out / 1024,
+            c.write_ratio * 100.0,
+            c.instructions,
+            class
+        );
+    }
+    println!("\n(write intensiveness classified by output-per-input volume, as in §VI)");
+}

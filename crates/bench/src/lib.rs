@@ -1,0 +1,121 @@
+//! Shared plumbing for the figure/table regeneration benches.
+//!
+//! Every bench target in `benches/` reproduces one table or figure of the
+//! paper's evaluation: it runs the relevant sweep and prints the same
+//! rows/series the paper reports (see EXPERIMENTS.md for the
+//! paper-vs-measured record). `cargo bench` runs them all.
+
+use dramless::{RunOutcome, SuiteResult, SystemKind, SystemParams};
+use sim_core::stats::TimeSeries;
+use sim_core::Picos;
+use workloads::{Scale, Workload};
+
+/// The evaluation scale: `DRAMLESS_SCALE` env var, default 1.0 (the
+/// calibrated point).
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// The full 15-kernel suite at the evaluation scale.
+pub fn suite() -> Vec<Workload> {
+    Workload::suite(scale())
+}
+
+/// Default system parameters for every bench.
+pub fn params() -> SystemParams {
+    SystemParams::default()
+}
+
+/// Sweeps `kinds × workloads`, parallelized across workloads with
+/// crossbeam scoped threads (each workload builds its traces once and
+/// runs every system on them).
+pub fn sweep(kinds: &[SystemKind], workloads: &[Workload]) -> SuiteResult {
+    let p = params();
+    let mut buckets: Vec<Vec<RunOutcome>> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                let kinds = kinds.to_vec();
+                s.spawn(move |_| {
+                    let built = w.build(p.agents);
+                    kinds
+                        .iter()
+                        .map(|&k| dramless::system::simulate_built(k, &built, &p))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("workload sweep thread"));
+        }
+    })
+    .expect("crossbeam scope");
+    SuiteResult {
+        outcomes: buckets.into_iter().flatten().collect(),
+    }
+}
+
+/// Prints a header banner for a bench.
+pub fn banner(id: &str, what: &str) {
+    println!("==============================================================");
+    println!("{id}: {what}");
+    println!("==============================================================");
+}
+
+/// Renders a time series as fixed-width sample rows: `(t, value)` where
+/// the accumulated bucket values are normalized by `per` (e.g. bucket
+/// cycles for IPC, bucket seconds for watts).
+pub fn print_series(name: &str, series: &TimeSeries, samples: usize, per: f64) {
+    let horizon = series.horizon();
+    if horizon.is_zero() {
+        println!("{name}: (empty)");
+        return;
+    }
+    let dense = series.dense(horizon);
+    let stride = (dense.len() / samples.max(1)).max(1);
+    println!(
+        "{name} (bucket {} — {} buckets):",
+        series.bucket_width(),
+        dense.len()
+    );
+    let mut line = String::new();
+    for (i, chunk) in dense.chunks(stride).enumerate() {
+        let t = series.bucket_width() * (i as u64 * stride as u64);
+        let v: f64 = chunk.iter().sum::<f64>() / chunk.len() as f64 / per;
+        line.push_str(&format!("  ({:>9}, {:>8.3})", format!("{t}"), v));
+        if (i + 1) % 4 == 0 {
+            println!("{line}");
+            line.clear();
+        }
+    }
+    if !line.is_empty() {
+        println!("{line}");
+    }
+}
+
+/// Geometric mean of pairwise `f(outcome_a, outcome_b)` across kernels
+/// present for both systems.
+pub fn geo_mean_ratio(
+    r: &SuiteResult,
+    a: SystemKind,
+    b: SystemKind,
+    f: impl Fn(&RunOutcome) -> f64,
+) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0u32;
+    for o in &r.outcomes {
+        if o.system == a {
+            if let Some(base) = r.get(b, o.kernel) {
+                acc += (f(o) / f(base)).ln();
+                n += 1;
+            }
+        }
+    }
+    (acc / n.max(1) as f64).exp()
+}
+
+/// Milliseconds helper for table rows.
+pub fn ms(t: Picos) -> f64 {
+    t.as_ms_f64()
+}

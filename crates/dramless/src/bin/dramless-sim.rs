@@ -1,0 +1,256 @@
+//! `dramless-sim` — run any (system, kernel) combination from the
+//! command line and print (or emit as JSON) the outcome.
+//!
+//! ```sh
+//! dramless-sim --system dram-less --kernel gemver
+//! dramless-sim --system hetero --kernel all --scale 1.5 --json results.json
+//! dramless-sim --list
+//! ```
+
+use dramless::{RunOutcome, SuiteResult, SystemKind, SystemParams};
+use std::process::ExitCode;
+use workloads::{Kernel, Scale, Workload};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+struct Options {
+    systems: Vec<SystemKind>,
+    kernels: Vec<Kernel>,
+    scale: Scale,
+    seed: u64,
+    agents: usize,
+    json: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "dramless-sim: simulate the DRAM-less accelerated systems\n\
+     \n\
+     USAGE:\n\
+       dramless-sim [--system <name>|all] [--kernel <name>|all]\n\
+                    [--scale <f>] [--seed <n>] [--agents <n>]\n\
+                    [--json <path>] [--list]\n\
+     \n\
+     OPTIONS:\n\
+       --system   a Table I system (e.g. dram-less, hetero, page-buffer),\n\
+                  or `all` for every evaluated design  [default: dram-less]\n\
+       --kernel   a Polybench kernel (e.g. gemver, doitg), or `all`\n\
+                  [default: gemver]\n\
+       --scale    workload scale factor                [default: 1.0]\n\
+       --seed     determinism seed                     [default: 42]\n\
+       --agents   agent PEs running the kernel         [default: 7]\n\
+       --json     also write the full SuiteResult as JSON\n\
+       --list     print the available systems and kernels, then exit"
+}
+
+fn parse_system(name: &str) -> Option<SystemKind> {
+    let norm = name.to_ascii_lowercase().replace(['_', ' '], "-");
+    let mut all = SystemKind::EVALUATED.to_vec();
+    all.push(SystemKind::Ideal);
+    all.into_iter().find(|k| {
+        k.label()
+            .to_ascii_lowercase()
+            .replace([' ', '(', ')'], "-")
+            .trim_matches('-')
+            == norm
+            || k.label().to_ascii_lowercase() == norm
+    })
+}
+
+fn parse_kernel(name: &str) -> Option<Kernel> {
+    Kernel::ALL
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(name))
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        systems: vec![SystemKind::DramLess],
+        kernels: vec![Kernel::Gemver],
+        scale: Scale::paper(),
+        seed: 42,
+        agents: 7,
+        json: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--system" => {
+                let v = value("--system")?;
+                opts.systems = if v == "all" {
+                    SystemKind::EVALUATED.to_vec()
+                } else {
+                    vec![parse_system(&v).ok_or_else(|| format!("unknown system `{v}`"))?]
+                };
+            }
+            "--kernel" => {
+                let v = value("--kernel")?;
+                opts.kernels = if v == "all" {
+                    Kernel::ALL.to_vec()
+                } else {
+                    vec![parse_kernel(&v).ok_or_else(|| format!("unknown kernel `{v}`"))?]
+                };
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                let f: f64 = v.parse().map_err(|_| format!("bad scale `{v}`"))?;
+                if f <= 0.0 {
+                    return Err("scale must be positive".into());
+                }
+                opts.scale = Scale(f);
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--agents" => {
+                let v = value("--agents")?;
+                let n: usize = v.parse().map_err(|_| format!("bad agent count `{v}`"))?;
+                if !(1..=7).contains(&n) {
+                    return Err("agents must be in 1..=7 (8 PEs, one serves)".into());
+                }
+                opts.agents = n;
+            }
+            "--json" => opts.json = Some(value("--json")?),
+            "--list" => {
+                println!("systems:");
+                for k in SystemKind::EVALUATED {
+                    println!("  {}", k.label());
+                }
+                println!("  Ideal");
+                println!("kernels:");
+                for k in Kernel::ALL {
+                    println!("  {}", k.label());
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_row(out: &RunOutcome) {
+    println!(
+        "{:<22} {:<10} {:>12} {:>10.1} MB/s {:>12} {:>8.3} IPC",
+        out.system.label(),
+        out.kernel.label(),
+        format!("{}", out.total_time),
+        out.bandwidth() / 1e6,
+        format!("{}", out.total_energy()),
+        out.total_ipc()
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = SystemParams {
+        seed: opts.seed,
+        agents: opts.agents,
+        ..Default::default()
+    };
+    let mut result = SuiteResult::default();
+    println!(
+        "{:<22} {:<10} {:>12} {:>15} {:>12} {:>12}",
+        "system", "kernel", "total time", "bandwidth", "energy", "aggregate"
+    );
+    for kernel in &opts.kernels {
+        let w = Workload::of(*kernel, opts.scale);
+        let built = w.build(params.agents);
+        for &system in &opts.systems {
+            let out = dramless::system::simulate_built(system, &built, &params);
+            print_row(&out);
+            result.outcomes.push(out);
+        }
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, result.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {} outcomes to {path}", result.outcomes.len());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.systems, vec![SystemKind::DramLess]);
+        assert_eq!(o.kernels, vec![Kernel::Gemver]);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn parses_system_aliases() {
+        assert_eq!(parse_system("dram-less"), Some(SystemKind::DramLess));
+        assert_eq!(parse_system("DRAM-less"), Some(SystemKind::DramLess));
+        assert_eq!(parse_system("hetero"), Some(SystemKind::Hetero));
+        assert_eq!(parse_system("page-buffer"), Some(SystemKind::PageBuffer));
+        assert_eq!(parse_system("ideal"), Some(SystemKind::Ideal));
+        assert_eq!(parse_system("nope"), None);
+    }
+
+    #[test]
+    fn parses_kernels() {
+        assert_eq!(parse_kernel("gemver"), Some(Kernel::Gemver));
+        assert_eq!(parse_kernel("jaco1D"), Some(Kernel::Jaco1d));
+        assert_eq!(parse_kernel("bogus"), None);
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let args: Vec<String> = [
+            "--system",
+            "all",
+            "--kernel",
+            "all",
+            "--scale",
+            "0.5",
+            "--seed",
+            "9",
+            "--agents",
+            "3",
+            "--json",
+            "/tmp/out.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse(&args).unwrap();
+        assert_eq!(o.systems.len(), 11);
+        assert_eq!(o.kernels.len(), 15);
+        assert_eq!(o.scale.0, 0.5);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.agents, 3);
+        assert_eq!(o.json.as_deref(), Some("/tmp/out.json"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--system".into(), "warp-drive".into()]).is_err());
+        assert!(parse(&["--scale".into(), "-1".into()]).is_err());
+        assert!(parse(&["--agents".into(), "9".into()]).is_err());
+        assert!(parse(&["--frobnicate".into()]).is_err());
+        assert!(parse(&["--seed".into()]).is_err());
+    }
+}

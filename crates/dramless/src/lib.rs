@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # dramless
+//!
+//! The top-level crate of the DRAM-less reproduction: it composes the
+//! substrate crates into the **eleven accelerated-system configurations**
+//! the paper evaluates (Table I, plus the "DRAM-less (firmware)" and
+//! "ideal" reference points), runs the Polybench-derived workloads on
+//! them, and produces the measurements behind every figure:
+//!
+//! * [`config`] — [`SystemKind`] and tunable [`SystemParams`];
+//! * [`system`] — backend construction and the end-to-end [`simulate`]
+//!   runner (kernel offload → optional staging → execution → writeback);
+//! * [`report`] — [`RunOutcome`] with time decomposition, energy ledger
+//!   and derived metrics, plus suite-sweep helpers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dramless::{simulate, SystemKind, SystemParams};
+//! use workloads::{Kernel, Scale, Workload};
+//!
+//! // A non-degenerate footprint so capacity pressure is in play.
+//! let w = Workload::of(Kernel::Gemver, Scale(0.8));
+//! let dl = simulate(SystemKind::DramLess, &w, &SystemParams::default());
+//! let het = simulate(SystemKind::Hetero, &w, &SystemParams::default());
+//! assert!(dl.bandwidth() > het.bandwidth());
+//! ```
+
+pub mod config;
+pub mod report;
+pub mod system;
+
+pub use config::{SystemKind, SystemParams};
+pub use report::{Breakdown, RunOutcome, SuiteResult};
+pub use system::{run_suite, simulate, simulate_dramless_scheduler};

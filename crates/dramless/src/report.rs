@@ -1,0 +1,195 @@
+//! Run outcomes and derived metrics.
+
+use crate::config::SystemKind;
+use accel::exec::ExecReport;
+use serde::{Deserialize, Serialize};
+use sim_core::energy::{EnergyBook, Joules};
+use sim_core::time::Picos;
+use workloads::Kernel;
+
+/// Execution-time decomposition (the Fig. 16 stack).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Kernel offload: image transfer + agent scheduling.
+    pub offload: Picos,
+    /// Staging input data into the accelerator (heterogeneous only).
+    pub staging_in: Picos,
+    /// PE compute time (summed over agents, then normalized by agents so
+    /// it composes with wall-clock phases).
+    pub compute: Picos,
+    /// PE memory-stall time (same normalization).
+    pub memory: Picos,
+    /// Writing results back to external storage (heterogeneous only).
+    pub staging_out: Picos,
+}
+
+impl Breakdown {
+    /// Total decomposed time.
+    pub fn total(&self) -> Picos {
+        self.offload + self.staging_in + self.compute + self.memory + self.staging_out
+    }
+
+    /// Fractions in Fig. 16 stack order: offload, staging-in, compute,
+    /// memory, staging-out.
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total().as_ps() as f64;
+        if t == 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.offload.as_ps() as f64 / t,
+            self.staging_in.as_ps() as f64 / t,
+            self.compute.as_ps() as f64 / t,
+            self.memory.as_ps() as f64 / t,
+            self.staging_out.as_ps() as f64 / t,
+        ]
+    }
+}
+
+/// The complete result of simulating one workload on one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Which system ran.
+    pub system: SystemKind,
+    /// Which kernel ran.
+    pub kernel: Kernel,
+    /// End-to-end wall-clock time (offload + staging + execution +
+    /// final writeback).
+    pub total_time: Picos,
+    /// Bytes the kernel exchanged with its data store during execution.
+    pub data_bytes: u64,
+    /// The execution-phase report (IPC/power series and cache stats).
+    pub exec: ExecReport,
+    /// Time decomposition.
+    pub breakdown: Breakdown,
+    /// Merged energy ledger across every component.
+    pub energy: EnergyBook,
+}
+
+impl RunOutcome {
+    /// Data-processing bandwidth in bytes/second over the whole run —
+    /// the Fig. 13/15 metric.
+    pub fn bandwidth(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        self.data_bytes as f64 / self.total_time.as_secs_f64()
+    }
+
+    /// Total energy.
+    pub fn total_energy(&self) -> Joules {
+        self.energy.total()
+    }
+
+    /// Aggregate IPC over the execution phase.
+    pub fn total_ipc(&self) -> f64 {
+        self.exec.total_ipc()
+    }
+}
+
+/// Results of sweeping one workload across many systems (or the whole
+/// suite — one entry per `(system, kernel)` pair).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// All outcomes, in run order.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+impl SuiteResult {
+    /// Looks up an outcome.
+    pub fn get(&self, system: SystemKind, kernel: Kernel) -> Option<&RunOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.system == system && o.kernel == kernel)
+    }
+
+    /// Bandwidth of `(system, kernel)` normalized to `baseline` on the
+    /// same kernel — how Fig. 15 reports its bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either outcome is missing.
+    pub fn normalized_bandwidth(
+        &self,
+        system: SystemKind,
+        baseline: SystemKind,
+        kernel: Kernel,
+    ) -> f64 {
+        let s = self.get(system, kernel).expect("system outcome missing");
+        let b = self
+            .get(baseline, kernel)
+            .expect("baseline outcome missing");
+        s.bandwidth() / b.bandwidth()
+    }
+
+    /// Geometric mean of normalized bandwidth across every kernel present
+    /// for both systems.
+    pub fn mean_normalized_bandwidth(&self, system: SystemKind, baseline: SystemKind) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0u32;
+        for o in &self.outcomes {
+            if o.system == system {
+                if let Some(b) = self.get(baseline, o.kernel) {
+                    acc += (o.bandwidth() / b.bandwidth()).ln();
+                    n += 1;
+                }
+            }
+        }
+        assert!(
+            n > 0,
+            "no overlapping kernels between {system} and {baseline}"
+        );
+        (acc / n as f64).exp()
+    }
+
+    /// Mean energy of `system` relative to `baseline` (Fig. 17 style).
+    pub fn mean_relative_energy(&self, system: SystemKind, baseline: SystemKind) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0u32;
+        for o in &self.outcomes {
+            if o.system == system {
+                if let Some(b) = self.get(baseline, o.kernel) {
+                    let rel =
+                        o.total_energy().as_j() / b.total_energy().as_j().max(f64::MIN_POSITIVE);
+                    acc += rel.ln();
+                    n += 1;
+                }
+            }
+        }
+        assert!(
+            n > 0,
+            "no overlapping kernels between {system} and {baseline}"
+        );
+        (acc / n as f64).exp()
+    }
+
+    /// Serializes to pretty JSON for machine-readable experiment records.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("suite results are serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let b = Breakdown {
+            offload: Picos::from_us(1),
+            staging_in: Picos::from_us(4),
+            compute: Picos::from_us(3),
+            memory: Picos::from_us(2),
+            staging_out: Picos::from_us(10),
+        };
+        let f = b.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[4] - 0.5).abs() < 1e-12);
+        assert_eq!(b.total(), Picos::from_us(20));
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        assert_eq!(Breakdown::default().fractions(), [0.0; 5]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Flash array geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Static layout of a flash device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashGeometry {
+    /// Independent dies (parallel units).
+    pub dies: usize,
+    /// Erase blocks per die.
+    pub blocks_per_die: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Page size in bytes (the paper's flash performs "16 KB parallel
+    /// I/O").
+    pub page_bytes: u32,
+}
+
+impl Default for FlashGeometry {
+    fn default() -> Self {
+        Self::ssd()
+    }
+}
+
+impl FlashGeometry {
+    /// An SSD-class geometry: 8 dies × 512 blocks × 256 pages × 16 KB
+    /// = 16 GiB raw.
+    pub const fn ssd() -> Self {
+        FlashGeometry {
+            dies: 8,
+            blocks_per_die: 512,
+            pages_per_block: 256,
+            page_bytes: 16 * 1024,
+        }
+    }
+
+    /// A small geometry for fast tests (8 MiB raw).
+    pub const fn tiny() -> Self {
+        FlashGeometry {
+            dies: 2,
+            blocks_per_die: 16,
+            pages_per_block: 16,
+            page_bytes: 16 * 1024,
+        }
+    }
+
+    /// Pages per die.
+    pub fn pages_per_die(&self) -> u64 {
+        self.blocks_per_die as u64 * self.pages_per_block as u64
+    }
+
+    /// Total physical pages.
+    pub fn total_pages(&self) -> u64 {
+        self.pages_per_die() * self.dies as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// Logical capacity exposed after over-provisioning `op_percent`% of
+    /// blocks for garbage collection.
+    pub fn logical_pages(&self, op_percent: u32) -> u64 {
+        self.total_pages() * (100 - op_percent as u64) / 100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_capacity() {
+        let g = FlashGeometry::ssd();
+        assert_eq!(g.total_pages(), 8 * 512 * 256);
+        assert_eq!(g.raw_bytes(), 16u64 << 30);
+    }
+
+    #[test]
+    fn overprovisioning_reduces_logical_space() {
+        let g = FlashGeometry::ssd();
+        assert!(g.logical_pages(10) < g.total_pages());
+        assert_eq!(g.logical_pages(0), g.total_pages());
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        assert_eq!(FlashGeometry::tiny().raw_bytes(), 8 << 20);
+    }
+}

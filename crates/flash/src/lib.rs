@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # flash
+//!
+//! A NAND-flash device model with a minimal page-mapping FTL, backing the
+//! paper's flash-based comparison points: the external SSDs of the
+//! *Hetero* / *Heterodirect* systems and the in-accelerator storage of
+//! *Integrated-SLC/MLC/TLC* (Table I).
+//!
+//! The model captures the properties the evaluation depends on:
+//!
+//! * **Page-granular I/O** — reads and programs move whole 16 KB pages
+//!   ("flash is well optimized for block interface operations");
+//! * **Cell-kind latency tiers** — SLC/MLC/TLC read 25/50/80 µs, program
+//!   300/800/1250 µs, erase 2000/3500/2274 µs (Table I);
+//! * **Die-level parallelism** — independent dies service pages
+//!   concurrently, which is why bulk transfers perform well while single
+//!   page accesses "cannot reap the benefit of flash-level internal
+//!   parallelism" (§VI-B);
+//! * **Erase-before-program** — the FTL remaps writes to pre-erased pages
+//!   and garbage-collects invalidated blocks.
+
+pub mod device;
+pub mod ftl;
+pub mod geometry;
+pub mod timing;
+
+pub use device::{FlashDevice, FlashStats};
+pub use ftl::{Ftl, PhysPage};
+pub use geometry::FlashGeometry;
+pub use timing::{CellKind, FlashTiming};

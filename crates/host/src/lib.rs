@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # host
+//!
+//! The host-system model: everything the DRAM-less design removes.
+//!
+//! * [`stack`] — the software storage-stack cost model: syscalls,
+//!   user/kernel mode switches, filesystem work and redundant memory
+//!   copies, which §III-A identifies as the dominant waste in
+//!   conventional accelerated systems;
+//! * [`pcie`] — PCIe link timing for host↔SSD and host↔accelerator
+//!   transfers;
+//! * [`staging`] — the two data-staging paths of Figure 5a: the
+//!   host-mediated path (SSD → kernel → user → pinned buffer →
+//!   accelerator DRAM) used by *Hetero*, and the peer-to-peer DMA path
+//!   (SSD → accelerator, no host copies) used by *Heterodirect*.
+
+pub mod pcie;
+pub mod stack;
+pub mod staging;
+
+pub use pcie::{PcieLink, PcieParams};
+pub use stack::{HostStack, HostStackParams};
+pub use staging::{Stager, StagingPath, StagingReport};

@@ -1,0 +1,241 @@
+//! Data staging between the SSD and the accelerator (Figure 5a).
+//!
+//! Two paths:
+//!
+//! * [`StagingPath::HostMediated`] (*Hetero*): for every I/O request the
+//!   host pays the storage-stack software path, reads from the SSD into
+//!   the page cache, copies to the user buffer, deserializes, copies into
+//!   a pinned DMA buffer, and DMAs over PCIe to the accelerator;
+//! * [`StagingPath::P2pDma`] (*Heterodirect*, Morpheus/NVMMU-style
+//!   \[13\], \[14\]): the host only submits descriptors; data moves
+//!   SSD → accelerator directly across the PCIe switch.
+
+use crate::pcie::PcieLink;
+use crate::stack::HostStack;
+use serde::{Deserialize, Serialize};
+use sim_core::energy::EnergyBook;
+use sim_core::mem::MemoryBackend;
+use sim_core::time::Picos;
+
+/// Which staging datapath a heterogeneous system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StagingPath {
+    /// SSD → host DRAM (2 copies + deserialize) → PCIe → accelerator.
+    HostMediated,
+    /// SSD → PCIe switch → accelerator, zero host copies.
+    P2pDma,
+}
+
+impl StagingPath {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StagingPath::HostMediated => "host-mediated",
+            StagingPath::P2pDma => "p2p-dma",
+        }
+    }
+}
+
+/// The outcome of moving one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagingReport {
+    /// When the transfer finished.
+    pub done: Picos,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// I/O requests issued to the SSD.
+    pub requests: u64,
+}
+
+/// The staging engine: owns the host stack and both PCIe links.
+#[derive(Debug)]
+pub struct Stager {
+    /// The host software stack.
+    pub stack: HostStack,
+    /// Host/SSD link (also carries P2P traffic to the switch).
+    pub link_ssd: PcieLink,
+    /// Host/accelerator link.
+    pub link_accel: PcieLink,
+    path: StagingPath,
+}
+
+impl Stager {
+    /// Creates a stager over `path` with default host parameters.
+    pub fn new(path: StagingPath) -> Self {
+        Self::with_stack(path, Default::default())
+    }
+
+    /// Creates a stager with explicit host-stack parameters (e.g. a
+    /// scaled I/O request size).
+    pub fn with_stack(path: StagingPath, stack: crate::stack::HostStackParams) -> Self {
+        Stager {
+            stack: HostStack::new(stack),
+            link_ssd: PcieLink::new(Default::default()),
+            link_accel: PcieLink::new(Default::default()),
+            path,
+        }
+    }
+
+    /// The configured path.
+    pub fn path(&self) -> StagingPath {
+        self.path
+    }
+
+    /// Moves `bytes` from `ssd` (starting at `addr`) into the accelerator
+    /// memory, beginning at `at`.
+    pub fn stage_in(
+        &mut self,
+        at: Picos,
+        ssd: &mut dyn MemoryBackend,
+        addr: u64,
+        bytes: u64,
+    ) -> StagingReport {
+        self.stage(at, ssd, addr, bytes, true)
+    }
+
+    /// Moves `bytes` of results from the accelerator back to `ssd`.
+    pub fn stage_out(
+        &mut self,
+        at: Picos,
+        ssd: &mut dyn MemoryBackend,
+        addr: u64,
+        bytes: u64,
+    ) -> StagingReport {
+        self.stage(at, ssd, addr, bytes, false)
+    }
+
+    fn stage(
+        &mut self,
+        at: Picos,
+        ssd: &mut dyn MemoryBackend,
+        addr: u64,
+        bytes: u64,
+        inbound: bool,
+    ) -> StagingReport {
+        assert!(bytes > 0, "empty staging transfer");
+        let chunk = self.stack.params().io_request_bytes;
+        let mut t = at;
+        let mut requests = 0;
+        let mut off = 0u64;
+        while off < bytes {
+            let n = chunk.min(bytes - off);
+            match self.path {
+                StagingPath::HostMediated => {
+                    // Submission path through the kernel.
+                    let (_, sw_done) = self.stack.request_overhead(t);
+                    // Media access.
+                    let io = if inbound {
+                        ssd.read(sw_done, addr + off, n as u32)
+                    } else {
+                        ssd.write(sw_done, addr + off, n as u32)
+                    };
+                    // Page cache → user → pinned buffer (+deserialize when
+                    // loading input objects).
+                    let (_, copied) = self.stack.copy(io.end, n);
+                    let t2 = if inbound {
+                        self.stack.deserialize(copied, n).1
+                    } else {
+                        copied
+                    };
+                    // DMA across the accelerator link.
+                    let dma = self.link_accel.dma(t2, n);
+                    t = dma.end;
+                }
+                StagingPath::P2pDma => {
+                    // Host only rings a doorbell; data crosses the switch
+                    // once.
+                    let bell = self.link_ssd.message(t);
+                    let io = if inbound {
+                        ssd.read(bell.end, addr + off, n as u32)
+                    } else {
+                        ssd.write(bell.end, addr + off, n as u32)
+                    };
+                    let dma = self.link_accel.dma(io.end, n);
+                    t = dma.end;
+                }
+            }
+            requests += 1;
+            off += n;
+        }
+        StagingReport {
+            done: t,
+            bytes,
+            requests,
+        }
+    }
+
+    /// Combined energy of stack + links.
+    pub fn energy(&self) -> EnergyBook {
+        let mut e = self.stack.energy().clone();
+        e.merge(self.link_ssd.energy());
+        e.merge(self.link_accel.energy());
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash::CellKind;
+    use storage::ssd::{FlashSsd, SsdParams};
+
+    fn ssd() -> FlashSsd {
+        FlashSsd::new(SsdParams::tiny(CellKind::Mlc))
+    }
+
+    #[test]
+    fn p2p_is_faster_than_host_mediated() {
+        let bytes = 1u64 << 20;
+        let mut host = Stager::new(StagingPath::HostMediated);
+        let mut p2p = Stager::new(StagingPath::P2pDma);
+        let mut ssd_a = ssd();
+        let mut ssd_b = ssd();
+        let ra = host.stage_in(Picos::ZERO, &mut ssd_a, 0, bytes);
+        let rb = p2p.stage_in(Picos::ZERO, &mut ssd_b, 0, bytes);
+        assert!(rb.done < ra.done, "p2p {:?} vs host {:?}", rb.done, ra.done);
+        assert_eq!(ra.requests, rb.requests);
+    }
+
+    #[test]
+    fn host_path_burns_cpu_p2p_does_not() {
+        let bytes = 1u64 << 20;
+        let mut host = Stager::new(StagingPath::HostMediated);
+        let mut p2p = Stager::new(StagingPath::P2pDma);
+        host.stage_in(Picos::ZERO, &mut ssd(), 0, bytes);
+        p2p.stage_in(Picos::ZERO, &mut ssd(), 0, bytes);
+        assert!(host.stack.cpu_busy() > Picos::from_us(100));
+        assert_eq!(p2p.stack.cpu_busy(), Picos::ZERO);
+    }
+
+    #[test]
+    fn staging_chunks_by_request_size() {
+        let mut s = Stager::new(StagingPath::P2pDma);
+        let r = s.stage_in(Picos::ZERO, &mut ssd(), 0, 300 * 1024);
+        assert_eq!(r.requests, 3); // 128 KiB chunks
+    }
+
+    #[test]
+    fn stage_out_writes_the_ssd() {
+        let mut s = Stager::new(StagingPath::HostMediated);
+        let mut dev = ssd();
+        let r = s.stage_out(Picos::ZERO, &mut dev, 0, 64 * 1024);
+        assert!(r.done > Picos::ZERO);
+        assert!(dev.requests() > 0);
+    }
+
+    #[test]
+    fn energy_includes_stack_and_links() {
+        let mut s = Stager::new(StagingPath::HostMediated);
+        s.stage_in(Picos::ZERO, &mut ssd(), 0, 1 << 20);
+        let e = s.energy();
+        assert!(e.energy_of("host.copy").as_pj() > 0.0);
+        assert!(e.energy_of("pcie.xfer").as_pj() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty staging transfer")]
+    fn zero_bytes_rejected() {
+        let mut s = Stager::new(StagingPath::P2pDma);
+        s.stage_in(Picos::ZERO, &mut ssd(), 0, 0);
+    }
+}

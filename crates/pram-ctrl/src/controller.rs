@@ -1,0 +1,797 @@
+//! The hardware-automated PRAM controller (§III-B, §V-B).
+//!
+//! [`PramController`] owns the two LPDDR2-NVM channels and services plain
+//! read/write requests from the accelerator's MCU:
+//!
+//! * **Reads** run the three-phase sequence with phase skipping
+//!   ([`crate::cmdgen`]). Under an interleaving scheduler, word accesses
+//!   overlap across partitions and row buffers (Fig. 12); under the noop
+//!   (bare-metal) scheduler each channel services one word at a time.
+//! * **Writes** run the §V-B overlay-window register sequence — command
+//!   code → row address → burst size → program-buffer fill → execute —
+//!   and are *posted*: the requester resumes once the execute register is
+//!   accepted, while the 10–18 µs cell program proceeds in the module.
+//!   Each module has a single program buffer, so writes to a module
+//!   serialize at the cell-program rate; that is the PRAM write wall the
+//!   selective-erasing optimization attacks.
+//! * **Selective erasing** pre-RESETs announced overwrite targets during
+//!   partition idle windows, making the following overwrite SET-only
+//!   (10 µs instead of 18 µs).
+
+use crate::addr::{AddressMap, Fragment};
+use crate::cmdgen::plan_read;
+use crate::phy::PhyParams;
+use crate::sched::SchedulerKind;
+use crate::wear::StartGap;
+use pram::cell::WORD_BYTES;
+use pram::overlay::regs;
+use pram::timing::{BurstLen, PramTiming};
+use pram::PramChannel;
+use serde::{Deserialize, Serialize};
+use sim_core::energy::{EnergyBook, Joules};
+use sim_core::mem::{Access, MemoryBackend};
+use sim_core::time::Picos;
+use std::collections::{HashMap, HashSet};
+
+/// Per-word-operation FPGA logic energy (translator + command generator).
+const E_CTRL_OP: Joules = Joules::from_pj(200);
+
+/// Construction parameters of the PRAM subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemConfig {
+    /// Device timing (Table II by default).
+    pub timing: PramTiming,
+    /// Channel/module striping layout.
+    pub map: AddressMap,
+    /// Scheduler variant (the Fig. 13 axis).
+    pub scheduler: SchedulerKind,
+    /// PHY parameters.
+    pub phy: PhyParams,
+    /// Write pausing (§VII extension): reads may suspend in-flight
+    /// programs instead of queueing behind them.
+    pub write_pausing: bool,
+    /// Start-gap wear leveling (§VII): `Some(interval)` rotates each
+    /// module's rows one slot every `interval` writes.
+    pub wear_leveling: Option<u64>,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl SubsystemConfig {
+    /// The paper configuration: 2 channels × 16 modules, Table II timing.
+    pub fn paper(scheduler: SchedulerKind, seed: u64) -> Self {
+        SubsystemConfig {
+            timing: PramTiming::table2(),
+            map: AddressMap::paper(),
+            scheduler,
+            phy: PhyParams::default(),
+            write_pausing: false,
+            wear_leveling: None,
+            seed,
+        }
+    }
+
+    /// A small 1-channel × 4-module subsystem for fast unit tests.
+    pub fn small(scheduler: SchedulerKind, seed: u64) -> Self {
+        SubsystemConfig {
+            timing: PramTiming::table2(),
+            map: AddressMap {
+                channels: 1,
+                modules_per_channel: 4,
+                word_bytes: 32,
+            },
+            scheduler,
+            phy: PhyParams::default(),
+            write_pausing: false,
+            wear_leveling: None,
+            seed,
+        }
+    }
+}
+
+/// Controller-level statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlStats {
+    /// Read requests serviced.
+    pub reads: u64,
+    /// Write requests serviced.
+    pub writes: u64,
+    /// 32 B word reads issued to devices.
+    pub words_read: u64,
+    /// 32 B word writes issued to devices.
+    pub words_written: u64,
+    /// Pre-active phases skipped on RAB hits.
+    pub pre_active_skips: u64,
+    /// Activate phases skipped on RDB hits.
+    pub activate_skips: u64,
+    /// Background selective erases that made a write SET-only.
+    pub preerase_hits: u64,
+    /// Writes that were eligible for pre-erase but had no idle window.
+    pub preerase_misses: u64,
+    /// Start-gap relocations performed.
+    pub gap_moves: u64,
+    /// Sum of read latencies (issue → data).
+    pub read_latency_sum: Picos,
+    /// Sum of write latencies (issue → posted).
+    pub write_latency_sum: Picos,
+}
+
+/// The FPGA PRAM controller: translator + command generator + datapath
+/// over two channels of PRAM modules.
+#[derive(Debug, Clone)]
+pub struct PramController {
+    cfg: SubsystemConfig,
+    channels: Vec<PramChannel>,
+    /// Per-channel serialization point for the noop scheduler.
+    channel_serial: Vec<Picos>,
+    /// Per-channel, per-module program-buffer availability.
+    program_buffer_free: Vec<Vec<Picos>>,
+    /// Global word indexes announced as overwrite targets.
+    announced: HashSet<u64>,
+    /// Last access completion per global word (selective-erase window
+    /// detection).
+    last_touch: HashMap<u64, Picos>,
+    /// Per-channel, per-module start-gap state (when wear leveling is
+    /// enabled).
+    wear: Option<Vec<Vec<StartGap>>>,
+    stats: CtrlStats,
+    ctrl_energy: EnergyBook,
+}
+
+impl PramController {
+    /// Builds the subsystem: channels, modules, PHY state.
+    pub fn new(cfg: SubsystemConfig) -> Self {
+        let mut channels: Vec<PramChannel> = (0..cfg.map.channels)
+            .map(|c| {
+                PramChannel::new(
+                    cfg.timing,
+                    cfg.map.modules_per_channel,
+                    cfg.seed.wrapping_add(c as u64 * 1000),
+                )
+            })
+            .collect();
+        if cfg.write_pausing {
+            for ch in &mut channels {
+                for i in 0..ch.module_count() {
+                    ch.module_mut(i).set_write_pausing(true);
+                }
+            }
+        }
+        let wear = cfg.wear_leveling.map(|interval| {
+            let words = channels[0].module(0).geometry().module_bytes() / cfg.map.word_bytes;
+            channels
+                .iter()
+                .map(|ch| {
+                    (0..ch.module_count())
+                        // one spare slot is reserved at the top of the
+                        // module, so the leveler covers words - 1 lines.
+                        .map(|_| StartGap::new(words - 1, interval))
+                        .collect()
+                })
+                .collect()
+        });
+        let program_buffer_free = channels
+            .iter()
+            .map(|ch| vec![Picos::ZERO; ch.module_count()])
+            .collect();
+        PramController {
+            channel_serial: vec![Picos::ZERO; channels.len()],
+            program_buffer_free,
+            channels,
+            announced: HashSet::new(),
+            last_touch: HashMap::new(),
+            wear,
+            stats: CtrlStats::default(),
+            ctrl_energy: EnergyBook::new(),
+            cfg,
+        }
+    }
+
+    /// Applies the start-gap remap to a module byte address and, on
+    /// writes, advances the gap (performing the relocation copy).
+    fn wear_remap(&mut self, at: Picos, frag: &Fragment, is_write: bool) -> u64 {
+        let Some(wear) = self.wear.as_mut() else {
+            return frag.target.module_addr;
+        };
+        let wb = self.cfg.map.word_bytes;
+        let sg = &mut wear[frag.target.channel][frag.target.module];
+        let word = frag.target.module_addr / wb;
+        let offset = frag.target.module_addr % wb;
+        let mapped = sg.map(word) * wb + offset;
+        if is_write {
+            if let Some(mv) = sg.on_write() {
+                // The gap move copies one physical line.
+                let module = self.channels[frag.target.channel].module_mut(frag.target.module);
+                let from = module.geometry().decode(mv.from * wb).0;
+                let to = module.geometry().decode(mv.to * wb).0;
+                module.relocate(at, from, to);
+                self.stats.gap_moves += 1;
+            }
+        }
+        mapped
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SubsystemConfig {
+        &self.cfg
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Total byte capacity of the subsystem.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.capacity_bytes()).sum()
+    }
+
+    /// Channel access for inspection.
+    pub fn channel(&self, i: usize) -> &PramChannel {
+        &self.channels[i]
+    }
+
+    /// Subsystem endurance summary: `(max programs on any row across all
+    /// modules, total rows ever touched)` — what wear leveling flattens.
+    pub fn endurance(&self) -> (u32, usize) {
+        let mut max = 0u32;
+        let mut rows = 0usize;
+        for ch in &self.channels {
+            for m in ch.modules() {
+                let (m_max, m_rows) = m.endurance();
+                max = max.max(m_max);
+                rows += m_rows;
+            }
+        }
+        (max, rows)
+    }
+
+    /// Functional write carrying real bytes (integration tests and the
+    /// kernel-image download path use this; the timing-only
+    /// [`MemoryBackend::write`] uses a non-zero filler pattern).
+    pub fn write_bytes(&mut self, at: Picos, addr: u64, data: &[u8]) -> Access {
+        assert!(!data.is_empty(), "empty write");
+        let frags = self.cfg.map.split(addr, data.len() as u32);
+        let mut start = Picos::MAX;
+        let mut end = Picos::ZERO;
+        let mut off = 0usize;
+        for frag in frags {
+            let chunk = &data[off..off + frag.len as usize];
+            let a = self.write_frag(at, &frag, Some(chunk));
+            start = start.min(a.start);
+            end = end.max(a.end);
+            off += frag.len as usize;
+        }
+        self.stats.writes += 1;
+        self.stats.write_latency_sum += end.saturating_sub(at);
+        Access { start, end }
+    }
+
+    /// Functional read returning the stored bytes.
+    pub fn read_bytes(&mut self, at: Picos, addr: u64, len: u32) -> (Access, Vec<u8>) {
+        let frags = self.cfg.map.split(addr, len);
+        let mut out = Vec::with_capacity(len as usize);
+        let mut start = Picos::MAX;
+        let mut end = Picos::ZERO;
+        for frag in frags {
+            let (a, data) = self.read_frag(at, &frag);
+            start = start.min(a.start);
+            end = end.max(a.end);
+            out.extend_from_slice(&data);
+        }
+        self.stats.reads += 1;
+        self.stats.read_latency_sum += end.saturating_sub(at);
+        (Access { start, end }, out)
+    }
+
+    /// One word-fragment read through the three-phase protocol.
+    fn read_frag(&mut self, at: Picos, frag: &Fragment) -> (Access, Vec<u8>) {
+        let interleaves = self.cfg.scheduler.interleaves();
+        let ch_idx = frag.target.channel;
+        let earliest = if interleaves {
+            at
+        } else {
+            at.max(self.channel_serial[ch_idx])
+        };
+        let sync = self.cfg.phy.sync_latency;
+        let tck = self.cfg.timing.tck();
+        let mapped_addr = self.wear_remap(earliest, frag, false);
+        let lower_bits;
+        let row;
+        {
+            let ch = &mut self.channels[ch_idx];
+            let (module, _, _) = ch.module_and_buses(frag.target.module);
+            lower_bits = module.geometry().lower_row_bits;
+            let (r, _off) = module.geometry().decode(mapped_addr);
+            row = r;
+        }
+
+        let plan = {
+            let module = self.channels[ch_idx].module(frag.target.module);
+            plan_read(module.buffers(), row, lower_bits, interleaves)
+        };
+        let ba = plan.ba();
+        let mut t = earliest + sync;
+
+        let ch = &mut self.channels[ch_idx];
+        let (module, _cmd_bus, dq_bus) = ch.module_and_buses(frag.target.module);
+
+        // Command issue costs one interface clock per 20-bit packet; the
+        // command bus runs well under 20% utilized even on streams, so it
+        // is modeled as fixed latency rather than a contended resource.
+        if plan.skips_pre_active() {
+            self.stats.pre_active_skips += 1;
+        } else {
+            let pre = module.pre_active(t + tck, ba, row.upper(lower_bits));
+            t = pre.end;
+        }
+        if plan.skips_activate() {
+            self.stats.activate_skips += 1;
+        } else {
+            let act = module.activate(t + tck, ba, row.lower(lower_bits));
+            t = act.end;
+        }
+
+        // Read phase: the burst arbitrates the shared dq bus; its preamble
+        // (RL + tDQSCK) hides behind the previous burst.
+        let col_off = (frag.global_addr % WORD_BYTES as u64) as u32;
+        let bl = BurstLen::covering(col_off + frag.len);
+        let bus_free = dq_bus.probe(Picos::ZERO);
+        let (rt, word) = module.read_burst(t + tck, bus_free, ba, 0, bl);
+        let tburst = self.cfg.timing.tburst(bl);
+        dq_bus.reserve(rt.end - tburst, tburst);
+
+        self.stats.words_read += 1;
+        self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
+        if !interleaves {
+            self.channel_serial[ch_idx] = rt.end;
+        }
+        let wi = self.cfg.map.word_index(frag.global_addr);
+        self.last_touch.insert(wi, rt.end);
+
+        let lo = col_off as usize;
+        let hi = lo + frag.len as usize;
+        (
+            Access {
+                start: earliest,
+                end: rt.end,
+            },
+            word[lo..hi].to_vec(),
+        )
+    }
+
+    /// One word-fragment write through the overlay-window sequence.
+    fn write_frag(&mut self, at: Picos, frag: &Fragment, data: Option<&[u8]>) -> Access {
+        let ch_idx = frag.target.channel;
+        let md = frag.target.module;
+        let interleaves = self.cfg.scheduler.interleaves();
+        let selective = self.cfg.scheduler.selective_erase();
+        let earliest = if interleaves {
+            at
+        } else {
+            at.max(self.channel_serial[ch_idx])
+        };
+        let sync = self.cfg.phy.sync_latency;
+        let tck = self.cfg.timing.tck();
+        let treset = self.cfg.timing.t_reset_extra + self.cfg.timing.twra;
+        let wi = self.cfg.map.word_index(frag.global_addr);
+
+        // The module's single program buffer gates the next write.
+        let pb_free = self.program_buffer_free[ch_idx][md];
+        let t0 = earliest.max(pb_free) + sync;
+
+        let mapped_addr = self.wear_remap(t0, frag, true);
+        let word_addr = mapped_addr & !(WORD_BYTES as u64 - 1);
+        let row = {
+            let module = self.channels[ch_idx].module(md);
+            module.geometry().decode(word_addr).0
+        };
+
+        // Selective erasing: if this word was announced as an overwrite
+        // target, holds stale data, and both the word and its partition
+        // had an idle window long enough for a background RESET, the
+        // pre-erase already happened — the coming program is SET-only.
+        if selective {
+            let module = self.channels[ch_idx].module(md);
+            let eligible = self.announced.contains(&wi) && !module.is_pristine(row);
+            if eligible {
+                let lane_free = module.partition_free_at(row.partition);
+                let touch = self.last_touch.get(&wi).copied().unwrap_or(Picos::ZERO);
+                let window_start = lane_free.max(touch);
+                if window_start + treset <= t0 {
+                    let module = self.channels[ch_idx].module_mut(md);
+                    let pe = module.pre_erase(window_start, row);
+                    debug_assert!(pe.end <= t0 + treset);
+                    self.stats.preerase_hits += 1;
+                } else {
+                    self.stats.preerase_misses += 1;
+                }
+            }
+        }
+
+        // §V-B register sequence: command code (0x80), row address (0x8B),
+        // burst size (0x93), program buffer (0x800), execute (0xC0).
+        let ch = &mut self.channels[ch_idx];
+        let (module, _cmd_bus, dq_bus) = ch.module_and_buses(md);
+
+        let mut t = t0;
+        let reg_writes: [(u64, Vec<u8>); 3] = [
+            (regs::COMMAND_CODE, vec![0xE9]),
+            (regs::DATA_ADDRESS, word_addr.to_le_bytes().to_vec()),
+            (regs::MULTI_PURPOSE, vec![WORD_BYTES as u8]),
+        ];
+        for (offset, bytes) in reg_writes {
+            let issue = (t + tck).max(dq_bus.probe(Picos::ZERO));
+            let w = module.write_overlay(issue, offset, &bytes);
+            let bl = BurstLen::covering(bytes.len() as u32);
+            let tburst = self.cfg.timing.tburst(bl);
+            dq_bus.reserve(w.end - tburst, tburst);
+            t = w.end;
+        }
+
+        // Program-buffer fill: read-modify-write semantics for partial
+        // words (the device merges against current contents).
+        let mut word = module.peek(row);
+        let lo = (frag.global_addr % WORD_BYTES as u64) as usize;
+        match data {
+            Some(bytes) => word[lo..lo + frag.len as usize].copy_from_slice(bytes),
+            None => {
+                // Timing-only filler: a non-zero pattern derived from the
+                // address (zeros would alias the selective-erase path).
+                for (i, b) in word[lo..lo + frag.len as usize].iter_mut().enumerate() {
+                    *b = 0xA5u8.wrapping_add((frag.global_addr as u8).wrapping_add(i as u8));
+                    if *b == 0 {
+                        *b = 0xA5;
+                    }
+                }
+            }
+        }
+        let issue = (t + tck).max(dq_bus.probe(Picos::ZERO));
+        let fill = module.write_overlay(issue, regs::PROGRAM_BUFFER, &word);
+        let tburst = self.cfg.timing.tburst(BurstLen::Bl16);
+        dq_bus.reserve(fill.end - tburst, tburst);
+        t = fill.end;
+
+        // Execute: one more command packet, then the array program runs in
+        // the background; the program buffer frees when it completes.
+        let exec_accepted = t + tck * 2;
+        let prog = module.execute_program(exec_accepted);
+        self.program_buffer_free[ch_idx][md] = prog.end;
+
+        self.stats.words_written += 1;
+        self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
+        if !interleaves {
+            self.channel_serial[ch_idx] = exec_accepted;
+        }
+        self.last_touch.insert(wi, prog.end);
+
+        // Posted write: the requester resumes at execute-accept.
+        Access {
+            start: earliest,
+            end: exec_accepted,
+        }
+    }
+}
+
+impl MemoryBackend for PramController {
+    fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access {
+        let (a, _) = self.read_bytes(at, addr, len);
+        a
+    }
+
+    fn write(&mut self, at: Picos, addr: u64, len: u32) -> Access {
+        assert!(len > 0, "empty write");
+        let frags = self.cfg.map.split(addr, len);
+        let mut start = Picos::MAX;
+        let mut end = Picos::ZERO;
+        for frag in frags {
+            let a = self.write_frag(at, &frag, None);
+            start = start.min(a.start);
+            end = end.max(a.end);
+        }
+        self.stats.writes += 1;
+        self.stats.write_latency_sum += end.saturating_sub(at);
+        Access { start, end }
+    }
+
+    fn announce_overwrites(&mut self, _at: Picos, addrs: &[u64]) {
+        if !self.cfg.scheduler.selective_erase() {
+            return;
+        }
+        for &a in addrs {
+            self.announced.insert(self.cfg.map.word_index(a));
+        }
+    }
+
+    fn energy(&self) -> EnergyBook {
+        let mut book = self.ctrl_energy.clone();
+        for ch in &self.channels {
+            for m in ch.modules() {
+                book.merge(m.energy());
+            }
+        }
+        book
+    }
+
+    fn label(&self) -> &'static str {
+        match self.cfg.scheduler {
+            SchedulerKind::BareMetal => "pram-ctrl/bare-metal",
+            SchedulerKind::Interleaving => "pram-ctrl/interleaving",
+            SchedulerKind::SelectiveErasing => "pram-ctrl/selective-erasing",
+            SchedulerKind::Final => "pram-ctrl/final",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(s: SchedulerKind) -> PramController {
+        PramController::new(SubsystemConfig::paper(s, 7))
+    }
+
+    #[test]
+    fn functional_round_trip() {
+        let mut c = ctrl(SchedulerKind::Final);
+        let data: Vec<u8> = (0..1024).map(|i| (i % 251 + 1) as u8).collect();
+        let w = c.write_bytes(Picos::ZERO, 4096, &data);
+        let (_, back) = c.read_bytes(w.end + Picos::from_us(100), 4096, 1024);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn unaligned_round_trip() {
+        let mut c = ctrl(SchedulerKind::Final);
+        let data: Vec<u8> = (1..=100).collect();
+        let w = c.write_bytes(Picos::ZERO, 12345, &data);
+        let (_, back) = c.read_bytes(w.end + Picos::from_us(100), 12345, 100);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn read_is_fast_write_is_posted() {
+        let mut c = ctrl(SchedulerKind::Final);
+        let w = c.write(Picos::ZERO, 0, 32);
+        // Posted write: accepted in well under a microsecond.
+        assert!(w.end < Picos::from_us(1), "{}", w.end);
+        let r = c.read(Picos::from_ms(1), 0, 32);
+        // Three-phase read of one word lands near 150 ns.
+        assert!(
+            r.latency_from(Picos::from_ms(1)) < Picos::from_ns(400),
+            "{:?}",
+            r
+        );
+    }
+
+    #[test]
+    fn interleaving_beats_bare_metal_on_streaming_reads() {
+        let mut results = Vec::new();
+        for s in [SchedulerKind::BareMetal, SchedulerKind::Interleaving] {
+            let mut c = ctrl(s);
+            let mut t = Picos::ZERO;
+            // Stream 64 KiB in 512 B requests.
+            for i in 0..128u64 {
+                let a = c.read(t, i * 512, 512);
+                t = a.end;
+            }
+            results.push(t);
+        }
+        let (bare, inter) = (results[0], results[1]);
+        assert!(
+            inter.as_ps() * 2 < bare.as_ps(),
+            "interleaving {inter} should be >2x faster than bare-metal {bare}"
+        );
+    }
+
+    #[test]
+    fn phase_skips_fire_on_streaming() {
+        let mut c = ctrl(SchedulerKind::Final);
+        let mut t = Picos::ZERO;
+        for i in 0..64u64 {
+            let a = c.read(t, i * 512, 512);
+            t = a.end;
+        }
+        let s = c.stats();
+        assert!(s.pre_active_skips > 0, "RAB hits expected on a stream");
+        assert_eq!(s.words_read, 64 * 16);
+    }
+
+    #[test]
+    fn program_buffer_serializes_writes_to_one_module() {
+        let mut c = ctrl(SchedulerKind::Final);
+        // Two writes to the same module word region (same module = same
+        // 32 B lane in the stripe): addr 0 and addr 1024 hit module 0.
+        let w1 = c.write(Picos::ZERO, 0, 32);
+        let w2 = c.write(w1.end, 1024, 32);
+        // The second write waits for the first program (~10 us SET-only).
+        assert!(w2.end > Picos::from_us(9), "{}", w2.end);
+    }
+
+    #[test]
+    fn writes_to_different_modules_do_not_serialize() {
+        let mut c = ctrl(SchedulerKind::Final);
+        let w1 = c.write(Picos::ZERO, 0, 32); // module 0
+        let w2 = c.write(w1.end, 32, 32); // module 1
+        assert!(w2.end < Picos::from_us(2), "{}", w2.end);
+    }
+
+    #[test]
+    fn selective_erase_turns_overwrites_set_only() {
+        // Write a region, announce it, wait, overwrite: with Final the
+        // overwrite should be SET-only (pre-erase hit); with Interleaving
+        // it pays the full RESET+SET.
+        let region = 0u64;
+        let mut lat = Vec::new();
+        for s in [SchedulerKind::Interleaving, SchedulerKind::Final] {
+            let mut c = ctrl(s);
+            c.write(Picos::ZERO, region, 32);
+            c.announce_overwrites(Picos::ZERO, &[region]);
+            // Long idle window, then back-to-back overwrites to the module.
+            let t0 = Picos::from_ms(1);
+            let w1 = c.write(t0, region, 32);
+            let w2 = c.write(w1.end, 1024, 32); // same module, gated by pb
+            lat.push(w2.end - t0);
+        }
+        // Final's first program was SET-only (10 us), Interleaving's was
+        // an overwrite (18 us); the second write exposes the difference.
+        assert!(
+            lat[1] + Picos::from_us(6) < lat[0],
+            "selective erase should cut ~8 us: interleaving={} final={}",
+            lat[0],
+            lat[1]
+        );
+    }
+
+    #[test]
+    fn preerase_requires_announcement() {
+        let mut c = ctrl(SchedulerKind::Final);
+        c.write(Picos::ZERO, 0, 32);
+        // No announcement: overwrite pays full cost, no pre-erase hit.
+        c.write(Picos::from_ms(1), 0, 32);
+        assert_eq!(c.stats().preerase_hits, 0);
+    }
+
+    #[test]
+    fn preerase_requires_idle_window() {
+        let mut c = ctrl(SchedulerKind::Final);
+        c.write(Picos::ZERO, 0, 32);
+        c.announce_overwrites(Picos::ZERO, &[0]);
+        // Overwrite immediately: no idle window for the background RESET.
+        let w1 = c.write(Picos::ZERO, 0, 32);
+        let _ = w1;
+        assert_eq!(c.stats().preerase_hits, 0);
+        assert!(c.stats().preerase_misses > 0);
+    }
+
+    #[test]
+    fn energy_includes_device_and_controller() {
+        let mut c = ctrl(SchedulerKind::Final);
+        c.write(Picos::ZERO, 0, 512);
+        c.read(Picos::from_ms(1), 0, 512);
+        let e = c.energy();
+        assert!(e.energy_of("ctrl.fpga") > Joules::ZERO);
+        assert!(e.energy_of("pram.program") > Joules::ZERO);
+        assert!(e.energy_of("pram.sense") > Joules::ZERO);
+    }
+
+    #[test]
+    fn stats_count_requests_and_words() {
+        let mut c = ctrl(SchedulerKind::Final);
+        c.write(Picos::ZERO, 0, 512);
+        c.read(Picos::from_ms(1), 0, 1024);
+        let s = c.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.words_written, 16);
+        assert_eq!(s.words_read, 32);
+    }
+
+    #[test]
+    fn capacity_is_32_gib() {
+        let c = ctrl(SchedulerKind::Final);
+        assert_eq!(c.capacity_bytes(), 32u64 << 30);
+    }
+
+    #[test]
+    fn small_config_round_trip() {
+        let mut c = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 3));
+        let data = vec![0x42u8; 256];
+        let w = c.write_bytes(Picos::ZERO, 64, &data);
+        let (_, back) = c.read_bytes(w.end + Picos::from_us(50), 64, 256);
+        assert_eq!(back, data);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn wear_leveling_preserves_functional_contents() {
+        let cfg = SubsystemConfig {
+            wear_leveling: Some(4),
+            ..SubsystemConfig::small(SchedulerKind::Final, 11)
+        };
+        let mut c = PramController::new(cfg);
+        // Enough writes to force many gap moves; reads must always see
+        // the latest data through the rotating remap.
+        let mut t = Picos::ZERO;
+        for round in 0..8u8 {
+            for w in 0..24u64 {
+                let data = vec![round.wrapping_add(w as u8).max(1); 32];
+                t = c.write_bytes(t, w * 32, &data).end + Picos::from_us(20);
+            }
+        }
+        assert!(c.stats().gap_moves > 0, "gap should have moved");
+        for w in 0..24u64 {
+            let (_, back) = c.read_bytes(t, w * 32, 32);
+            assert_eq!(back, vec![7u8.wrapping_add(w as u8).max(1); 32], "word {w}");
+        }
+    }
+
+    #[test]
+    fn wear_leveling_costs_throughput() {
+        let mut base = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 3));
+        let cfg = SubsystemConfig {
+            wear_leveling: Some(2), // aggressive interval for the test
+            ..SubsystemConfig::small(SchedulerKind::Final, 3)
+        };
+        let mut wl = PramController::new(cfg);
+        let mut tb = Picos::ZERO;
+        let mut tw = Picos::ZERO;
+        for i in 0..128u64 {
+            tb = base.write(tb, (i % 8) * 32, 32).end;
+            tw = wl.write(tw, (i % 8) * 32, 32).end;
+        }
+        // Ensure the background copies eventually drain: compare final
+        // partition busy via subsequent read completion.
+        let rb = base.read(tb + Picos::from_ms(1), 0, 32).end;
+        let rw = wl.read(tw + Picos::from_ms(1), 0, 32).end;
+        assert!(wl.stats().gap_moves >= 32);
+        // Relocation traffic shows up as longer aggregate occupancy.
+        assert!(rw >= rb - Picos::from_ms(1), "sanity");
+    }
+
+    #[test]
+    fn write_pausing_improves_read_latency_under_write_pressure() {
+        let run = |pausing: bool| {
+            let cfg = SubsystemConfig {
+                write_pausing: pausing,
+                ..SubsystemConfig::paper(SchedulerKind::Interleaving, 5)
+            };
+            let mut c = PramController::new(cfg);
+            // Kick off programs on every module, then read behind them.
+            for i in 0..32u64 {
+                c.write(Picos::ZERO, i * 32, 32);
+            }
+            let t0 = Picos::from_us(2);
+            let mut sum = Picos::ZERO;
+            for i in 0..32u64 {
+                let a = c.read(t0, i * 32, 32);
+                sum += a.latency_from(t0);
+            }
+            sum / 32
+        };
+        let queued = run(false);
+        let paused = run(true);
+        assert!(
+            paused < queued / 2,
+            "pausing should cut read latency under write pressure: {paused} vs {queued}"
+        );
+    }
+
+    #[test]
+    fn extensions_compose() {
+        let cfg = SubsystemConfig {
+            write_pausing: true,
+            wear_leveling: Some(16),
+            ..SubsystemConfig::small(SchedulerKind::Final, 21)
+        };
+        let mut c = PramController::new(cfg);
+        let data = vec![0x3Cu8; 512];
+        let w = c.write_bytes(Picos::ZERO, 1024, &data);
+        let (_, back) = c.read_bytes(w.end + Picos::from_ms(1), 1024, 512);
+        assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,238 @@
+//! The MCU-facing register interface of the FPGA controller (Fig. 14).
+//!
+//! §V-B: "Our FPGA-based PRAM controller supports simple read and write
+//! interfaces, which can be used by the server's MCU. They also provide
+//! read and write data interfaces, which are mapped to **two 256-bit
+//! datapath registers**. … The translator of our PRAM controller simply
+//! exposes a **32-bit address and a 32-bit mode register**."
+//!
+//! [`McuPort`] is that register file: the server's MCU programs the
+//! address and mode registers, fills (or drains) the 256-bit datapath
+//! registers, and strobes the request — the translator underneath turns
+//! it into three-phase transactions via [`PramController`].
+
+use crate::controller::PramController;
+use pram::cell::WORD_BYTES;
+use serde::{Deserialize, Serialize};
+use sim_core::mem::Access;
+use sim_core::time::Picos;
+
+/// Operation selector held in the mode register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[repr(u32)]
+pub enum Mode {
+    /// Read one 32 B word into the read datapath register.
+    #[default]
+    Read = 0,
+    /// Write the write datapath register's 32 B to memory.
+    Write = 1,
+}
+
+/// Errors raised by the register protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortError {
+    /// Strobed a write with no data latched in the datapath register.
+    WriteDataNotLatched,
+    /// The address register holds a word-misaligned address.
+    Misaligned,
+}
+
+impl std::fmt::Display for PortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortError::WriteDataNotLatched => write!(f, "write strobed before latching data"),
+            PortError::Misaligned => write!(f, "address register not 32-byte aligned"),
+        }
+    }
+}
+
+impl std::error::Error for PortError {}
+
+/// The Fig. 14 register file in front of one PRAM controller.
+///
+/// # Examples
+///
+/// ```
+/// use pram_ctrl::datapath::{McuPort, Mode};
+/// use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
+/// use sim_core::Picos;
+///
+/// let ctrl = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 1));
+/// let mut port = McuPort::new(ctrl);
+/// port.set_address(0x40);
+/// port.set_mode(Mode::Write);
+/// port.latch_write_data([7u8; 32]);
+/// let w = port.strobe(Picos::ZERO).unwrap();
+/// port.set_mode(Mode::Read);
+/// let r = port.strobe(w.end + Picos::from_ms(1)).unwrap();
+/// assert_eq!(port.read_data(), [7u8; 32]);
+/// assert!(r.end > w.end);
+/// ```
+#[derive(Debug)]
+pub struct McuPort {
+    ctrl: PramController,
+    /// The translator's 32-bit address register.
+    address: u32,
+    /// The translator's 32-bit mode register.
+    mode: Mode,
+    /// 256-bit read datapath register.
+    read_reg: [u8; WORD_BYTES],
+    /// 256-bit write datapath register, valid once latched.
+    write_reg: Option<[u8; WORD_BYTES]>,
+    strobes: u64,
+}
+
+impl McuPort {
+    /// Wraps a controller behind the register file.
+    pub fn new(ctrl: PramController) -> Self {
+        McuPort {
+            ctrl,
+            address: 0,
+            mode: Mode::Read,
+            read_reg: [0; WORD_BYTES],
+            write_reg: None,
+            strobes: 0,
+        }
+    }
+
+    /// Programs the address register.
+    pub fn set_address(&mut self, addr: u32) {
+        self.address = addr;
+    }
+
+    /// Current address-register value.
+    pub fn address(&self) -> u32 {
+        self.address
+    }
+
+    /// Programs the mode register.
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    /// Current mode-register value.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Latches 32 bytes into the write datapath register.
+    pub fn latch_write_data(&mut self, data: [u8; WORD_BYTES]) {
+        self.write_reg = Some(data);
+    }
+
+    /// Contents of the read datapath register (valid after a read
+    /// strobe).
+    pub fn read_data(&self) -> [u8; WORD_BYTES] {
+        self.read_reg
+    }
+
+    /// Requests strobed so far.
+    pub fn strobes(&self) -> u64 {
+        self.strobes
+    }
+
+    /// The wrapped controller.
+    pub fn controller(&self) -> &PramController {
+        &self.ctrl
+    }
+
+    /// Consumes the port, returning the controller.
+    pub fn into_controller(self) -> PramController {
+        self.ctrl
+    }
+
+    /// Strobes the staged request at time `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::Misaligned`] if the address register is not 32-byte
+    /// aligned; [`PortError::WriteDataNotLatched`] if a write is strobed
+    /// with an empty write datapath register.
+    pub fn strobe(&mut self, at: Picos) -> Result<Access, PortError> {
+        if !(self.address as u64).is_multiple_of(WORD_BYTES as u64) {
+            return Err(PortError::Misaligned);
+        }
+        self.strobes += 1;
+        match self.mode {
+            Mode::Read => {
+                let (a, data) = self
+                    .ctrl
+                    .read_bytes(at, self.address as u64, WORD_BYTES as u32);
+                self.read_reg.copy_from_slice(&data);
+                Ok(a)
+            }
+            Mode::Write => {
+                let data = self
+                    .write_reg
+                    .take()
+                    .ok_or(PortError::WriteDataNotLatched)?;
+                Ok(self.ctrl.write_bytes(at, self.address as u64, &data))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::SubsystemConfig;
+    use crate::sched::SchedulerKind;
+
+    fn port() -> McuPort {
+        McuPort::new(PramController::new(SubsystemConfig::small(
+            SchedulerKind::Final,
+            2,
+        )))
+    }
+
+    #[test]
+    fn register_write_read_round_trip() {
+        let mut p = port();
+        p.set_address(0x100);
+        p.set_mode(Mode::Write);
+        p.latch_write_data([0x5Au8; 32]);
+        let w = p.strobe(Picos::ZERO).expect("write strobes");
+        p.set_mode(Mode::Read);
+        p.strobe(w.end + Picos::from_ms(1)).expect("read strobes");
+        assert_eq!(p.read_data(), [0x5Au8; 32]);
+        assert_eq!(p.strobes(), 2);
+    }
+
+    #[test]
+    fn write_without_latched_data_is_an_error() {
+        let mut p = port();
+        p.set_address(0);
+        p.set_mode(Mode::Write);
+        assert_eq!(p.strobe(Picos::ZERO), Err(PortError::WriteDataNotLatched));
+    }
+
+    #[test]
+    fn write_register_is_consumed_by_the_strobe() {
+        let mut p = port();
+        p.set_address(0);
+        p.set_mode(Mode::Write);
+        p.latch_write_data([1; 32]);
+        p.strobe(Picos::ZERO).expect("first write");
+        // Second strobe without re-latching fails.
+        assert_eq!(
+            p.strobe(Picos::from_ms(1)),
+            Err(PortError::WriteDataNotLatched)
+        );
+    }
+
+    #[test]
+    fn misaligned_address_rejected() {
+        let mut p = port();
+        p.set_address(0x101);
+        assert_eq!(p.strobe(Picos::ZERO), Err(PortError::Misaligned));
+    }
+
+    #[test]
+    fn unwritten_words_read_zero() {
+        let mut p = port();
+        p.set_address(0x2000);
+        p.set_mode(Mode::Read);
+        p.strobe(Picos::ZERO).expect("read");
+        assert_eq!(p.read_data(), [0u8; 32]);
+    }
+}

@@ -1,0 +1,120 @@
+//! The 400 MHz PRAM physical layer and the boot-time initializer.
+//!
+//! §III-B: "since the current memory interface generator (MIG) does not
+//! support PRAM, we implement our own PRAM physical layer on a 28 nm
+//! Xilinx FPGA (19K logic cells) … Our PHY addresses the differences of
+//! operating frequency between PRAM and FPGA at 400 MHz."
+//!
+//! §V-B: "the initializer handles all PRAMs' boot-up process by enabling
+//! auto initialization, calibrating on-die impedance tasks and setting up
+//! the burst length and overlay window address."
+
+use pram::timing::PramTiming;
+use serde::{Deserialize, Serialize};
+use sim_core::time::Picos;
+
+/// PHY cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhyParams {
+    /// Clock-domain-crossing latency added to each word operation (the
+    /// FPGA fabric and the PRAM interface run from separate 400 MHz
+    /// domains with an asynchronous FIFO between them).
+    pub sync_latency: Picos,
+    /// Device auto-initialization wait at boot.
+    pub auto_init: Picos,
+    /// On-die impedance (ZQ) calibration time per module.
+    pub zq_calibration: Picos,
+    /// Mode-register set time per register (burst length, OWBA …).
+    pub mode_register_set: Picos,
+}
+
+impl Default for PhyParams {
+    fn default() -> Self {
+        PhyParams {
+            sync_latency: Picos::from_ns_f64(2.5), // one 400 MHz cycle
+            auto_init: Picos::from_us(100),
+            zq_calibration: Picos::from_us(1),
+            mode_register_set: Picos::from_ns(100),
+        }
+    }
+}
+
+/// What the initializer did at boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InitReport {
+    /// Modules initialized.
+    pub modules: usize,
+    /// When the whole subsystem became operational.
+    pub ready_at: Picos,
+}
+
+/// The PHY + initializer pair for one controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Phy {
+    params: PhyParams,
+}
+
+impl Phy {
+    /// Creates a PHY with the given parameters.
+    pub fn new(params: PhyParams) -> Self {
+        Phy { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &PhyParams {
+        &self.params
+    }
+
+    /// Runs the boot sequence for `modules` modules starting at `at`.
+    ///
+    /// Auto-initialization runs once for all modules in parallel; ZQ
+    /// calibration and the two mode-register sets (burst length, OWBA)
+    /// are issued per module over the shared command bus, so they
+    /// serialize.
+    pub fn boot(&self, at: Picos, modules: usize, timing: &PramTiming) -> InitReport {
+        let mut t = at + self.params.auto_init;
+        for _ in 0..modules {
+            t += self.params.zq_calibration;
+            // Burst-length MRS + OWBA MRS.
+            t += self.params.mode_register_set * 2;
+            // One command-bus slot per MRS packet.
+            t += timing.tck() * 3;
+        }
+        InitReport {
+            modules,
+            ready_at: t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_scales_with_module_count() {
+        let phy = Phy::new(PhyParams::default());
+        let t = PramTiming::table2();
+        let one = phy.boot(Picos::ZERO, 1, &t);
+        let sixteen = phy.boot(Picos::ZERO, 16, &t);
+        assert!(sixteen.ready_at > one.ready_at);
+        assert_eq!(sixteen.modules, 16);
+        // Auto-init dominates: the whole boot is ~100-120 us.
+        assert!(sixteen.ready_at > Picos::from_us(100));
+        assert!(sixteen.ready_at < Picos::from_us(200));
+    }
+
+    #[test]
+    fn boot_respects_start_time() {
+        let phy = Phy::default();
+        let t = PramTiming::table2();
+        let a = phy.boot(Picos::ZERO, 4, &t);
+        let b = phy.boot(Picos::from_ms(1), 4, &t);
+        assert_eq!(b.ready_at - a.ready_at, Picos::from_ms(1));
+    }
+
+    #[test]
+    fn default_sync_latency_is_one_cycle() {
+        assert_eq!(PhyParams::default().sync_latency, Picos::from_ns_f64(2.5));
+    }
+}

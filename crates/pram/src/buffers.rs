@@ -1,0 +1,261 @@
+//! Row address buffers (RAB) and row data buffers (RDB).
+//!
+//! Section II-A: each PRAM module exposes multiple identical row buffers
+//! through LPDDR2-NVM. A row buffer is the logical pair of a RAB (holding
+//! the upper row address + command of an in-flight request) and an RDB
+//! (holding the 256-bit contents of the sensed row). A buffer is selected
+//! by its *buffer address* (BA), a 2-bit id on the signal packet.
+//!
+//! The FPGA controller's phase-skipping (§III-B) keys off this state:
+//!
+//! * target upper row already in a RAB → skip the **pre-active** phase;
+//! * target row already sensed into an RDB → skip the **activate** phase.
+
+use crate::cell::WORD_BYTES;
+use crate::geometry::{RowId, UpperRow};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A buffer address: selects one RAB/RDB pair (2-bit BA signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BufferId {
+    /// Buffer 0.
+    B0,
+    /// Buffer 1.
+    B1,
+    /// Buffer 2.
+    B2,
+    /// Buffer 3.
+    B3,
+}
+
+impl BufferId {
+    /// All buffer ids in order.
+    pub const ALL: [BufferId; 4] = [BufferId::B0, BufferId::B1, BufferId::B2, BufferId::B3];
+
+    /// Numeric index.
+    pub fn index(self) -> usize {
+        match self {
+            BufferId::B0 => 0,
+            BufferId::B1 => 1,
+            BufferId::B2 => 2,
+            BufferId::B3 => 3,
+        }
+    }
+
+    /// From a numeric index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 3`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BA{}", self.index())
+    }
+}
+
+/// State of one RAB/RDB pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RowBuffer {
+    /// Upper row address latched by the last pre-active phase, if any.
+    pub rab: Option<UpperRow>,
+    /// Row currently sensed into the data buffer, with its contents.
+    pub rdb: Option<(RowId, [u8; WORD_BYTES])>,
+}
+
+/// The full row-buffer set of a module.
+///
+/// # Examples
+///
+/// ```
+/// use pram::buffers::{BufferId, RowBufferSet};
+/// use pram::geometry::RowId;
+///
+/// let mut bufs = RowBufferSet::new(4);
+/// let row = RowId::new(1, 70);
+/// bufs.latch_rab(BufferId::B2, row.upper(6));
+/// assert!(bufs.rab_holds(BufferId::B2, row.upper(6)));
+/// assert!(bufs.find_rdb(row).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowBufferSet {
+    buffers: Vec<RowBuffer>,
+}
+
+impl RowBufferSet {
+    /// Creates `n` empty buffers (Table II devices have 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or greater than 4 (the BA field is 2 bits).
+    pub fn new(n: usize) -> Self {
+        assert!((1..=4).contains(&n), "BA is a 2-bit field: 1..=4 buffers");
+        RowBufferSet {
+            buffers: vec![RowBuffer::default(); n],
+        }
+    }
+
+    /// Number of buffer pairs.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Whether the set is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Access one buffer pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ba` indexes beyond the construction size.
+    pub fn get(&self, ba: BufferId) -> &RowBuffer {
+        &self.buffers[ba.index()]
+    }
+
+    /// Latches an upper row address into a RAB (pre-active phase effect).
+    /// Invalidates the paired RDB: the buffer now refers to a new region.
+    pub fn latch_rab(&mut self, ba: BufferId, upper: UpperRow) {
+        let b = &mut self.buffers[ba.index()];
+        if b.rab != Some(upper) {
+            b.rdb = None;
+        }
+        b.rab = Some(upper);
+    }
+
+    /// Fills the RDB with sensed row contents (activate phase effect).
+    pub fn fill_rdb(&mut self, ba: BufferId, row: RowId, data: [u8; WORD_BYTES]) {
+        self.buffers[ba.index()].rdb = Some((row, data));
+    }
+
+    /// Does buffer `ba`'s RAB hold `upper`? (pre-active skip test)
+    pub fn rab_holds(&self, ba: BufferId, upper: UpperRow) -> bool {
+        self.buffers[ba.index()].rab == Some(upper)
+    }
+
+    /// Any buffer whose RAB holds `upper`.
+    pub fn find_rab(&self, upper: UpperRow) -> Option<BufferId> {
+        self.buffers
+            .iter()
+            .position(|b| b.rab == Some(upper))
+            .map(BufferId::from_index)
+    }
+
+    /// Any buffer whose RDB holds `row`'s data. (activate skip test)
+    pub fn find_rdb(&self, row: RowId) -> Option<BufferId> {
+        self.buffers
+            .iter()
+            .position(|b| matches!(b.rdb, Some((r, _)) if r == row))
+            .map(BufferId::from_index)
+    }
+
+    /// Reads the RDB contents of buffer `ba`, if sensed.
+    pub fn rdb_data(&self, ba: BufferId) -> Option<(RowId, [u8; WORD_BYTES])> {
+        self.buffers[ba.index()].rdb
+    }
+
+    /// Invalidates any RDB holding `row` (called after the array contents
+    /// change underneath, e.g. a program or erase).
+    pub fn invalidate_row(&mut self, row: RowId) {
+        for b in &mut self.buffers {
+            if matches!(b.rdb, Some((r, _)) if r == row) {
+                b.rdb = None;
+            }
+        }
+    }
+
+    /// Invalidates every buffer (used by partition erase).
+    pub fn invalidate_all(&mut self) {
+        for b in &mut self.buffers {
+            b.rab = None;
+            b.rdb = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_id_round_trip() {
+        for i in 0..4 {
+            assert_eq!(BufferId::from_index(i).index(), i);
+        }
+        assert_eq!(BufferId::B3.to_string(), "BA3");
+    }
+
+    #[test]
+    fn latch_and_find_rab() {
+        let mut s = RowBufferSet::new(4);
+        let u = RowId::new(0, 100).upper(6);
+        s.latch_rab(BufferId::B1, u);
+        assert!(s.rab_holds(BufferId::B1, u));
+        assert!(!s.rab_holds(BufferId::B0, u));
+        assert_eq!(s.find_rab(u), Some(BufferId::B1));
+    }
+
+    #[test]
+    fn fill_and_find_rdb() {
+        let mut s = RowBufferSet::new(4);
+        let row = RowId::new(2, 5);
+        s.latch_rab(BufferId::B0, row.upper(6));
+        s.fill_rdb(BufferId::B0, row, [0xEE; WORD_BYTES]);
+        assert_eq!(s.find_rdb(row), Some(BufferId::B0));
+        let (r, d) = s.rdb_data(BufferId::B0).unwrap();
+        assert_eq!(r, row);
+        assert_eq!(d, [0xEE; WORD_BYTES]);
+    }
+
+    #[test]
+    fn relatching_different_upper_invalidates_rdb() {
+        let mut s = RowBufferSet::new(4);
+        let row = RowId::new(2, 5);
+        s.latch_rab(BufferId::B0, row.upper(6));
+        s.fill_rdb(BufferId::B0, row, [1; WORD_BYTES]);
+        // New region into the same buffer: RDB must drop.
+        s.latch_rab(BufferId::B0, RowId::new(3, 500).upper(6));
+        assert!(s.rdb_data(BufferId::B0).is_none());
+        // Re-latching the same upper keeps the RDB.
+        let row2 = RowId::new(2, 6);
+        s.latch_rab(BufferId::B1, row2.upper(6));
+        s.fill_rdb(BufferId::B1, row2, [2; WORD_BYTES]);
+        s.latch_rab(BufferId::B1, row2.upper(6));
+        assert!(s.rdb_data(BufferId::B1).is_some());
+    }
+
+    #[test]
+    fn invalidate_row_targets_only_that_row() {
+        let mut s = RowBufferSet::new(4);
+        let a = RowId::new(0, 1);
+        let b = RowId::new(0, 2);
+        s.fill_rdb(BufferId::B0, a, [1; WORD_BYTES]);
+        s.fill_rdb(BufferId::B1, b, [2; WORD_BYTES]);
+        s.invalidate_row(a);
+        assert!(s.find_rdb(a).is_none());
+        assert!(s.find_rdb(b).is_some());
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let mut s = RowBufferSet::new(2);
+        let a = RowId::new(0, 1);
+        s.latch_rab(BufferId::B0, a.upper(6));
+        s.fill_rdb(BufferId::B0, a, [1; WORD_BYTES]);
+        s.invalidate_all();
+        assert!(s.find_rab(a.upper(6)).is_none());
+        assert!(s.find_rdb(a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "2-bit field")]
+    fn more_than_four_buffers_rejected() {
+        RowBufferSet::new(5);
+    }
+}

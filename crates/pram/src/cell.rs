@@ -1,0 +1,310 @@
+//! Functional cell-array state: what every word stores and whether its
+//! cells are pristine.
+//!
+//! Section II-A: a PRAM cell is SET (crystalline, logic "1", ~300 °C) or
+//! RESET (amorphous, logic "0", >600 °C). We do not simulate thermals;
+//! what matters architecturally is the *program cost asymmetry*:
+//!
+//! * programming a **pristine** (all-RESET) word only needs SET pulses
+//!   → `t_program_set` (10 µs);
+//! * **overwriting** a programmed word needs RESET *then* SET
+//!   → `t_program_set + t_reset_extra` (18 µs);
+//! * an **erase** RESETs a whole partition back to pristine in one 60 ms
+//!   blocking operation;
+//! * **selective erasing** (§V-A) programs an all-zero word, which mimics
+//!   a RESET of just that word: afterwards the word is pristine again and
+//!   the next overwrite is SET-only.
+//!
+//! The array is sparse: unwritten rows are pristine zeros.
+
+use crate::geometry::{PartitionId, PramGeometry, RowId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Size of one program unit (row word) in bytes.
+pub const WORD_BYTES: usize = 32;
+
+/// One stored word and its cell condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Word {
+    /// The 32 bytes held by the row.
+    #[serde(with = "serde_bytes_array")]
+    pub data: [u8; WORD_BYTES],
+    /// Whether all cells are in the pristine (RESET) state, meaning the
+    /// next program is SET-only.
+    pub pristine: bool,
+    /// Lifetime program count of this row (endurance accounting, §VII).
+    pub programs: u32,
+}
+
+mod serde_bytes_array {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[u8; 32], s: S) -> Result<S::Ok, S::Error> {
+        v.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 32], D::Error> {
+        let v: Vec<u8> = Vec::deserialize(d)?;
+        v.try_into()
+            .map_err(|_| serde::de::Error::custom("expected 32 bytes"))
+    }
+}
+
+impl Default for Word {
+    fn default() -> Self {
+        Word {
+            data: [0; WORD_BYTES],
+            pristine: true,
+            programs: 0,
+        }
+    }
+}
+
+/// The kind of cell operation a program performed, which decides latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProgramKind {
+    /// Target word was pristine: SET pulses only.
+    SetOnly,
+    /// Target word held data: RESET then SET.
+    Overwrite,
+    /// All-zero data to a programmed word: behaves as a word-granular
+    /// RESET (this is the *selective erasing* primitive).
+    SelectiveErase,
+    /// All-zero data to an already-pristine word: nothing to do.
+    NoopErase,
+}
+
+/// The sparse cell array of one PRAM module.
+///
+/// # Examples
+///
+/// ```
+/// use pram::cell::{CellArray, ProgramKind, WORD_BYTES};
+/// use pram::geometry::{PramGeometry, RowId};
+///
+/// let mut cells = CellArray::new(PramGeometry::paper());
+/// let row = RowId::new(0, 42);
+/// let kind = cells.program(row, &[0xAB; WORD_BYTES]);
+/// assert_eq!(kind, ProgramKind::SetOnly);
+/// assert_eq!(cells.read(row)[0], 0xAB);
+/// // A second write to the same word is an overwrite (RESET + SET).
+/// assert_eq!(cells.program(row, &[0xCD; WORD_BYTES]), ProgramKind::Overwrite);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellArray {
+    geometry: PramGeometry,
+    rows: HashMap<RowId, Word>,
+    programs: u64,
+    overwrites: u64,
+    selective_erases: u64,
+    erases: u64,
+}
+
+impl CellArray {
+    /// Creates an all-pristine array.
+    pub fn new(geometry: PramGeometry) -> Self {
+        CellArray {
+            geometry,
+            rows: HashMap::new(),
+            programs: 0,
+            overwrites: 0,
+            selective_erases: 0,
+            erases: 0,
+        }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &PramGeometry {
+        &self.geometry
+    }
+
+    /// Reads a full word (pristine rows read as zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is outside the geometry.
+    pub fn read(&self, row: RowId) -> [u8; WORD_BYTES] {
+        self.check_row(row);
+        self.rows
+            .get(&row)
+            .map(|w| w.data)
+            .unwrap_or([0; WORD_BYTES])
+    }
+
+    /// Whether a word is pristine (next program is SET-only).
+    pub fn is_pristine(&self, row: RowId) -> bool {
+        self.rows.get(&row).map(|w| w.pristine).unwrap_or(true)
+    }
+
+    /// Programs a word, returning which cell operation was required.
+    ///
+    /// Programming all zeros into a non-pristine word *is* the selective
+    /// erasing primitive: it RESETs the cells and restores pristineness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is outside the geometry.
+    pub fn program(&mut self, row: RowId, data: &[u8; WORD_BYTES]) -> ProgramKind {
+        self.check_row(row);
+        let all_zero = data.iter().all(|&b| b == 0);
+        let entry = self.rows.entry(row).or_default();
+        let was_pristine = entry.pristine;
+        entry.programs += 1;
+        self.programs += 1;
+        if all_zero {
+            if was_pristine {
+                ProgramKind::NoopErase
+            } else {
+                entry.data = [0; WORD_BYTES];
+                entry.pristine = true;
+                self.selective_erases += 1;
+                ProgramKind::SelectiveErase
+            }
+        } else {
+            entry.data = *data;
+            entry.pristine = false;
+            if was_pristine {
+                ProgramKind::SetOnly
+            } else {
+                self.overwrites += 1;
+                ProgramKind::Overwrite
+            }
+        }
+    }
+
+    /// Erases a whole partition back to pristine zeros.
+    pub fn erase_partition(&mut self, partition: PartitionId) {
+        self.rows.retain(|row, _| row.partition != partition);
+        self.erases += 1;
+    }
+
+    /// Number of rows currently holding programmed (non-pristine) data.
+    pub fn programmed_rows(&self) -> usize {
+        self.rows.values().filter(|w| !w.pristine).count()
+    }
+
+    /// Endurance summary: `(max_programs_on_any_row, rows_ever_touched)`.
+    /// The §VII lifetime discussion turns on keeping the max low — wear
+    /// leveling trades total work for spread.
+    pub fn endurance(&self) -> (u32, usize) {
+        (
+            self.rows.values().map(|w| w.programs).max().unwrap_or(0),
+            self.rows.len(),
+        )
+    }
+
+    /// Lifetime operation counts: `(programs, overwrites, selective_erases,
+    /// partition_erases)`.
+    pub fn op_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.programs,
+            self.overwrites,
+            self.selective_erases,
+            self.erases,
+        )
+    }
+
+    fn check_row(&self, row: RowId) {
+        assert!(
+            row.partition.0 < self.geometry.partitions
+                && row.array_row < self.geometry.rows_per_partition(),
+            "row {row} outside geometry"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr() -> CellArray {
+        CellArray::new(PramGeometry::paper())
+    }
+
+    #[test]
+    fn unwritten_rows_read_pristine_zeros() {
+        let cells = arr();
+        let row = RowId::new(9, 1000);
+        assert_eq!(cells.read(row), [0; WORD_BYTES]);
+        assert!(cells.is_pristine(row));
+    }
+
+    #[test]
+    fn program_then_read_back() {
+        let mut cells = arr();
+        let row = RowId::new(2, 7);
+        let mut data = [0u8; WORD_BYTES];
+        data[0] = 1;
+        data[31] = 255;
+        assert_eq!(cells.program(row, &data), ProgramKind::SetOnly);
+        assert_eq!(cells.read(row), data);
+        assert!(!cells.is_pristine(row));
+    }
+
+    #[test]
+    fn overwrite_requires_reset_and_set() {
+        let mut cells = arr();
+        let row = RowId::new(0, 0);
+        cells.program(row, &[1; WORD_BYTES]);
+        assert_eq!(cells.program(row, &[2; WORD_BYTES]), ProgramKind::Overwrite);
+        assert_eq!(cells.read(row), [2; WORD_BYTES]);
+    }
+
+    #[test]
+    fn selective_erase_restores_pristine() {
+        let mut cells = arr();
+        let row = RowId::new(5, 123);
+        cells.program(row, &[9; WORD_BYTES]);
+        // Selective erase: program all zeros.
+        assert_eq!(
+            cells.program(row, &[0; WORD_BYTES]),
+            ProgramKind::SelectiveErase
+        );
+        assert!(cells.is_pristine(row));
+        assert_eq!(cells.read(row), [0; WORD_BYTES]);
+        // Next program is SET-only again — the §V-A fast path.
+        assert_eq!(cells.program(row, &[7; WORD_BYTES]), ProgramKind::SetOnly);
+    }
+
+    #[test]
+    fn zero_program_on_pristine_is_noop() {
+        let mut cells = arr();
+        let row = RowId::new(1, 1);
+        assert_eq!(cells.program(row, &[0; WORD_BYTES]), ProgramKind::NoopErase);
+        assert!(cells.is_pristine(row));
+    }
+
+    #[test]
+    fn partition_erase_clears_only_that_partition() {
+        let mut cells = arr();
+        let in_part = RowId::new(3, 10);
+        let other = RowId::new(4, 10);
+        cells.program(in_part, &[1; WORD_BYTES]);
+        cells.program(other, &[2; WORD_BYTES]);
+        cells.erase_partition(PartitionId(3));
+        assert!(cells.is_pristine(in_part));
+        assert_eq!(cells.read(in_part), [0; WORD_BYTES]);
+        assert_eq!(cells.read(other), [2; WORD_BYTES]);
+        assert_eq!(cells.programmed_rows(), 1);
+    }
+
+    #[test]
+    fn op_counts_track_history() {
+        let mut cells = arr();
+        let row = RowId::new(0, 0);
+        cells.program(row, &[1; WORD_BYTES]); // set-only
+        cells.program(row, &[2; WORD_BYTES]); // overwrite
+        cells.program(row, &[0; WORD_BYTES]); // selective erase
+        cells.erase_partition(PartitionId(0));
+        let (p, o, s, e) = cells.op_counts();
+        assert_eq!((p, o, s, e), (3, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside geometry")]
+    fn out_of_range_row_rejected() {
+        let mut cells = arr();
+        cells.program(RowId::new(16, 0), &[1; WORD_BYTES]);
+    }
+}

@@ -1,0 +1,229 @@
+//! The LPDDR2-NVM three-phase addressing command set and its 20-bit DDR
+//! signal-packet encoding.
+//!
+//! Section II-B / §V-B: the command generator disassembles a target
+//! address into an upper row address, a lower row address, a row-buffer
+//! address and a column address, then delivers them to the PRAM through
+//! 20-bit DDR signal packets. A packet carries the operation type
+//! (2–4 bits), the row buffer address (2 bits) and a 7–15-bit address
+//! fragment of either the overlay window or the target partition.
+
+use crate::buffers::BufferId;
+use crate::geometry::{LowerRow, UpperRow};
+use crate::timing::BurstLen;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A three-phase addressing command as issued by the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Pre-active phase: select RAB `ba` and latch the upper row address.
+    PreActive {
+        /// Target row buffer.
+        ba: BufferId,
+        /// Upper row address to latch.
+        upper: UpperRow,
+    },
+    /// Activate phase: compose the full row address from RAB `ba` plus the
+    /// lower row address and sense the row into the paired RDB.
+    Activate {
+        /// Row buffer whose RAB supplies the upper address.
+        ba: BufferId,
+        /// Lower row address delivered directly.
+        lower: LowerRow,
+    },
+    /// Read phase: burst data out of RDB `ba` starting at `col`.
+    Read {
+        /// Source row buffer.
+        ba: BufferId,
+        /// Column (byte offset within the 32 B row word).
+        col: u8,
+        /// Burst length.
+        bl: BurstLen,
+    },
+    /// Write phase: burst data towards the device (a register write in the
+    /// overlay window, or a program-buffer fill).
+    Write {
+        /// Target row buffer (carries the BA field of the packet).
+        ba: BufferId,
+        /// Column / register offset low bits.
+        col: u8,
+        /// Burst length.
+        bl: BurstLen,
+    },
+}
+
+impl Command {
+    /// Operation-type code on the signal packet (2–4 bits).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Command::PreActive { .. } => 0b01,
+            Command::Activate { .. } => 0b10,
+            Command::Read { .. } => 0b0011,
+            Command::Write { .. } => 0b0111,
+        }
+    }
+
+    /// Encodes this command as one 20-bit DDR signal packet.
+    pub fn encode(&self) -> SignalPacket {
+        let (op, ba, addr) = match *self {
+            Command::PreActive { ba, upper } => (self.opcode(), ba.index() as u8, upper.0 & 0x7FFF),
+            Command::Activate { ba, lower } => (self.opcode(), ba.index() as u8, lower.0 & 0x7FFF),
+            Command::Read { ba, col, bl } => (
+                self.opcode(),
+                ba.index() as u8,
+                ((bl.cycles() as u32) << 7) | col as u32,
+            ),
+            Command::Write { ba, col, bl } => (
+                self.opcode(),
+                ba.index() as u8,
+                ((bl.cycles() as u32) << 7) | col as u32,
+            ),
+        };
+        SignalPacket::new(op, ba, addr)
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::PreActive { ba, upper } => write!(f, "PRE-ACTIVE {ba} upper={:#x}", upper.0),
+            Command::Activate { ba, lower } => write!(f, "ACTIVATE {ba} lower={:#x}", lower.0),
+            Command::Read { ba, col, bl } => write!(f, "READ {ba} col={col} {bl:?}"),
+            Command::Write { ba, col, bl } => write!(f, "WRITE {ba} col={col} {bl:?}"),
+        }
+    }
+}
+
+/// A 20-bit DDR signal packet: `[op:4][ba:2][addr:15]` packed little-end
+/// into a `u32` (only the low 21 bits are meaningful; the op field uses
+/// 2–4 bits as in §V-B, we reserve 4).
+///
+/// # Examples
+///
+/// ```
+/// use pram::protocol::{Command, SignalPacket};
+/// use pram::buffers::BufferId;
+/// use pram::geometry::RowId;
+///
+/// let cmd = Command::PreActive { ba: BufferId::B2, upper: RowId::new(1, 99).upper(6) };
+/// let pkt = cmd.encode();
+/// assert_eq!(pkt.ba(), 2);
+/// assert_eq!(pkt.op(), cmd.opcode());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SignalPacket(u32);
+
+impl SignalPacket {
+    /// Packs the three fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its width (`op` 4 bits, `ba` 2 bits,
+    /// `addr` 15 bits).
+    pub fn new(op: u8, ba: u8, addr: u32) -> Self {
+        assert!(op < 16, "op field is 4 bits");
+        assert!(ba < 4, "ba field is 2 bits");
+        assert!(addr < (1 << 15), "addr field is 15 bits");
+        SignalPacket(((op as u32) << 17) | ((ba as u32) << 15) | addr)
+    }
+
+    /// Operation-type field.
+    pub fn op(self) -> u8 {
+        (self.0 >> 17) as u8
+    }
+
+    /// Row-buffer address field.
+    pub fn ba(self) -> u8 {
+        ((self.0 >> 15) & 0b11) as u8
+    }
+
+    /// Address fragment field.
+    pub fn addr(self) -> u32 {
+        self.0 & 0x7FFF
+    }
+
+    /// Raw packed bits.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::RowId;
+
+    #[test]
+    fn packet_fields_round_trip() {
+        let p = SignalPacket::new(0b0111, 3, 0x5A5A);
+        assert_eq!(p.op(), 0b0111);
+        assert_eq!(p.ba(), 3);
+        assert_eq!(p.addr(), 0x5A5A);
+    }
+
+    #[test]
+    fn packet_fits_in_21_bits() {
+        let p = SignalPacket::new(0b1111, 3, 0x7FFF);
+        assert!(p.bits() < (1 << 21));
+    }
+
+    #[test]
+    #[should_panic(expected = "addr field is 15 bits")]
+    fn oversized_addr_rejected() {
+        SignalPacket::new(0, 0, 1 << 15);
+    }
+
+    #[test]
+    fn opcodes_are_distinct() {
+        let row = RowId::new(0, 0);
+        let cmds = [
+            Command::PreActive {
+                ba: BufferId::B0,
+                upper: row.upper(6),
+            },
+            Command::Activate {
+                ba: BufferId::B0,
+                lower: row.lower(6),
+            },
+            Command::Read {
+                ba: BufferId::B0,
+                col: 0,
+                bl: BurstLen::Bl16,
+            },
+            Command::Write {
+                ba: BufferId::B0,
+                col: 0,
+                bl: BurstLen::Bl16,
+            },
+        ];
+        for i in 0..cmds.len() {
+            for j in i + 1..cmds.len() {
+                assert_ne!(cmds[i].opcode(), cmds[j].opcode());
+            }
+        }
+    }
+
+    #[test]
+    fn encode_carries_ba() {
+        for ba in BufferId::ALL {
+            let cmd = Command::Read {
+                ba,
+                col: 5,
+                bl: BurstLen::Bl8,
+            };
+            assert_eq!(cmd.encode().ba() as usize, ba.index());
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let cmd = Command::Activate {
+            ba: BufferId::B1,
+            lower: RowId::new(0, 9).lower(6),
+        };
+        assert!(cmd.to_string().contains("ACTIVATE"));
+        assert!(cmd.to_string().contains("BA1"));
+    }
+}

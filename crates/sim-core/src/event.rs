@@ -1,0 +1,211 @@
+//! A minimal discrete-event queue.
+//!
+//! Event-driven embedders advance simulated time by repeatedly popping
+//! the earliest pending [`Event`]. Events carry an opaque payload type
+//! `T` chosen by the embedding simulator; ties at the same timestamp are
+//! broken by insertion order so simulation stays deterministic.
+
+use crate::time::Picos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled occurrence: a payload due at a simulated instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<T> {
+    /// When the event fires.
+    pub at: Picos,
+    /// Monotonic sequence number; breaks timestamp ties deterministically.
+    pub seq: u64,
+    /// The embedder-defined payload.
+    pub payload: T,
+}
+
+/// Internal heap entry ordered as a *min*-heap on `(at, seq)`.
+struct HeapEntry<T>(Event<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap (a max-heap) pops the earliest event first.
+        other
+            .0
+            .at
+            .cmp(&self.0.at)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// A deterministic discrete-event priority queue.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::event::EventQueue;
+/// use sim_core::time::Picos;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Picos::from_ns(30), "late");
+/// q.push(Picos::from_ns(10), "early");
+/// q.push(Picos::from_ns(10), "early-second");
+///
+/// let e = q.pop().unwrap();
+/// assert_eq!((e.at, e.payload), (Picos::from_ns(10), "early"));
+/// let e = q.pop().unwrap();
+/// assert_eq!(e.payload, "early-second"); // FIFO within a timestamp
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+    now: Picos,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for HeapEntry<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapEntry")
+            .field("at", &self.0.at)
+            .field("seq", &self.0.seq)
+            .finish()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Picos::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event
+    /// (or zero before any pop).
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulated time — the
+    /// causality violation would silently corrupt results otherwise.
+    pub fn push(&mut self, at: Picos, payload: T) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { at, seq, payload }));
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn push_after(&mut self, delay: Picos, payload: T) {
+        self.push(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let e = self.heap.pop()?.0;
+        self.now = e.at;
+        Some(e)
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Picos> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Picos::from_ns(5), 5u32);
+        q.push(Picos::from_ns(1), 1);
+        q.push(Picos::from_ns(3), 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_broken_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(Picos::from_ns(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(Picos::from_ns(10), ());
+        assert_eq!(q.now(), Picos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Picos::from_ns(10));
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(Picos::from_ns(10), "a");
+        q.pop();
+        q.push_after(Picos::from_ns(5), "b");
+        assert_eq!(q.pop().unwrap().at, Picos::from_ns(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Picos::from_ns(10), ());
+        q.pop();
+        q.push(Picos::from_ns(5), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Picos::from_ns(1), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Picos::from_ns(1)));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # sim-core
+//!
+//! Discrete-event simulation substrate shared by every crate in the
+//! DRAM-less reproduction.
+//!
+//! The crate provides four building blocks:
+//!
+//! * [`time`] — a picosecond-resolution simulated clock ([`Picos`]) with
+//!   exact representations of the paper's LPDDR2-NVM timing parameters
+//!   (e.g. `tCK = 2.5 ns = 2500 ps`).
+//! * [`event`] — a classic discrete-event queue ([`EventQueue`]) for
+//!   event-driven embedders (the accelerator's engine uses an
+//!   equivalent earliest-agent scan over a fixed agent set).
+//! * [`timeline`] — resource-occupancy timelines ([`Timeline`]) used by the
+//!   memory/storage subsystems to compute contention and overlap without a
+//!   full event queue.
+//! * [`stats`] / [`energy`] — counters, time-series and per-component
+//!   energy accounting used to regenerate the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::time::Picos;
+//!
+//! let tck = Picos::from_ns_f64(2.5);
+//! assert_eq!(tck.as_ps(), 2_500);
+//! // A read preamble of RL = 6 cycles:
+//! assert_eq!((tck * 6).as_ns_f64(), 15.0);
+//! ```
+
+pub mod energy;
+pub mod event;
+pub mod mem;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timeline;
+
+pub use energy::{EnergyAccount, EnergyBook, Joules, Watts};
+pub use event::{Event, EventQueue};
+pub use mem::{Access, MemoryBackend};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, TimeSeries};
+pub use time::Picos;
+pub use timeline::Timeline;

@@ -1,0 +1,91 @@
+//! The memory-backend abstraction every data store implements.
+//!
+//! The accelerator's memory controller unit (MCU) routes L2 misses to
+//! whatever backs the configuration under test: the hardware-automated
+//! PRAM controller, its firmware-managed variant, an internal DRAM buffer
+//! in front of flash, a NOR-interface PRAM, or a host-side storage stack.
+//! [`MemoryBackend`] is that seam.
+//!
+//! Backends are *timing* models: an access returns when it started and
+//! when its data became available. Functional data movement (actual
+//! bytes) is exposed separately by backends that support it, because the
+//! processing-element performance model only consumes timing.
+
+use crate::energy::EnergyBook;
+use crate::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// The completed timing of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// When the backend began servicing the access (after queueing).
+    pub start: Picos,
+    /// When the last byte was delivered / durably accepted.
+    pub end: Picos,
+}
+
+impl Access {
+    /// An access that completes instantly at `at` (e.g. a buffer hit with
+    /// negligible latency at the modeled granularity).
+    pub fn instant(at: Picos) -> Self {
+        Access { start: at, end: at }
+    }
+
+    /// Service latency (queueing excluded).
+    pub fn service(&self) -> Picos {
+        self.end - self.start
+    }
+
+    /// Latency relative to issue time `at` (queueing included).
+    pub fn latency_from(&self, at: Picos) -> Picos {
+        self.end.saturating_sub(at)
+    }
+}
+
+/// A device (or device stack) that services byte-addressed reads/writes
+/// with simulated timing.
+///
+/// Lengths are in bytes; addresses are within the backend's own space.
+/// Implementations must be deterministic for a fixed construction seed.
+pub trait MemoryBackend {
+    /// Services a read of `len` bytes at `addr`, issued at `at`.
+    fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access;
+
+    /// Services a write of `len` bytes at `addr`, issued at `at`.
+    fn write(&mut self, at: Picos, addr: u64, len: u32) -> Access;
+
+    /// Advance notice that `addrs` will be overwritten soon — the
+    /// *selective erasing* hint (§V-A). Backends without the optimization
+    /// ignore it.
+    fn announce_overwrites(&mut self, _at: Picos, _addrs: &[u64]) {}
+
+    /// Snapshot of the energy this backend has charged so far.
+    fn energy(&self) -> EnergyBook;
+
+    /// A short human-readable backend name for reports.
+    fn label(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_latencies() {
+        let a = Access {
+            start: Picos::from_ns(10),
+            end: Picos::from_ns(50),
+        };
+        assert_eq!(a.service(), Picos::from_ns(40));
+        assert_eq!(a.latency_from(Picos::from_ns(5)), Picos::from_ns(45));
+        // Completion before issue clamps to zero rather than underflowing.
+        assert_eq!(a.latency_from(Picos::from_ns(60)), Picos::ZERO);
+    }
+
+    #[test]
+    fn instant_access() {
+        let a = Access::instant(Picos::from_us(3));
+        assert_eq!(a.service(), Picos::ZERO);
+        assert_eq!(a.start, a.end);
+    }
+}

@@ -1,0 +1,374 @@
+//! Measurement primitives: counters, histograms and time-series.
+//!
+//! These feed the figure-regeneration benches: e.g. [`TimeSeries`] with a
+//! fixed bucket width produces the IPC-over-time curves of Figs. 18–19 and
+//! the power curves of Figs. 20–21.
+
+use crate::time::Picos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A monotonically increasing named counter.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::stats::Counter;
+///
+/// let mut c = Counter::new("l2_misses");
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// A fixed-bucket latency histogram over [`Picos`] samples.
+///
+/// Buckets are exponential (powers of two of nanoseconds) which spans the
+/// nine decades between a 100 ns PRAM read and a 60 ms erase without
+/// configuration.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{stats::Histogram, Picos};
+///
+/// let mut h = Histogram::new();
+/// h.record(Picos::from_ns(100));
+/// h.record(Picos::from_us(10));
+/// assert_eq!(h.count(), 2);
+/// assert!(h.mean() > Picos::from_us(5));
+/// assert_eq!(h.max(), Picos::from_us(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// bucket i counts samples with floor(log2(ns)) == i (ns < 1 goes to 0).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: Picos,
+    min: Picos,
+    max: Picos,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Number of exponential buckets: 2^39 ns ≈ 9 minutes, ample headroom.
+    const BUCKETS: usize = 40;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            sum: Picos::ZERO,
+            min: Picos::MAX,
+            max: Picos::ZERO,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Picos) {
+        let ns = sample.as_ps() / 1_000;
+        let idx = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(Self::BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Picos {
+        self.sum
+    }
+
+    /// Arithmetic mean (zero when empty).
+    pub fn mean(&self) -> Picos {
+        if self.count == 0 {
+            Picos::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest sample (zero when empty).
+    pub fn min(&self) -> Picos {
+        if self.count == 0 {
+            Picos::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Picos {
+        self.max
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `0.0..=1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Picos {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return Picos::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Picos::from_ns(1u64 << (i + 1));
+            }
+        }
+        self.max
+    }
+}
+
+/// A time-bucketed series of accumulating samples — the backbone of the
+/// paper's IPC and power time-series figures.
+///
+/// Values added within the same `bucket` (of fixed width) accumulate; the
+/// series exposes per-bucket sums and averages.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{stats::TimeSeries, Picos};
+///
+/// // One bucket per microsecond.
+/// let mut ipc = TimeSeries::new(Picos::from_us(1));
+/// ipc.add(Picos::from_ns(100), 2.0);
+/// ipc.add(Picos::from_ns(900), 2.0);
+/// ipc.add(Picos::from_us(1) + Picos::from_ns(1), 1.0);
+/// assert_eq!(ipc.buckets().len(), 2);
+/// assert_eq!(ipc.buckets()[0].1, 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bucket_width: Picos,
+    /// Sparse map from bucket index to accumulated value, kept sorted.
+    data: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: Picos) -> Self {
+        assert!(!bucket_width.is_zero(), "bucket width must be non-zero");
+        TimeSeries {
+            bucket_width,
+            data: Vec::new(),
+        }
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> Picos {
+        self.bucket_width
+    }
+
+    /// Accumulates `value` into the bucket containing instant `at`.
+    pub fn add(&mut self, at: Picos, value: f64) {
+        let idx = at.as_ps() / self.bucket_width.as_ps();
+        match self.data.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.data[pos].1 += value,
+            Err(pos) => self.data.insert(pos, (idx, value)),
+        }
+    }
+
+    /// The non-empty buckets as `(bucket_start_time, accumulated_value)`,
+    /// in time order.
+    pub fn buckets(&self) -> Vec<(Picos, f64)> {
+        self.data
+            .iter()
+            .map(|&(i, v)| (self.bucket_width * i, v))
+            .collect()
+    }
+
+    /// A dense rendering over `[0, horizon)` with zeros for empty buckets —
+    /// what the figure benches print.
+    pub fn dense(&self, horizon: Picos) -> Vec<f64> {
+        let n = horizon.as_ps().div_ceil(self.bucket_width.as_ps()) as usize;
+        let mut out = vec![0.0; n];
+        for &(i, v) in &self.data {
+            if (i as usize) < n {
+                out[i as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> f64 {
+        self.data.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Highest non-empty bucket end time (zero when empty).
+    pub fn horizon(&self) -> Picos {
+        self.data
+            .last()
+            .map(|&(i, _)| self.bucket_width * (i + 1))
+            .unwrap_or(Picos::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(10);
+        assert_eq!(c.value(), 11);
+        assert_eq!(c.to_string(), "x=11");
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for ns in [100u64, 200, 300, 400] {
+            h.record(Picos::from_ns(ns));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Picos::from_ns(250));
+        assert_eq!(h.min(), Picos::from_ns(100));
+        assert_eq!(h.max(), Picos::from_ns(400));
+        assert_eq!(h.sum(), Picos::from_ns(1000));
+    }
+
+    #[test]
+    fn histogram_empty_is_well_behaved() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), Picos::ZERO);
+        assert_eq!(h.min(), Picos::ZERO);
+        assert_eq!(h.max(), Picos::ZERO);
+        assert_eq!(h.quantile(0.5), Picos::ZERO);
+    }
+
+    #[test]
+    fn histogram_spans_erase_latency() {
+        let mut h = Histogram::new();
+        h.record(Picos::from_ms(60)); // PRAM erase
+        h.record(Picos::from_ns(100)); // PRAM read
+        assert_eq!(h.max(), Picos::from_ms(60));
+        assert!(h.quantile(1.0) >= Picos::from_ms(60));
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Picos::from_ns(i));
+        }
+        let q10 = h.quantile(0.1);
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q10 <= q50 && q50 <= q99);
+    }
+
+    #[test]
+    fn timeseries_buckets_accumulate() {
+        let mut ts = TimeSeries::new(Picos::from_ns(10));
+        ts.add(Picos::from_ns(1), 1.0);
+        ts.add(Picos::from_ns(9), 1.0);
+        ts.add(Picos::from_ns(10), 5.0);
+        ts.add(Picos::from_ns(35), 7.0);
+        let b = ts.buckets();
+        assert_eq!(
+            b,
+            vec![
+                (Picos::from_ns(0), 2.0),
+                (Picos::from_ns(10), 5.0),
+                (Picos::from_ns(30), 7.0)
+            ]
+        );
+        assert_eq!(ts.total(), 14.0);
+        assert_eq!(ts.horizon(), Picos::from_ns(40));
+    }
+
+    #[test]
+    fn timeseries_dense_fills_gaps() {
+        let mut ts = TimeSeries::new(Picos::from_ns(10));
+        ts.add(Picos::from_ns(25), 3.0);
+        let d = ts.dense(Picos::from_ns(50));
+        assert_eq!(d, vec![0.0, 0.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn timeseries_out_of_order_adds() {
+        let mut ts = TimeSeries::new(Picos::from_ns(10));
+        ts.add(Picos::from_ns(95), 1.0);
+        ts.add(Picos::from_ns(5), 1.0);
+        ts.add(Picos::from_ns(45), 1.0);
+        let b = ts.buckets();
+        assert_eq!(b.len(), 3);
+        assert!(b.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be non-zero")]
+    fn zero_bucket_width_rejected() {
+        let _ = TimeSeries::new(Picos::ZERO);
+    }
+}

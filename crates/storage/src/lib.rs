@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # storage
+//!
+//! Device-level storage models sitting between the raw media crates
+//! ([`flash`], [`pram`]) and the system compositions:
+//!
+//! * [`dram`] — the internal DRAM buffer used by conventional
+//!   accelerators and SSDs (Table I's "Internal DRAM" row);
+//! * [`cache`] — a page-granular LRU buffer cache that fronts any
+//!   [`PageStore`]; combining it with a flash device yields the
+//!   *Integrated-SLC/MLC/TLC* storage stack, combining it with a PRAM
+//!   page adapter yields *PAGE-buffer*;
+//! * [`ssd`] — a flash SSD (flash device + DRAM buffer + command
+//!   overhead), the external storage of *Hetero*/*Heterodirect*;
+//! * [`optane`] — a PRAM-based SSD à la Intel Optane, the external
+//!   storage of *Hetero-PRAM*/*Heterodirect-PRAM*, which serializes
+//!   block requests into byte-granular PRAM operations;
+//! * [`norintf`] — the 9x-nm parallel PRAM with a serial NOR-flash
+//!   interface ("NOR-intf"): byte-addressable but 16-bit serialized.
+
+pub mod cache;
+pub mod dram;
+pub mod norintf;
+pub mod optane;
+pub mod ssd;
+
+pub use cache::{CachedStore, PageStore};
+pub use dram::DramModel;
+pub use norintf::NorPram;
+pub use optane::PramSsd;
+pub use ssd::FlashSsd;

@@ -1,0 +1,191 @@
+//! Medley kernels: floyd (all-pairs shortest paths) and regd (a
+//! regularity-detection-style accumulation over triangular tables).
+
+use super::{alu, mac, KernelRun};
+use crate::recorder::{chunk, Arr2, Layout, Recorder};
+
+/// Floyd–Warshall all-pairs shortest paths (`floyd`): for each pivot `k`,
+/// `path[i][j] = min(path[i][j], path[i][k] + path[k][j])` — an in-place
+/// O(n³) relaxation that rewrites the whole matrix around every pivot,
+/// making it one of the paper's overwrite-heavy kernels.
+pub fn floyd(n: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    let mut layout = Layout::new();
+    // A deterministic sparse-ish weighted graph.
+    let mut path = Arr2::init(&mut layout, n, n, |i, j| {
+        if i == j {
+            0.0
+        } else if (i * 7 + j * 11) % 4 == 0 {
+            ((i * 13 + j * 17) % 19) as f64 + 1.0
+        } else {
+            1.0e6 // effectively unconnected
+        }
+    });
+    let input_bytes = path.bytes();
+    for k in 0..n {
+        for ag in 0..agents {
+            for i in chunk(n, agents, ag) {
+                let ik = path.get(rec, ag, i, k);
+                for j in 0..n {
+                    let via = ik + path.get(rec, ag, k, j);
+                    alu(rec, ag, 2);
+                    // Unconditional min-store, as in the reference loop —
+                    // every (i, j) is rewritten around every pivot, which
+                    // is what makes floyd overwrite-heavy.
+                    let cur = path.get(rec, ag, i, j);
+                    path.set(rec, ag, i, j, if via < cur { via } else { cur });
+                }
+            }
+        }
+    }
+    KernelRun {
+        checksum: KernelRun::digest(path.values()),
+        footprint: layout.used(),
+        bytes_in: input_bytes,
+        bytes_out: path.bytes(),
+        final_values: path.values().to_vec(),
+    }
+}
+
+/// A regularity-detection-style medley kernel (`regd`).
+///
+/// Repeated passes accumulate pairwise differences over the upper
+/// triangle of a grid into running sums, then reduce each row into a
+/// path table — triangular iteration, high read:write ratio, and a small
+/// output, mirroring the access character of Polybench's `reg_detect`.
+pub fn regd(n: usize, steps: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    let mut layout = Layout::new();
+    let tangent = Arr2::init(&mut layout, n, n, |i, j| {
+        ((i * 3 + j * 5) % 23) as f64 * 0.25
+    });
+    let mut sum_diff = Arr2::zeroed(&mut layout, n, n);
+    let mut path = Arr2::zeroed(&mut layout, n, n);
+    let input_bytes = tangent.bytes();
+    for _ in 0..steps {
+        // Accumulate banded differences over the upper triangle.
+        for ag in 0..agents {
+            for jj in chunk(n, agents, ag) {
+                let j = jj;
+                for i in j..n {
+                    let d = (tangent.get(rec, ag, j, i) - tangent.get(rec, ag, j, j)).abs();
+                    mac(rec, ag);
+                    let v = sum_diff.get(rec, ag, j, i) + d;
+                    alu(rec, ag, 1);
+                    sum_diff.set(rec, ag, j, i, v);
+                }
+            }
+        }
+        // Path reduction along the diagonal bands.
+        for ag in 0..agents {
+            for jj in chunk(n, agents, ag) {
+                let j = jj;
+                let mut acc = 0.0;
+                for i in j..n {
+                    acc += sum_diff.get(rec, ag, j, i);
+                    alu(rec, ag, 1);
+                }
+                path.set(rec, ag, 0, j, acc);
+            }
+        }
+        for j in 1..n {
+            let ag = chunk_owner(n, agents, j);
+            let v = path.get(rec, ag, 0, j - 1) + path.get(rec, ag, 0, j);
+            alu(rec, ag, 1);
+            path.set(rec, ag, 0, j, v);
+        }
+    }
+    KernelRun {
+        checksum: KernelRun::digest(path.values()),
+        footprint: layout.used(),
+        bytes_in: input_bytes,
+        bytes_out: (n as u64) * 8,
+        final_values: path.values()[0..n].to_vec(),
+    }
+}
+
+fn chunk_owner(n: usize, agents: usize, i: usize) -> usize {
+    (0..agents)
+        .find(|&a| chunk(n, agents, a).contains(&i))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NullRecorder;
+
+    #[test]
+    fn floyd_satisfies_triangle_inequality() {
+        let n = 14;
+        let run = floyd(n, 3, &mut NullRecorder);
+        let d = &run.final_values;
+        for i in 0..n {
+            assert_eq!(d[i * n + i], 0.0, "diagonal must be zero");
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(
+                        d[i * n + j] <= d[i * n + k] + d[k * n + j] + 1e-9,
+                        "triangle inequality violated at ({i},{k},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floyd_never_increases_distances() {
+        let n = 12;
+        let initial = |i: usize, j: usize| -> f64 {
+            if i == j {
+                0.0
+            } else if (i * 7 + j * 11).is_multiple_of(4) {
+                ((i * 13 + j * 17) % 19) as f64 + 1.0
+            } else {
+                1.0e6
+            }
+        };
+        let run = floyd(n, 2, &mut NullRecorder);
+        for i in 0..n {
+            for j in 0..n {
+                assert!(run.final_values[i * n + j] <= initial(i, j) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn floyd_agent_count_invariance() {
+        // Relaxations around a pivot only read row k and column k, which
+        // are stable within the pivot step, so any row split agrees.
+        let a = floyd(12, 1, &mut NullRecorder);
+        let b = floyd(12, 7, &mut NullRecorder);
+        assert_eq!(a.final_values, b.final_values);
+    }
+
+    #[test]
+    fn regd_path_is_monotone_prefix_sum() {
+        let run = regd(16, 2, 2, &mut NullRecorder);
+        let p = &run.final_values;
+        for w in p.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "prefix sums must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn regd_deterministic() {
+        let a = regd(16, 3, 1, &mut NullRecorder);
+        let b = regd(16, 3, 4, &mut NullRecorder);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn floyd_is_overwrite_heavy() {
+        let mut rec = crate::recorder::TraceRecorder::new(2);
+        floyd(16, 2, &mut rec);
+        let traces = rec.into_traces();
+        let stores: u64 = traces.iter().map(|t| t.memory_profile().1).sum();
+        assert!(stores > 0);
+        // Repeated stores to the same words: distinct store targets are
+        // far fewer than total stores (the selective-erase opportunity).
+        let distinct: usize = traces.iter().map(|t| t.store_targets(32).len()).sum();
+        assert!((distinct as u64) < stores);
+    }
+}

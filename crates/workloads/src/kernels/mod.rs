@@ -1,0 +1,78 @@
+//! The 15 evaluated kernels (Table III / Figs. 13–21).
+//!
+//! Every kernel is a real implementation of the underlying numerical
+//! method, instrumented through [`crate::recorder::Recorder`]. Each
+//! returns a [`KernelRun`] carrying the final values (verified against
+//! mathematical properties in tests), a deterministic checksum, and the
+//! data-volume accounting the heterogeneous staging model needs.
+
+pub mod linalg;
+pub mod medley;
+pub mod solvers;
+pub mod stencils;
+
+use crate::recorder::Recorder;
+use accel::trace::InstrBlock;
+
+/// The outcome of one kernel execution.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Deterministic scalar digest of the outputs (regression anchor).
+    pub checksum: f64,
+    /// The primary output array's final values.
+    pub final_values: Vec<f64>,
+    /// Total bytes of all arrays (the working set).
+    pub footprint: u64,
+    /// Bytes of input data that must be staged in.
+    pub bytes_in: u64,
+    /// Bytes of results that must be staged out.
+    pub bytes_out: u64,
+}
+
+impl KernelRun {
+    pub(crate) fn digest(values: &[f64]) -> f64 {
+        let mut acc = 0.0f64;
+        for (i, v) in values.iter().enumerate() {
+            debug_assert!(v.is_finite(), "non-finite value at {i}: {v}");
+            acc += v.abs().ln_1p() * ((i % 97) as f64 + 1.0);
+        }
+        acc
+    }
+}
+
+/// One fused multiply-accumulate with its loop/address overhead — ~2
+/// issue cycles on the 8-wide PE, matching dependency-limited inner
+/// loops on the real DSP.
+#[inline]
+pub(crate) fn mac(rec: &mut dyn Recorder, agent: usize) {
+    rec.compute(
+        agent,
+        InstrBlock {
+            m: 2,
+            l: 2,
+            s: 3,
+            d: 3,
+        },
+    );
+}
+
+/// `n` plain ALU instructions.
+#[inline]
+pub(crate) fn alu(rec: &mut dyn Recorder, agent: usize, n: u64) {
+    rec.compute(agent, InstrBlock::alu(n));
+}
+
+/// A divide/compare-heavy step (iterative divide on `.L`/`.S` units,
+/// ~4 issue cycles).
+#[inline]
+pub(crate) fn div(rec: &mut dyn Recorder, agent: usize) {
+    rec.compute(
+        agent,
+        InstrBlock {
+            m: 0,
+            l: 8,
+            s: 8,
+            d: 0,
+        },
+    );
+}

@@ -1,0 +1,229 @@
+//! Sequential solver kernels: durbin, trisolv, dynpro.
+//!
+//! These are the paper's read-intensive group (§VI-A: "for read-intensive
+//! workloads (e.g., durbin, dynpro, gemver and trisolv) …"): small output
+//! vectors produced from triangular/recursive sweeps over the inputs.
+
+use super::{div, mac, KernelRun};
+use crate::recorder::{chunk, Arr, Arr2, Layout, Recorder};
+
+/// Levinson–Durbin recursion (`durbin`): solves the Toeplitz system
+/// `T(r) · y = -r` incrementally.
+pub fn durbin(n: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    assert!(n >= 2, "durbin needs n >= 2");
+    let mut layout = Layout::new();
+    // A well-conditioned autocorrelation-like sequence in (-1, 1).
+    let r = Arr::init(&mut layout, n, |i| 0.5f64.powi(i as i32 + 1));
+    let mut y = Arr::zeroed(&mut layout, n);
+    let mut z = Arr::zeroed(&mut layout, n);
+    let input_bytes = r.bytes();
+
+    let mut alpha = -r.get(rec, 0, 0);
+    let mut beta = 1.0;
+    y.set(rec, 0, 0, alpha);
+    for k in 1..n {
+        beta *= 1.0 - alpha * alpha;
+        mac(rec, 0);
+        let mut sum = 0.0;
+        for i in 0..k {
+            sum += r.get(rec, 0, k - i - 1) * y.get(rec, 0, i);
+            mac(rec, 0);
+        }
+        alpha = -(r.get(rec, 0, k) + sum) / beta;
+        div(rec, 0);
+        // The reflection update parallelizes across agents.
+        for ag in 0..agents {
+            for i in chunk(k, agents, ag) {
+                let v = y.get(rec, ag, i) + alpha * y.get(rec, ag, k - i - 1);
+                mac(rec, ag);
+                z.set(rec, ag, i, v);
+            }
+        }
+        for ag in 0..agents {
+            for i in chunk(k, agents, ag) {
+                let v = z.get(rec, ag, i);
+                y.set(rec, ag, i, v);
+            }
+        }
+        y.set(rec, 0, k, alpha);
+    }
+    KernelRun {
+        checksum: KernelRun::digest(y.values()),
+        footprint: layout.used(),
+        bytes_in: input_bytes,
+        bytes_out: y.bytes(),
+        final_values: y.values().to_vec(),
+    }
+}
+
+/// Forward substitution (`trisolv`): solves `L · x = b` for lower
+/// triangular `L`.
+pub fn trisolv(n: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    let mut layout = Layout::new();
+    let l = Arr2::init(&mut layout, n, n, |i, j| {
+        if i > j {
+            1.0 / (2.0 + (i - j) as f64)
+        } else if i == j {
+            2.0
+        } else {
+            0.0
+        }
+    });
+    let b = Arr::init(&mut layout, n, |i| (i % 9) as f64 + 1.0);
+    let mut x = Arr::zeroed(&mut layout, n);
+    let input_bytes = l.bytes() + b.bytes();
+    for i in 0..n {
+        // The dot product over the solved prefix parallelizes.
+        let mut sum = 0.0;
+        for ag in 0..agents {
+            for j in chunk(i, agents, ag) {
+                sum += l.get(rec, ag, i, j) * x.get(rec, ag, j);
+                mac(rec, ag);
+            }
+        }
+        let v = (b.get(rec, 0, i) - sum) / l.get(rec, 0, i, i);
+        div(rec, 0);
+        x.set(rec, 0, i, v);
+    }
+    KernelRun {
+        checksum: KernelRun::digest(x.values()),
+        footprint: layout.used(),
+        bytes_in: input_bytes,
+        bytes_out: x.bytes(),
+        final_values: x.values().to_vec(),
+    }
+}
+
+/// Interval dynamic programming (`dynpro`): optimal-cost table over
+/// intervals, `c[i][j] = min_{i<k<j}(c[i][k] + c[k][j]) + w[i][j]`.
+pub fn dynpro(n: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    assert!(n >= 2, "dynpro needs n >= 2");
+    let mut layout = Layout::new();
+    let w = Arr2::init(&mut layout, n, n, |i, j| {
+        ((i * 5 + j * 3) % 11) as f64 + 1.0
+    });
+    let mut c = Arr2::zeroed(&mut layout, n, n);
+    let input_bytes = w.bytes();
+    for span in 2..n {
+        for i in 0..n - span {
+            let j = i + span;
+            let ag = chunk_owner(n, agents, i);
+            let mut best = f64::INFINITY;
+            for k in i + 1..j {
+                let v = c.get(rec, ag, i, k) + c.get(rec, ag, k, j);
+                mac(rec, ag);
+                if v < best {
+                    best = v;
+                }
+            }
+            let v = best + w.get(rec, ag, i, j);
+            mac(rec, ag);
+            c.set(rec, ag, i, j, v);
+        }
+    }
+    KernelRun {
+        checksum: KernelRun::digest(c.values()),
+        footprint: layout.used(),
+        bytes_in: input_bytes,
+        bytes_out: c.bytes() / 2,
+        final_values: c.values().to_vec(),
+    }
+}
+
+fn chunk_owner(n: usize, agents: usize, i: usize) -> usize {
+    (0..agents)
+        .find(|&a| chunk(n, agents, a).contains(&i))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NullRecorder;
+
+    #[test]
+    fn durbin_solves_the_toeplitz_system() {
+        let n = 10;
+        let run = durbin(n, 3, &mut NullRecorder);
+        let y = &run.final_values;
+        // T has 1.0 on the diagonal and r[|i-j|-1] off it; check T·y = -r.
+        let r: Vec<f64> = (0..n).map(|i| 0.5f64.powi(i as i32 + 1)).collect();
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                let t = if i == j { 1.0 } else { r[i.abs_diff(j) - 1] };
+                acc += t * y[j];
+            }
+            assert!(
+                (acc + r[i]).abs() < 1e-9,
+                "row {i}: T·y = {acc}, -r = {}",
+                -r[i]
+            );
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index math mirrors the matrix definition
+    fn trisolv_satisfies_lx_equals_b() {
+        let n = 16;
+        let run = trisolv(n, 3, &mut NullRecorder);
+        let x = &run.final_values;
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..=i {
+                let lij = if i == j {
+                    2.0
+                } else {
+                    1.0 / (2.0 + (i - j) as f64)
+                };
+                acc += lij * x[j];
+            }
+            let b = (i % 9) as f64 + 1.0;
+            assert!((acc - b).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn dynpro_costs_obey_bellman_optimality() {
+        let n = 12;
+        let run = dynpro(n, 2, &mut NullRecorder);
+        let c = &run.final_values;
+        let w = |i: usize, j: usize| ((i * 5 + j * 3) % 11) as f64 + 1.0;
+        for i in 0..n {
+            for j in i + 2..n {
+                for k in i + 1..j {
+                    assert!(
+                        c[i * n + j] <= c[i * n + k] + c[k * n + j] + w(i, j) + 1e-9,
+                        "suboptimal at ({i},{k},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solvers_independent_of_agent_count() {
+        for agents in [1, 3, 7] {
+            let d = durbin(12, agents, &mut NullRecorder);
+            let t = trisolv(12, agents, &mut NullRecorder);
+            let p = dynpro(10, agents, &mut NullRecorder);
+            let d1 = durbin(12, 1, &mut NullRecorder);
+            let t1 = trisolv(12, 1, &mut NullRecorder);
+            let p1 = dynpro(10, 1, &mut NullRecorder);
+            assert_eq!(d.final_values, d1.final_values);
+            assert_eq!(t.final_values, t1.final_values);
+            assert_eq!(p.final_values, p1.final_values);
+        }
+    }
+
+    #[test]
+    fn solvers_are_read_dominated() {
+        let mut rec = crate::recorder::TraceRecorder::new(2);
+        trisolv(64, 2, &mut rec);
+        let (loads, stores, _, _) = rec.into_traces().iter().fold((0, 0, 0, 0), |acc, t| {
+            let p = t.memory_profile();
+            (acc.0 + p.0, acc.1 + p.1, 0, 0)
+        });
+        assert!(loads > stores * 10, "loads={loads} stores={stores}");
+    }
+}

@@ -1,0 +1,357 @@
+//! Iterative stencil kernels: jaco1D, jaco2D, seidel, adi, fdtdap.
+//!
+//! These are the paper's overwrite-heavy iterative workloads — every
+//! timestep rewrites the grid arrays in place (or copies back), which is
+//! the access pattern where §V-A's selective erasing pays off and plain
+//! interleaving does not (Fig. 13: adi, floyd, jaco1D).
+
+use super::{alu, mac, KernelRun};
+use crate::recorder::{chunk, Arr, Arr2, Layout, Recorder};
+
+/// 1-D Jacobi relaxation with copy-back (`jaco1D`).
+///
+/// `B[i] = (A[i-1] + A[i] + A[i+1]) / 3`, then `A = B`, for `steps`
+/// sweeps over an `n`-element rod.
+pub fn jaco1d(n: usize, steps: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    assert!(n >= 3, "jaco1d needs n >= 3");
+    let mut layout = Layout::new();
+    let mut a = Arr::init(&mut layout, n, |i| (i % 13) as f64);
+    let mut b = Arr::zeroed(&mut layout, n);
+    for _ in 0..steps {
+        for ag in 0..agents {
+            for i in chunk(n - 2, agents, ag) {
+                let i = i + 1;
+                let v = (a.get(rec, ag, i - 1) + a.get(rec, ag, i) + a.get(rec, ag, i + 1)) / 3.0;
+                mac(rec, ag);
+                b.set(rec, ag, i, v);
+            }
+        }
+        // Copy-back overwrites A in place every sweep.
+        for ag in 0..agents {
+            for i in chunk(n - 2, agents, ag) {
+                let i = i + 1;
+                let v = b.get(rec, ag, i);
+                a.set(rec, ag, i, v);
+                alu(rec, ag, 2);
+            }
+        }
+    }
+    KernelRun {
+        checksum: KernelRun::digest(a.values()),
+        footprint: layout.used(),
+        bytes_in: a.bytes(),
+        bytes_out: a.bytes(),
+        final_values: a.values().to_vec(),
+    }
+}
+
+/// 2-D Jacobi relaxation with copy-back (`jaco2D`).
+pub fn jaco2d(n: usize, steps: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    assert!(n >= 3, "jaco2d needs n >= 3");
+    let mut layout = Layout::new();
+    let mut a = Arr2::init(&mut layout, n, n, |i, j| ((i * 7 + j * 3) % 17) as f64);
+    let mut b = Arr2::zeroed(&mut layout, n, n);
+    for _ in 0..steps {
+        for ag in 0..agents {
+            for i in chunk(n - 2, agents, ag) {
+                let i = i + 1;
+                for j in 1..n - 1 {
+                    let v = 0.2
+                        * (a.get(rec, ag, i, j)
+                            + a.get(rec, ag, i - 1, j)
+                            + a.get(rec, ag, i + 1, j)
+                            + a.get(rec, ag, i, j - 1)
+                            + a.get(rec, ag, i, j + 1));
+                    mac(rec, ag);
+                    b.set(rec, ag, i, j, v);
+                }
+            }
+        }
+        for ag in 0..agents {
+            for i in chunk(n - 2, agents, ag) {
+                let i = i + 1;
+                for j in 1..n - 1 {
+                    let v = b.get(rec, ag, i, j);
+                    a.set(rec, ag, i, j, v);
+                    alu(rec, ag, 2);
+                }
+            }
+        }
+    }
+    KernelRun {
+        checksum: KernelRun::digest(a.values()),
+        footprint: layout.used(),
+        bytes_in: a.bytes(),
+        bytes_out: a.bytes(),
+        final_values: a.values().to_vec(),
+    }
+}
+
+/// 2-D Gauss–Seidel sweeps, fully in place (`seidel`).
+///
+/// Each point becomes the average of its 9-point neighbourhood; updated
+/// values feed the same sweep (the Gauss–Seidel dependence), so rows are
+/// processed in order with the row range still chunked across agents for
+/// traffic generation.
+pub fn seidel(n: usize, steps: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    assert!(n >= 3, "seidel needs n >= 3");
+    let mut layout = Layout::new();
+    let mut a = Arr2::init(&mut layout, n, n, |i, j| ((i + j) % 11) as f64 + 2.0);
+    for _ in 0..steps {
+        for i in 1..n - 1 {
+            let ag = chunk_owner(n - 2, agents, i - 1);
+            for j in 1..n - 1 {
+                let v = (a.get(rec, ag, i - 1, j - 1)
+                    + a.get(rec, ag, i - 1, j)
+                    + a.get(rec, ag, i - 1, j + 1)
+                    + a.get(rec, ag, i, j - 1)
+                    + a.get(rec, ag, i, j)
+                    + a.get(rec, ag, i, j + 1)
+                    + a.get(rec, ag, i + 1, j - 1)
+                    + a.get(rec, ag, i + 1, j)
+                    + a.get(rec, ag, i + 1, j + 1))
+                    / 9.0;
+                mac(rec, ag);
+                a.set(rec, ag, i, j, v);
+            }
+        }
+    }
+    KernelRun {
+        checksum: KernelRun::digest(a.values()),
+        footprint: layout.used(),
+        bytes_in: a.bytes(),
+        bytes_out: a.bytes(),
+        final_values: a.values().to_vec(),
+    }
+}
+
+/// Alternating-direction-implicit sweeps (`adi`).
+///
+/// Each timestep runs a tridiagonal forward-elimination / back-
+/// substitution pass along every row, then along every column, updating
+/// the unknowns `X` and the pivots `B` in place — the classic
+/// write-dominated ADI structure.
+pub fn adi(n: usize, steps: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    assert!(n >= 2, "adi needs n >= 2");
+    let mut layout = Layout::new();
+    let mut x = Arr2::init(&mut layout, n, n, |i, j| ((i * n + j) % 7) as f64 + 1.0);
+    let a = Arr2::init(&mut layout, n, n, |i, j| 0.25 + ((i + j) % 3) as f64 * 0.05);
+    let mut b = Arr2::init(&mut layout, n, n, |_, _| 2.0);
+    for _ in 0..steps {
+        // Row sweeps.
+        for ag in 0..agents {
+            for i in chunk(n, agents, ag) {
+                for j in 1..n {
+                    let coef = a.get(rec, ag, i, j) / b.get(rec, ag, i, j - 1);
+                    super::div(rec, ag);
+                    let xv = x.get(rec, ag, i, j) - x.get(rec, ag, i, j - 1) * coef;
+                    mac(rec, ag);
+                    x.set(rec, ag, i, j, xv);
+                    let bv = b.get(rec, ag, i, j) - a.get(rec, ag, i, j) * coef;
+                    mac(rec, ag);
+                    b.set(rec, ag, i, j, bv);
+                }
+                let last = x.get(rec, ag, i, n - 1) / b.get(rec, ag, i, n - 1);
+                x.set(rec, ag, i, n - 1, last);
+                for j in (0..n - 1).rev() {
+                    let xv = (x.get(rec, ag, i, j)
+                        - a.get(rec, ag, i, j + 1) * x.get(rec, ag, i, j + 1))
+                        / b.get(rec, ag, i, j);
+                    mac(rec, ag);
+                    x.set(rec, ag, i, j, xv);
+                }
+            }
+        }
+        // Column sweeps (reset pivots first, as the row sweep consumed them).
+        for ag in 0..agents {
+            for j in chunk(n, agents, ag) {
+                for i in 0..n {
+                    b.set(rec, ag, i, j, 2.0);
+                }
+            }
+        }
+        for ag in 0..agents {
+            for j in chunk(n, agents, ag) {
+                for i in 1..n {
+                    let coef = a.get(rec, ag, i, j) / b.get(rec, ag, i - 1, j);
+                    super::div(rec, ag);
+                    let xv = x.get(rec, ag, i, j) - x.get(rec, ag, i - 1, j) * coef;
+                    mac(rec, ag);
+                    x.set(rec, ag, i, j, xv);
+                    let bv = b.get(rec, ag, i, j) - a.get(rec, ag, i, j) * coef;
+                    mac(rec, ag);
+                    b.set(rec, ag, i, j, bv);
+                }
+                let last = x.get(rec, ag, n - 1, j) / b.get(rec, ag, n - 1, j);
+                x.set(rec, ag, n - 1, j, last);
+                for i in (0..n - 1).rev() {
+                    let xv = (x.get(rec, ag, i, j)
+                        - a.get(rec, ag, i + 1, j) * x.get(rec, ag, i + 1, j))
+                        / b.get(rec, ag, i, j);
+                    mac(rec, ag);
+                    x.set(rec, ag, i, j, xv);
+                }
+            }
+        }
+    }
+    KernelRun {
+        checksum: KernelRun::digest(x.values()),
+        footprint: layout.used(),
+        bytes_in: x.bytes() + a.bytes(),
+        bytes_out: x.bytes(),
+        final_values: x.values().to_vec(),
+    }
+}
+
+/// 2-D finite-difference time-domain electromagnetic kernel (`fdtdap`).
+///
+/// Updates the `ex`/`ey` electric fields from the curl of `hz`, then the
+/// `hz` magnetic field from the curl of the electric fields.
+pub fn fdtdap(n: usize, steps: usize, agents: usize, rec: &mut dyn Recorder) -> KernelRun {
+    assert!(n >= 2, "fdtdap needs n >= 2");
+    let mut layout = Layout::new();
+    let mut ex = Arr2::init(&mut layout, n, n, |i, j| ((i + 2 * j) % 9) as f64 * 0.1);
+    let mut ey = Arr2::init(&mut layout, n, n, |i, j| ((2 * i + j) % 9) as f64 * 0.1);
+    let mut hz = Arr2::init(&mut layout, n, n, |i, j| ((i * j) % 9) as f64 * 0.1);
+    for t in 0..steps {
+        // Source plane.
+        for ag in 0..agents {
+            for j in chunk(n, agents, ag) {
+                ey.set(rec, ag, 0, j, t as f64);
+            }
+        }
+        for ag in 0..agents {
+            for i in chunk(n - 1, agents, ag) {
+                let i = i + 1;
+                for j in 0..n {
+                    let v = ey.get(rec, ag, i, j)
+                        - 0.5 * (hz.get(rec, ag, i, j) - hz.get(rec, ag, i - 1, j));
+                    mac(rec, ag);
+                    ey.set(rec, ag, i, j, v);
+                }
+            }
+        }
+        for ag in 0..agents {
+            for i in chunk(n, agents, ag) {
+                for j in 1..n {
+                    let v = ex.get(rec, ag, i, j)
+                        - 0.5 * (hz.get(rec, ag, i, j) - hz.get(rec, ag, i, j - 1));
+                    mac(rec, ag);
+                    ex.set(rec, ag, i, j, v);
+                }
+            }
+        }
+        for ag in 0..agents {
+            for i in chunk(n - 1, agents, ag) {
+                for j in 0..n - 1 {
+                    let v = hz.get(rec, ag, i, j)
+                        - 0.7
+                            * (ex.get(rec, ag, i, j + 1) - ex.get(rec, ag, i, j)
+                                + ey.get(rec, ag, i + 1, j)
+                                - ey.get(rec, ag, i, j));
+                    mac(rec, ag);
+                    hz.set(rec, ag, i, j, v);
+                }
+            }
+        }
+    }
+    KernelRun {
+        checksum: KernelRun::digest(hz.values()),
+        footprint: layout.used(),
+        bytes_in: ex.bytes() + ey.bytes() + hz.bytes(),
+        bytes_out: hz.bytes(),
+        final_values: hz.values().to_vec(),
+    }
+}
+
+/// Which agent owns index `i` under block chunking of `0..n`.
+fn chunk_owner(n: usize, agents: usize, i: usize) -> usize {
+    (0..agents)
+        .find(|&a| chunk(n, agents, a).contains(&i))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NullRecorder;
+
+    #[test]
+    fn jacobi_preserves_value_bounds() {
+        let r = jaco1d(64, 5, 3, &mut NullRecorder);
+        for &v in &r.final_values {
+            assert!(
+                (0.0..=12.0).contains(&v),
+                "averaging cannot escape bounds: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi1d_smooths_towards_neighbours() {
+        // Variance decreases monotonically with more sweeps.
+        let spread = |vals: &[f64]| {
+            let inner = &vals[1..vals.len() - 1];
+            let m = inner.iter().sum::<f64>() / inner.len() as f64;
+            inner.iter().map(|v| (v - m).powi(2)).sum::<f64>()
+        };
+        let one = jaco1d(64, 1, 1, &mut NullRecorder);
+        let many = jaco1d(64, 8, 1, &mut NullRecorder);
+        assert!(spread(&many.final_values) < spread(&one.final_values));
+    }
+
+    #[test]
+    fn jaco2d_bounds_and_determinism() {
+        let a = jaco2d(16, 3, 2, &mut NullRecorder);
+        let b = jaco2d(16, 3, 2, &mut NullRecorder);
+        assert_eq!(a.checksum, b.checksum);
+        for &v in &a.final_values {
+            assert!((0.0..=16.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn agent_count_does_not_change_jacobi_result() {
+        // Jacobi is truly data-parallel: any agent split computes the
+        // same grid.
+        let a = jaco2d(16, 3, 1, &mut NullRecorder);
+        let b = jaco2d(16, 3, 7, &mut NullRecorder);
+        assert_eq!(a.final_values, b.final_values);
+    }
+
+    #[test]
+    fn seidel_bounds() {
+        let r = seidel(16, 3, 2, &mut NullRecorder);
+        for &v in &r.final_values {
+            assert!((0.0..=13.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn adi_produces_finite_fields() {
+        let r = adi(12, 2, 3, &mut NullRecorder);
+        assert!(r.final_values.iter().all(|v| v.is_finite()));
+        assert!(r.checksum.is_finite());
+    }
+
+    #[test]
+    fn fdtd_is_deterministic_and_finite() {
+        let a = fdtdap(12, 3, 2, &mut NullRecorder);
+        let b = fdtdap(12, 3, 2, &mut NullRecorder);
+        assert_eq!(a.checksum, b.checksum);
+        assert!(a.final_values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn stencils_report_write_heavy_traffic() {
+        let mut rec = crate::recorder::TraceRecorder::new(2);
+        jaco1d(128, 2, 2, &mut rec);
+        let traces = rec.into_traces();
+        let (loads, stores, _, _) = traces.iter().fold((0, 0, 0, 0), |acc, t| {
+            let p = t.memory_profile();
+            (acc.0 + p.0, acc.1 + p.1, acc.2 + p.2, acc.3 + p.3)
+        });
+        // Copy-back makes stores a large fraction (2 stores per 4 loads).
+        assert!(stores * 2 >= loads, "loads={loads} stores={stores}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Trace-capture instrumentation for kernels.
+//!
+//! Kernels compute on ordinary `f64` arrays wrapped in [`Arr`]; every
+//! element access flows through a [`Recorder`], which either ignores it
+//! ([`NullRecorder`], for reference runs) or appends it to the per-agent
+//! [`Trace`]s ([`TraceRecorder`]). Array base addresses come from a
+//! [`Layout`] bump allocator so the address streams hitting the memory
+//! subsystem are consistent across runs and configs.
+
+use accel::trace::{InstrBlock, Trace};
+use std::ops::Range;
+
+/// Base of the data region in the accelerator address space (the kernel
+/// image region sits below).
+pub const DATA_BASE: u64 = 0x0100_0000;
+
+/// Receives the instruction/memory events a kernel emits.
+pub trait Recorder {
+    /// Agent `agent` loads `len` bytes at `addr`.
+    fn load(&mut self, agent: usize, addr: u64, len: u32);
+    /// Agent `agent` stores `len` bytes at `addr`.
+    fn store(&mut self, agent: usize, addr: u64, len: u32);
+    /// Agent `agent` executes a compute block.
+    fn compute(&mut self, agent: usize, block: InstrBlock);
+}
+
+/// A recorder that discards everything — used for pure reference runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn load(&mut self, _: usize, _: u64, _: u32) {}
+    fn store(&mut self, _: usize, _: u64, _: u32) {}
+    fn compute(&mut self, _: usize, _: InstrBlock) {}
+}
+
+/// A recorder that builds one [`Trace`] per agent.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    traces: Vec<Trace>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for `agents` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is zero.
+    pub fn new(agents: usize) -> Self {
+        assert!(agents > 0, "need at least one agent");
+        TraceRecorder {
+            traces: vec![Trace::new(); agents],
+        }
+    }
+
+    /// Consumes the recorder, returning the per-agent traces.
+    pub fn into_traces(self) -> Vec<Trace> {
+        self.traces
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn load(&mut self, agent: usize, addr: u64, len: u32) {
+        self.traces[agent].load(addr, len);
+    }
+
+    fn store(&mut self, agent: usize, addr: u64, len: u32) {
+        self.traces[agent].store(addr, len);
+    }
+
+    fn compute(&mut self, agent: usize, block: InstrBlock) {
+        self.traces[agent].compute(block);
+    }
+}
+
+/// Bump allocator handing out array base addresses.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next: u64,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layout {
+    /// Starts allocating at [`DATA_BASE`].
+    pub fn new() -> Self {
+        Layout { next: DATA_BASE }
+    }
+
+    /// Reserves space for `elems` f64 elements, 256-byte aligned so
+    /// arrays start on L2-line boundaries.
+    pub fn alloc(&mut self, elems: usize) -> u64 {
+        let base = self.next;
+        let bytes = (elems as u64 * 8).div_ceil(256) * 256;
+        self.next += bytes;
+        base
+    }
+
+    /// Total bytes allocated so far.
+    pub fn used(&self) -> u64 {
+        self.next - DATA_BASE
+    }
+}
+
+/// An instrumented 1-D array of f64.
+#[derive(Debug, Clone)]
+pub struct Arr {
+    base: u64,
+    data: Vec<f64>,
+}
+
+impl Arr {
+    /// Allocates a zeroed array of `n` elements.
+    pub fn zeroed(layout: &mut Layout, n: usize) -> Self {
+        Arr {
+            base: layout.alloc(n),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Allocates an array initialized by `f(i)`.
+    pub fn init(layout: &mut Layout, n: usize, f: impl Fn(usize) -> f64) -> Self {
+        Arr {
+            base: layout.alloc(n),
+            data: (0..n).map(f).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    /// Recorded element read.
+    #[inline]
+    pub fn get(&self, rec: &mut dyn Recorder, agent: usize, i: usize) -> f64 {
+        rec.load(agent, self.base + i as u64 * 8, 8);
+        self.data[i]
+    }
+
+    /// Recorded element write.
+    #[inline]
+    pub fn set(&mut self, rec: &mut dyn Recorder, agent: usize, i: usize, v: f64) {
+        rec.store(agent, self.base + i as u64 * 8, 8);
+        self.data[i] = v;
+    }
+
+    /// Unrecorded view of the final contents (for verification).
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// An instrumented row-major 2-D array of f64.
+#[derive(Debug, Clone)]
+pub struct Arr2 {
+    arr: Arr,
+    cols: usize,
+}
+
+impl Arr2 {
+    /// Allocates a zeroed `rows × cols` matrix.
+    pub fn zeroed(layout: &mut Layout, rows: usize, cols: usize) -> Self {
+        Arr2 {
+            arr: Arr::zeroed(layout, rows * cols),
+            cols,
+        }
+    }
+
+    /// Allocates a matrix initialized by `f(i, j)`.
+    pub fn init(
+        layout: &mut Layout,
+        rows: usize,
+        cols: usize,
+        f: impl Fn(usize, usize) -> f64,
+    ) -> Self {
+        Arr2 {
+            arr: Arr::init(layout, rows * cols, |k| f(k / cols, k % cols)),
+            cols,
+        }
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.arr.len() / self.cols
+    }
+
+    /// Footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.arr.bytes()
+    }
+
+    /// Recorded element read.
+    #[inline]
+    pub fn get(&self, rec: &mut dyn Recorder, agent: usize, i: usize, j: usize) -> f64 {
+        self.arr.get(rec, agent, i * self.cols + j)
+    }
+
+    /// Recorded element write.
+    #[inline]
+    pub fn set(&mut self, rec: &mut dyn Recorder, agent: usize, i: usize, j: usize, v: f64) {
+        self.arr.set(rec, agent, i * self.cols + j, v);
+    }
+
+    /// Unrecorded view of the final contents.
+    pub fn values(&self) -> &[f64] {
+        self.arr.values()
+    }
+}
+
+/// The contiguous slice of `0..n` assigned to agent `a` of `agents`
+/// (block partitioning, remainder spread over the first agents).
+pub fn chunk(n: usize, agents: usize, a: usize) -> Range<usize> {
+    assert!(a < agents, "agent index out of range");
+    let base = n / agents;
+    let extra = n % agents;
+    let start = a * base + a.min(extra);
+    let len = base + usize::from(a < extra);
+    start..(start + len).min(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_line_aligned_and_disjoint() {
+        let mut l = Layout::new();
+        let a = l.alloc(10); // 80 B -> 256 B slot
+        let b = l.alloc(100);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(a % 256, 0);
+        assert_eq!(b, DATA_BASE + 256);
+        assert_eq!(b % 256, 0);
+        assert_eq!(l.used(), 256 + 1024);
+    }
+
+    #[test]
+    fn arr_records_accesses() {
+        let mut layout = Layout::new();
+        let mut rec = TraceRecorder::new(2);
+        let mut a = Arr::zeroed(&mut layout, 16);
+        a.set(&mut rec, 0, 3, 7.5);
+        let v = a.get(&mut rec, 1, 3);
+        assert_eq!(v, 7.5);
+        let traces = rec.into_traces();
+        let (l0, s0, _, _) = traces[0].memory_profile();
+        let (l1, s1, _, _) = traces[1].memory_profile();
+        assert_eq!((l0, s0), (0, 1));
+        assert_eq!((l1, s1), (1, 0));
+    }
+
+    #[test]
+    fn arr2_row_major_addressing() {
+        let mut layout = Layout::new();
+        let mut rec = TraceRecorder::new(1);
+        let m = Arr2::init(&mut layout, 4, 4, |i, j| (i * 4 + j) as f64);
+        assert_eq!(m.get(&mut rec, 0, 2, 3), 11.0);
+        let traces = rec.into_traces();
+        match traces[0].ops()[0] {
+            accel::trace::TraceOp::Load { addr, .. } => {
+                assert_eq!(addr, DATA_BASE + (2 * 4 + 3) * 8);
+            }
+            ref other => panic!("expected load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_partitions_exactly() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for agents in [1usize, 3, 7] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for a in 0..agents {
+                    let r = chunk(n, agents, a);
+                    assert_eq!(r.start, prev_end);
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n, "n={n} agents={agents}");
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn null_recorder_costs_nothing() {
+        let mut layout = Layout::new();
+        let mut rec = NullRecorder;
+        let mut a = Arr::zeroed(&mut layout, 4);
+        a.set(&mut rec, 0, 0, 1.0);
+        assert_eq!(a.get(&mut rec, 0, 0), 1.0);
+    }
+}

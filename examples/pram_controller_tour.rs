@@ -1,0 +1,113 @@
+//! A guided tour of the PRAM subsystem: three-phase addressing, phase
+//! skipping, the overlay-window write path, scheduler effects and the
+//! boot-time initializer — §II/§III-B/§V of the paper, live.
+//!
+//! ```sh
+//! cargo run --release --example pram_controller_tour
+//! ```
+
+use pram::overlay::regs;
+use pram::{BufferId, BurstLen, PramModule, PramTiming, RowId};
+use pram_ctrl::{Phy, PhyParams, PramController, SchedulerKind, SubsystemConfig};
+use sim_core::{MemoryBackend, Picos};
+
+fn main() {
+    let timing = PramTiming::table2();
+    println!("== Table II characterized parameters ==");
+    println!(
+        "tCK = {}, RL = {}, WL = {}, tRP = {}",
+        timing.tck(),
+        timing.rl(),
+        timing.wl(),
+        timing.trp()
+    );
+    println!(
+        "tRCD = {}, tWRA = {}, tBURST(BL16) = {}",
+        timing.trcd,
+        timing.twra,
+        timing.tburst(BurstLen::Bl16)
+    );
+    println!(
+        "program: SET-only {}, overwrite {}, erase {}",
+        timing.t_program_set,
+        timing.t_program_overwrite(),
+        timing.t_erase
+    );
+
+    // -- Boot: the initializer brings 32 modules up through the PHY.
+    let phy = Phy::new(PhyParams::default());
+    let boot = phy.boot(Picos::ZERO, 32, &timing);
+    println!("\n== Initializer ==\n32 modules ready at {}", boot.ready_at);
+
+    // -- Three-phase addressing on a bare module.
+    let mut module = PramModule::new(timing, 7);
+    let row = RowId::new(3, 1000);
+    let lb = module.geometry().lower_row_bits;
+    println!("\n== Three-phase read of {row} ==");
+    let pre = module.pre_active(Picos::ZERO, BufferId::B3, row.upper(lb));
+    println!(
+        "pre-active : {} -> {} (latch upper row in RAB)",
+        pre.start, pre.end
+    );
+    let act = module.activate(pre.end, BufferId::B3, row.lower(lb));
+    println!(
+        "activate   : {} -> {} (sense row into RDB)",
+        act.start, act.end
+    );
+    let (rd, data) = module.read_burst(act.end, Picos::ZERO, BufferId::B3, 0, BurstLen::Bl16);
+    println!(
+        "read burst : {} -> {} ({} bytes)",
+        rd.start,
+        rd.end,
+        data.len()
+    );
+
+    // -- The overlay-window write path (§V-B register sequence).
+    println!("\n== Overlay-window write ==");
+    let addr = module.geometry().encode(row);
+    let t = module.write_overlay(rd.end, regs::COMMAND_CODE, &[0xE9]);
+    let t = module.write_overlay(t.end, regs::DATA_ADDRESS, &addr.to_le_bytes());
+    let t = module.write_overlay(t.end, regs::MULTI_PURPOSE, &[32]);
+    let t = module.write_overlay(t.end, regs::PROGRAM_BUFFER, &[0xAB; 32]);
+    let prog = module.execute_program(t.end);
+    println!(
+        "registers staged by {}, array program {} -> {} ({})",
+        t.end,
+        prog.start,
+        prog.end,
+        prog.duration()
+    );
+    println!("stored word now reads {:02x?}…", &module.peek(row)[..4]);
+
+    // -- Phase skipping and scheduler effects through the controller.
+    println!("\n== Controller streams, 64 KiB sequential read ==");
+    for sched in SchedulerKind::ALL {
+        let mut ctrl = PramController::new(SubsystemConfig::paper(sched, 7));
+        let mut t = Picos::ZERO;
+        for i in 0..128u64 {
+            t = ctrl.read(t, i * 512, 512).end;
+        }
+        let s = ctrl.stats();
+        println!(
+            "{:<18} done at {:>10}  pre-active skips {:>4}  activate skips {:>4}",
+            sched.label(),
+            format!("{t}"),
+            s.pre_active_skips,
+            s.activate_skips
+        );
+    }
+
+    // -- Selective erasing: announced overwrites become SET-only.
+    println!("\n== Selective erasing ==");
+    let mut ctrl = PramController::new(SubsystemConfig::paper(SchedulerKind::Final, 7));
+    let w = ctrl.write(Picos::ZERO, 0, 512);
+    let targets: Vec<u64> = (0..512).step_by(32).collect();
+    ctrl.announce_overwrites(w.end, &targets);
+    let t = w.end + Picos::from_ms(1); // idle window for background RESETs
+    let w2 = ctrl.write(t, 0, 512);
+    println!(
+        "overwrite of 512 B accepted in {} with {} background pre-erase hits",
+        w2.end - t,
+        ctrl.stats().preerase_hits
+    );
+}
