@@ -6,10 +6,8 @@
 //! write-back semantics — evicted dirty lines surface as explicit
 //! write-backs the execution engine forwards to the memory backend.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity: u32,
@@ -18,6 +16,12 @@ pub struct CacheConfig {
     /// Associativity.
     pub ways: u32,
 }
+
+util::json_struct!(CacheConfig {
+    capacity,
+    line,
+    ways
+});
 
 impl CacheConfig {
     /// The default simulation L1: scaled down from the platform's 64 KB
@@ -68,7 +72,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss counters for one level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheLevelStats {
     /// Lookups that hit.
     pub hits: u64,
@@ -77,6 +81,12 @@ pub struct CacheLevelStats {
     /// Dirty lines written back on eviction.
     pub writebacks: u64,
 }
+
+util::json_struct!(CacheLevelStats {
+    hits,
+    misses,
+    writebacks
+});
 
 impl CacheLevelStats {
     /// Miss ratio (0 when no lookups).

@@ -15,14 +15,13 @@ use crate::pe::{PeConfig, PeStats};
 use crate::psc::{PowerSleepController, PscParams};
 use crate::trace::{Trace, TraceOp};
 use crate::xbar::{Crossbar, XbarConfig};
-use serde::{Deserialize, Serialize};
 use sim_core::energy::EnergyBook;
 use sim_core::mem::MemoryBackend;
 use sim_core::stats::TimeSeries;
 use sim_core::time::Picos;
 
 /// Accelerator construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccelConfig {
     /// Total processing elements (paper platform: 8; one is the server).
     pub pes: usize,
@@ -51,6 +50,19 @@ pub struct AccelConfig {
     pub xbar: Option<XbarConfig>,
 }
 
+util::json_struct!(AccelConfig {
+    pes,
+    pe,
+    l1,
+    l2,
+    psc,
+    launch_overhead,
+    sample_bucket,
+    announce_stores,
+    mcu_write_queue,
+    xbar,
+});
+
 impl Default for AccelConfig {
     fn default() -> Self {
         AccelConfig {
@@ -69,7 +81,7 @@ impl Default for AccelConfig {
 }
 
 /// The result of one kernel execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExecReport {
     /// Wall-clock completion (all agents done, caches flushed).
     pub total_time: Picos,
@@ -101,6 +113,22 @@ pub struct ExecReport {
     /// Backend requests issued (fills + write-backs).
     pub mem_requests: u64,
 }
+
+util::json_struct!(ExecReport {
+    total_time,
+    instructions,
+    compute_time,
+    stall_time,
+    pe_stats,
+    l1,
+    l2,
+    ipc_series,
+    power_series,
+    energy,
+    bytes_from_mem,
+    bytes_to_mem,
+    mem_requests,
+});
 
 impl ExecReport {
     /// Aggregate average IPC (instructions per core-cycle summed over
@@ -607,13 +635,15 @@ mod tests {
 
 /// The outcome of a multi-kernel queue run (§IV: the server schedules
 /// several downloaded kernels across the agents).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobsReport {
     /// Completion instant of each job, relative to the queue start.
     pub job_done: Vec<Picos>,
     /// Per-job execution reports.
     pub reports: Vec<ExecReport>,
 }
+
+util::json_struct!(JobsReport { job_done, reports });
 
 impl JobsReport {
     /// Wall-clock completion of the whole queue.

@@ -7,7 +7,7 @@
 //! parses the metadata and loads each segment to its target address
 //! (`unpackData`) before booting agents at the segment entry points.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use util::bytes::{Bytes, BytesMut};
 
 /// Magic bytes heading every image.
 const MAGIC: u32 = 0xD7A7_1E55; // "DRAmLESS"

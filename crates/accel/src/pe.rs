@@ -1,11 +1,10 @@
 //! Processing-element parameters and statistics.
 
-use serde::{Deserialize, Serialize};
 use sim_core::energy::Watts;
 use sim_core::time::{Freq, Picos};
 
 /// Static parameters of one PE (TMS320C66x-class core, Figure 6b).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeConfig {
     /// Core clock (the paper's platform runs 1 GHz cores).
     pub clock: Freq,
@@ -23,6 +22,16 @@ pub struct PeConfig {
     pub p_sleep: Watts,
 }
 
+util::json_struct!(PeConfig {
+    clock,
+    l1_hit_cycles,
+    l2_hit_cycles,
+    xbar_latency,
+    p_active,
+    p_stall,
+    p_sleep,
+});
+
 impl Default for PeConfig {
     fn default() -> Self {
         PeConfig {
@@ -38,7 +47,7 @@ impl Default for PeConfig {
 }
 
 /// Per-PE execution counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PeStats {
     /// Instructions retired.
     pub instructions: u64,
@@ -53,6 +62,15 @@ pub struct PeStats {
     /// Stores issued.
     pub stores: u64,
 }
+
+util::json_struct!(PeStats {
+    instructions,
+    compute_cycles,
+    stall_time,
+    compute_time,
+    loads,
+    stores,
+});
 
 impl PeStats {
     /// Average IPC over the PE's busy window.

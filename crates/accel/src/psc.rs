@@ -5,11 +5,10 @@
 //! revokes (wakes) it through the PSC. The PSC tracks each PE's power
 //! state and charges the wake/sleep transition latencies.
 
-use serde::{Deserialize, Serialize};
 use sim_core::time::Picos;
 
 /// A PE power state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PeState {
     /// Clock-gated, waiting for a boot address.
     #[default]
@@ -18,14 +17,18 @@ pub enum PeState {
     Active,
 }
 
+util::json_unit_enum!(PeState { Sleep, Active });
+
 /// Transition timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PscParams {
     /// Sleep → active: PLL relock + boot-address fetch.
     pub wake: Picos,
     /// Active → sleep: state retention entry.
     pub sleep: Picos,
 }
+
+util::json_struct!(PscParams { wake, sleep });
 
 impl Default for PscParams {
     fn default() -> Self {

@@ -9,11 +9,9 @@
 //!
 //! [`workloads`]: https://docs.rs/workloads
 
-use serde::{Deserialize, Serialize};
-
 /// Instruction counts of one compute block, by functional-unit class
 /// (Figure 6b: a PE has two of each).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InstrBlock {
     /// `.M` (multiply / DSP-intrinsic MAC) instructions.
     pub m: u64,
@@ -24,6 +22,8 @@ pub struct InstrBlock {
     /// `.D` (address generation / load-store assist) instructions.
     pub d: u64,
 }
+
+util::json_struct!(InstrBlock { m, l, s, d });
 
 impl InstrBlock {
     /// A block of `n` balanced ALU instructions.
@@ -75,7 +75,7 @@ impl InstrBlock {
 }
 
 /// One step of a kernel trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceOp {
     /// Execute a compute block on the functional units.
     Compute(InstrBlock),
@@ -95,11 +95,53 @@ pub enum TraceOp {
     },
 }
 
+impl util::json::ToJson for TraceOp {
+    fn to_json(&self) -> util::json::Json {
+        use util::json::Json;
+        let span = |addr: u64, len: u32| {
+            Json::Obj(vec![
+                ("addr".to_string(), addr.to_json()),
+                ("len".to_string(), len.to_json()),
+            ])
+        };
+        match *self {
+            TraceOp::Compute(b) => Json::Obj(vec![("Compute".to_string(), b.to_json())]),
+            TraceOp::Load { addr, len } => Json::Obj(vec![("Load".to_string(), span(addr, len))]),
+            TraceOp::Store { addr, len } => Json::Obj(vec![("Store".to_string(), span(addr, len))]),
+        }
+    }
+}
+
+impl util::json::FromJson for TraceOp {
+    fn from_json(v: &util::json::Json) -> Result<Self, util::json::JsonError> {
+        use util::json::{field, Json, JsonError};
+        let pairs = match v {
+            Json::Obj(pairs) if pairs.len() == 1 => pairs,
+            _ => return Err(JsonError::new("expected single-key TraceOp object")),
+        };
+        let (tag, body) = &pairs[0];
+        match tag.as_str() {
+            "Compute" => Ok(TraceOp::Compute(InstrBlock::from_json(body)?)),
+            "Load" => Ok(TraceOp::Load {
+                addr: field(body, "addr")?,
+                len: field(body, "len")?,
+            }),
+            "Store" => Ok(TraceOp::Store {
+                addr: field(body, "addr")?,
+                len: field(body, "len")?,
+            }),
+            other => Err(JsonError::new(format!("unknown TraceOp variant {other:?}"))),
+        }
+    }
+}
+
 /// A per-PE instruction/memory trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     ops: Vec<TraceOp>,
 }
+
+util::json_struct!(Trace { ops });
 
 impl Trace {
     /// An empty trace.

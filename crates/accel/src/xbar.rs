@@ -9,12 +9,11 @@
 //! each carrying one outstanding transfer at a time at a finite port
 //! bandwidth, so heavy miss traffic from many agents queues.
 
-use serde::{Deserialize, Serialize};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
 
 /// Contended-crossbar parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct XbarConfig {
     /// MCU-facing ports (concurrent in-flight transfers).
     pub ports: usize,
@@ -24,6 +23,12 @@ pub struct XbarConfig {
     /// core clock).
     pub bytes_per_sec: u64,
 }
+
+util::json_struct!(XbarConfig {
+    ports,
+    hop_latency,
+    bytes_per_sec
+});
 
 impl Default for XbarConfig {
     fn default() -> Self {

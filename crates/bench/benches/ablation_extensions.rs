@@ -15,12 +15,16 @@ use sim_core::{MemoryBackend, Picos};
 use workloads::Kernel;
 
 fn main() {
-    bench::banner("Ablation", "wear leveling, write pausing, erase blocking");
-    wear_leveling();
-    write_pausing();
-    erase_blocking();
-    dsp_intrinsics();
-    dramless_with_extensions();
+    let mut h = util::bench::Harness::new("ablation_extensions");
+    h.once("run", || {
+        bench::banner("Ablation", "wear leveling, write pausing, erase blocking");
+        wear_leveling();
+        write_pausing();
+        erase_blocking();
+        dsp_intrinsics();
+        dramless_with_extensions();
+    });
+    h.finish();
 }
 
 fn wear_leveling() {

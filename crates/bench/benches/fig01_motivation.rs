@@ -9,34 +9,38 @@
 use dramless::SystemKind;
 
 fn main() {
-    bench::banner("Figure 1", "accelerated system vs ideal in-memory system");
-    let suite = bench::suite();
-    let r = bench::sweep(&[SystemKind::Hetero, SystemKind::Ideal], &suite);
-    println!(
-        "{:<10} {:>14} {:>14} {:>12} {:>12}",
-        "kernel", "perf vs ideal", "degradation", "energy", "energy ratio"
-    );
-    let (mut perf_acc, mut e_acc) = (0.0f64, 0.0f64);
-    for w in &suite {
-        let h = r.get(SystemKind::Hetero, w.kernel).expect("hetero outcome");
-        let i = r.get(SystemKind::Ideal, w.kernel).expect("ideal outcome");
-        let rel = h.bandwidth() / i.bandwidth();
-        let erel = h.total_energy().as_j() / i.total_energy().as_j();
-        perf_acc += rel.ln();
-        e_acc += erel.ln();
+    let mut h = util::bench::Harness::new("fig01_motivation");
+    h.once("run", || {
+        bench::banner("Figure 1", "accelerated system vs ideal in-memory system");
+        let suite = bench::suite();
+        let r = bench::sweep(&[SystemKind::Hetero, SystemKind::Ideal], &suite);
         println!(
-            "{:<10} {:>13.1}% {:>13.1}% {:>11.2}mJ {:>11.1}x",
-            w.kernel.label(),
-            rel * 100.0,
-            (1.0 - rel) * 100.0,
-            h.total_energy().as_mj(),
-            erel
+            "{:<10} {:>14} {:>14} {:>12} {:>12}",
+            "kernel", "perf vs ideal", "degradation", "energy", "energy ratio"
         );
-    }
-    let n = suite.len() as f64;
-    println!(
-        "\naverage: performance {:.1}% of ideal (paper: ~26%), energy {:.1}x ideal (paper: ~9x)",
-        (perf_acc / n).exp() * 100.0,
-        (e_acc / n).exp()
-    );
+        let (mut perf_acc, mut e_acc) = (0.0f64, 0.0f64);
+        for w in &suite {
+            let h = r.get(SystemKind::Hetero, w.kernel).expect("hetero outcome");
+            let i = r.get(SystemKind::Ideal, w.kernel).expect("ideal outcome");
+            let rel = h.bandwidth() / i.bandwidth();
+            let erel = h.total_energy().as_j() / i.total_energy().as_j();
+            perf_acc += rel.ln();
+            e_acc += erel.ln();
+            println!(
+                "{:<10} {:>13.1}% {:>13.1}% {:>11.2}mJ {:>11.1}x",
+                w.kernel.label(),
+                rel * 100.0,
+                (1.0 - rel) * 100.0,
+                h.total_energy().as_mj(),
+                erel
+            );
+        }
+        let n = suite.len() as f64;
+        println!(
+            "\naverage: performance {:.1}% of ideal (paper: ~26%), energy {:.1}x ideal (paper: ~9x)",
+            (perf_acc / n).exp() * 100.0,
+            (e_acc / n).exp()
+        );
+    });
+    h.finish();
 }

@@ -6,34 +6,38 @@
 use dramless::SystemKind;
 
 fn main() {
-    bench::banner("Figure 7", "firmware-managed PRAM vs oracle controller");
-    let suite = bench::suite();
-    let r = bench::sweep(
-        &[SystemKind::DramLess, SystemKind::DramLessFirmware],
-        &suite,
-    );
-    println!(
-        "{:<10} {:>16} {:>14}",
-        "kernel", "fw perf vs oracle", "degradation"
-    );
-    let mut worst = (String::new(), 1.0f64);
-    for w in &suite {
-        let fw = r.get(SystemKind::DramLessFirmware, w.kernel).expect("fw");
-        let hw = r.get(SystemKind::DramLess, w.kernel).expect("oracle");
-        let rel = fw.bandwidth() / hw.bandwidth();
-        if rel < worst.1 {
-            worst = (w.kernel.label().to_string(), rel);
+    let mut h = util::bench::Harness::new("fig07_firmware_overhead");
+    h.once("run", || {
+        bench::banner("Figure 7", "firmware-managed PRAM vs oracle controller");
+        let suite = bench::suite();
+        let r = bench::sweep(
+            &[SystemKind::DramLess, SystemKind::DramLessFirmware],
+            &suite,
+        );
+        println!(
+            "{:<10} {:>16} {:>14}",
+            "kernel", "fw perf vs oracle", "degradation"
+        );
+        let mut worst = (String::new(), 1.0f64);
+        for w in &suite {
+            let fw = r.get(SystemKind::DramLessFirmware, w.kernel).expect("fw");
+            let hw = r.get(SystemKind::DramLess, w.kernel).expect("oracle");
+            let rel = fw.bandwidth() / hw.bandwidth();
+            if rel < worst.1 {
+                worst = (w.kernel.label().to_string(), rel);
+            }
+            println!(
+                "{:<10} {:>15.1}% {:>13.1}%",
+                w.kernel.label(),
+                rel * 100.0,
+                (1.0 - rel) * 100.0
+            );
         }
         println!(
-            "{:<10} {:>15.1}% {:>13.1}%",
-            w.kernel.label(),
-            rel * 100.0,
-            (1.0 - rel) * 100.0
+            "\nworst case: {} at {:.1}% degradation (paper: up to 80%)",
+            worst.0,
+            (1.0 - worst.1) * 100.0
         );
-    }
-    println!(
-        "\nworst case: {} at {:.1}% degradation (paper: up to 80%)",
-        worst.0,
-        (1.0 - worst.1) * 100.0
-    );
+    });
+    h.finish();
 }

@@ -10,38 +10,42 @@ use dramless::system::simulate_dramless_scheduler;
 use pram_ctrl::SchedulerKind;
 
 fn main() {
-    bench::banner("Figure 13", "interleaving and selective erasing ablation");
-    let suite = bench::suite();
-    let p = bench::params();
-    println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>9} {:>8}",
-        "kernel", "Bare(MB/s)", "Interleave", "Sel-erase", "Final", "write%"
-    );
-    let mut acc = [0.0f64; 3];
-    for w in &suite {
-        let built = w.build(p.agents);
-        let bw: Vec<f64> = SchedulerKind::ALL
-            .iter()
-            .map(|&s| simulate_dramless_scheduler(s, &built, &p).bandwidth() / 1e6)
-            .collect();
+    let mut h = util::bench::Harness::new("fig13_schedulers");
+    h.once("run", || {
+        bench::banner("Figure 13", "interleaving and selective erasing ablation");
+        let suite = bench::suite();
+        let p = bench::params();
         println!(
-            "{:<10} {:>12.1} {:>11.2}x {:>11.2}x {:>8.2}x {:>7.1}%",
-            w.kernel.label(),
-            bw[0],
-            bw[1] / bw[0],
-            bw[2] / bw[0],
-            bw[3] / bw[0],
-            built.character.write_ratio * 100.0
+            "{:<10} {:>12} {:>12} {:>12} {:>9} {:>8}",
+            "kernel", "Bare(MB/s)", "Interleave", "Sel-erase", "Final", "write%"
         );
-        for i in 0..3 {
-            acc[i] += (bw[i + 1] / bw[0]).ln();
+        let mut acc = [0.0f64; 3];
+        for w in &suite {
+            let built = w.build(p.agents);
+            let bw: Vec<f64> = SchedulerKind::ALL
+                .iter()
+                .map(|&s| simulate_dramless_scheduler(s, &built, &p).bandwidth() / 1e6)
+                .collect();
+            println!(
+                "{:<10} {:>12.1} {:>11.2}x {:>11.2}x {:>8.2}x {:>7.1}%",
+                w.kernel.label(),
+                bw[0],
+                bw[1] / bw[0],
+                bw[2] / bw[0],
+                bw[3] / bw[0],
+                built.character.write_ratio * 100.0
+            );
+            for i in 0..3 {
+                acc[i] += (bw[i + 1] / bw[0]).ln();
+            }
         }
-    }
-    let n = suite.len() as f64;
-    println!(
-        "\ngeo-mean over Bare-metal: Interleaving +{:.0}%, Selective-erasing +{:.0}%, Final +{:.0}% (paper: Final +77%)",
-        ((acc[0] / n).exp() - 1.0) * 100.0,
-        ((acc[1] / n).exp() - 1.0) * 100.0,
-        ((acc[2] / n).exp() - 1.0) * 100.0
-    );
+        let n = suite.len() as f64;
+        println!(
+            "\ngeo-mean over Bare-metal: Interleaving +{:.0}%, Selective-erasing +{:.0}%, Final +{:.0}% (paper: Final +77%)",
+            ((acc[0] / n).exp() - 1.0) * 100.0,
+            ((acc[1] / n).exp() - 1.0) * 100.0,
+            ((acc[2] / n).exp() - 1.0) * 100.0
+        );
+    });
+    h.finish();
 }

@@ -7,59 +7,63 @@
 use dramless::SystemKind;
 
 fn main() {
-    bench::banner(
-        "Figure 15",
-        "bandwidth of the evaluated systems, normalized to Hetero",
-    );
-    let suite = bench::suite();
-    let r = bench::sweep(&SystemKind::EVALUATED, &suite);
-    print!("{:<10}", "kernel");
-    for k in SystemKind::EVALUATED {
-        print!(" {:>9}", &k.label()[..k.label().len().min(9)]);
-    }
-    println!();
-    for w in &suite {
-        print!("{:<10}", w.kernel.label());
+    let mut h = util::bench::Harness::new("fig15_bandwidth");
+    h.once("run", || {
+        bench::banner(
+            "Figure 15",
+            "bandwidth of the evaluated systems, normalized to Hetero",
+        );
+        let suite = bench::suite();
+        let r = bench::sweep(&SystemKind::EVALUATED, &suite);
+        print!("{:<10}", "kernel");
         for k in SystemKind::EVALUATED {
-            print!(
-                " {:>8.2}x",
-                r.normalized_bandwidth(k, SystemKind::Hetero, w.kernel)
-            );
+            print!(" {:>9}", &k.label()[..k.label().len().min(9)]);
         }
         println!();
-    }
-    println!("\ngeometric means vs Hetero:");
-    for k in SystemKind::EVALUATED {
+        for w in &suite {
+            print!("{:<10}", w.kernel.label());
+            for k in SystemKind::EVALUATED {
+                print!(
+                    " {:>8.2}x",
+                    r.normalized_bandwidth(k, SystemKind::Hetero, w.kernel)
+                );
+            }
+            println!();
+        }
+        println!("\ngeometric means vs Hetero:");
+        for k in SystemKind::EVALUATED {
+            println!(
+                "  {:<22} {:>6.2}x",
+                k.label(),
+                r.mean_normalized_bandwidth(k, SystemKind::Hetero)
+            );
+        }
+        use SystemKind::*;
+        println!("\nheadline ratios (paper values in parentheses):");
         println!(
-            "  {:<22} {:>6.2}x",
-            k.label(),
-            r.mean_normalized_bandwidth(k, SystemKind::Hetero)
+            "  DRAM-less vs Hetero           {:.2}x (1.93x)",
+            r.mean_normalized_bandwidth(DramLess, Hetero)
         );
-    }
-    use SystemKind::*;
-    println!("\nheadline ratios (paper values in parentheses):");
-    println!(
-        "  DRAM-less vs Hetero           {:.2}x (1.93x)",
-        r.mean_normalized_bandwidth(DramLess, Hetero)
-    );
-    println!(
-        "  DRAM-less vs Heterodirect     {:.2}x (1.47x)",
-        r.mean_normalized_bandwidth(DramLess, Heterodirect)
-    );
-    println!(
-        "  DRAM-less vs firmware variant {:.2}x (1.25x)",
-        r.mean_normalized_bandwidth(DramLess, DramLessFirmware)
-    );
-    println!(
-        "  DRAM-less vs PAGE-buffer      {:.2}x (~1.64x)",
-        r.mean_normalized_bandwidth(DramLess, PageBuffer)
-    );
-    println!(
-        "  Heterodirect vs Hetero        {:.2}x (1.25x)",
-        r.mean_normalized_bandwidth(Heterodirect, Hetero)
-    );
-    println!(
-        "  PAGE-buffer vs Integrated-SLC {:.2}x (1.78x)",
-        r.mean_normalized_bandwidth(PageBuffer, IntegratedSlc)
-    );
+        println!(
+            "  DRAM-less vs Heterodirect     {:.2}x (1.47x)",
+            r.mean_normalized_bandwidth(DramLess, Heterodirect)
+        );
+        println!(
+            "  DRAM-less vs firmware variant {:.2}x (1.25x)",
+            r.mean_normalized_bandwidth(DramLess, DramLessFirmware)
+        );
+        println!(
+            "  DRAM-less vs PAGE-buffer      {:.2}x (~1.64x)",
+            r.mean_normalized_bandwidth(DramLess, PageBuffer)
+        );
+        println!(
+            "  Heterodirect vs Hetero        {:.2}x (1.25x)",
+            r.mean_normalized_bandwidth(Heterodirect, Hetero)
+        );
+        println!(
+            "  PAGE-buffer vs Integrated-SLC {:.2}x (1.78x)",
+            r.mean_normalized_bandwidth(PageBuffer, IntegratedSlc)
+        );
+    });
+    h.finish();
 }

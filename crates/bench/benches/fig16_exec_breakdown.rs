@@ -5,42 +5,46 @@
 use dramless::SystemKind;
 
 fn main() {
-    bench::banner(
-        "Figure 16",
-        "execution time decomposition (fractions of total)",
-    );
-    let suite = bench::suite();
-    let r = bench::sweep(&SystemKind::EVALUATED, &suite);
-    println!(
-        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
-        "system", "offload", "stage-in", "compute", "memory", "stage-out", "avg total"
-    );
-    for k in SystemKind::EVALUATED {
-        let mut f = [0.0f64; 5];
-        let mut total = 0.0;
-        let mut n = 0u32;
-        for o in &r.outcomes {
-            if o.system == k {
-                let fr = o.breakdown.fractions();
-                for i in 0..5 {
-                    f[i] += fr[i];
-                }
-                total += o.total_time.as_ms_f64();
-                n += 1;
-            }
-        }
-        let n = n as f64;
-        println!(
-            "{:<22} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>10.2}ms",
-            k.label(),
-            f[0] / n * 100.0,
-            f[1] / n * 100.0,
-            f[2] / n * 100.0,
-            f[3] / n * 100.0,
-            f[4] / n * 100.0,
-            total / n
+    let mut h = util::bench::Harness::new("fig16_exec_breakdown");
+    h.once("run", || {
+        bench::banner(
+            "Figure 16",
+            "execution time decomposition (fractions of total)",
         );
-    }
-    println!("\n(heterogeneous systems demand-page the SSD during execution, so their");
-    println!(" storage traffic appears under `memory` in addition to the staging phases)");
+        let suite = bench::suite();
+        let r = bench::sweep(&SystemKind::EVALUATED, &suite);
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+            "system", "offload", "stage-in", "compute", "memory", "stage-out", "avg total"
+        );
+        for k in SystemKind::EVALUATED {
+            let mut f = [0.0f64; 5];
+            let mut total = 0.0;
+            let mut n = 0u32;
+            for o in &r.outcomes {
+                if o.system == k {
+                    let fr = o.breakdown.fractions();
+                    for i in 0..5 {
+                        f[i] += fr[i];
+                    }
+                    total += o.total_time.as_ms_f64();
+                    n += 1;
+                }
+            }
+            let n = n as f64;
+            println!(
+                "{:<22} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>10.2}ms",
+                k.label(),
+                f[0] / n * 100.0,
+                f[1] / n * 100.0,
+                f[2] / n * 100.0,
+                f[3] / n * 100.0,
+                f[4] / n * 100.0,
+                total / n
+            );
+        }
+        println!("\n(heterogeneous systems demand-page the SSD during execution, so their");
+        println!(" storage traffic appears under `memory` in addition to the staging phases)");
+    });
+    h.finish();
 }

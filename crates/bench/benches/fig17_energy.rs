@@ -4,52 +4,56 @@
 use dramless::SystemKind;
 
 fn main() {
-    bench::banner(
-        "Figure 17",
-        "energy decomposition by component (mJ, suite average)",
-    );
-    let suite = bench::suite();
-    let r = bench::sweep(&SystemKind::EVALUATED, &suite);
-    let groups: [(&str, &[&str]); 7] = [
-        ("PE", &["pe."]),
-        ("host", &["host."]),
-        ("NVM", &["pram.", "flash.", "nor.", "pram-ssd."]),
-        ("DRAM", &["dram."]),
-        ("PCIe", &["pcie."]),
-        ("ctrl/fw", &["ctrl.", "fw.", "ssd."]),
-        ("idle", &["platform."]),
-    ];
-    print!("{:<22}", "system");
-    for (g, _) in groups {
-        print!(" {:>8}", g);
-    }
-    println!(" {:>9}", "total");
-    for k in SystemKind::EVALUATED {
-        let mut sums = vec![0.0f64; groups.len()];
-        let mut total = 0.0;
-        let mut n = 0u32;
-        for o in &r.outcomes {
-            if o.system == k {
-                for (i, (_, prefixes)) in groups.iter().enumerate() {
-                    for p in *prefixes {
-                        sums[i] += o.energy.energy_of_prefix(p).as_mj();
+    let mut h = util::bench::Harness::new("fig17_energy");
+    h.once("run", || {
+        bench::banner(
+            "Figure 17",
+            "energy decomposition by component (mJ, suite average)",
+        );
+        let suite = bench::suite();
+        let r = bench::sweep(&SystemKind::EVALUATED, &suite);
+        let groups: [(&str, &[&str]); 7] = [
+            ("PE", &["pe."]),
+            ("host", &["host."]),
+            ("NVM", &["pram.", "flash.", "nor.", "pram-ssd."]),
+            ("DRAM", &["dram."]),
+            ("PCIe", &["pcie."]),
+            ("ctrl/fw", &["ctrl.", "fw.", "ssd."]),
+            ("idle", &["platform."]),
+        ];
+        print!("{:<22}", "system");
+        for (g, _) in groups {
+            print!(" {:>8}", g);
+        }
+        println!(" {:>9}", "total");
+        for k in SystemKind::EVALUATED {
+            let mut sums = vec![0.0f64; groups.len()];
+            let mut total = 0.0;
+            let mut n = 0u32;
+            for o in &r.outcomes {
+                if o.system == k {
+                    for (i, (_, prefixes)) in groups.iter().enumerate() {
+                        for p in *prefixes {
+                            sums[i] += o.energy.energy_of_prefix(p).as_mj();
+                        }
                     }
+                    total += o.total_energy().as_mj();
+                    n += 1;
                 }
-                total += o.total_energy().as_mj();
-                n += 1;
             }
+            let n = n as f64;
+            print!("{:<22}", k.label());
+            for s in &sums {
+                print!(" {:>8.2}", s / n);
+            }
+            println!(" {:>9.2}", total / n);
         }
-        let n = n as f64;
-        print!("{:<22}", k.label());
-        for s in &sums {
-            print!(" {:>8.2}", s / n);
-        }
-        println!(" {:>9.2}", total / n);
-    }
-    use SystemKind::*;
-    println!(
-        "\nDRAM-less consumes {:.0}% of Heterodirect's energy (paper: 19%) and {:.0}% of PAGE-buffer's (paper: ~24%)",
-        r.mean_relative_energy(DramLess, Heterodirect) * 100.0,
-        r.mean_relative_energy(DramLess, PageBuffer) * 100.0
-    );
+        use SystemKind::*;
+        println!(
+            "\nDRAM-less consumes {:.0}% of Heterodirect's energy (paper: 19%) and {:.0}% of PAGE-buffer's (paper: ~24%)",
+            r.mean_relative_energy(DramLess, Heterodirect) * 100.0,
+            r.mean_relative_energy(DramLess, PageBuffer) * 100.0
+        );
+    });
+    h.finish();
 }

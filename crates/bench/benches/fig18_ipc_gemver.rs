@@ -10,8 +10,12 @@ use workloads::Kernel;
 
 #[allow(dead_code)] // unused when included as a module by the sibling bench
 fn main() {
-    bench::banner("Figure 18", "total IPC over time, gemver (read-intensive)");
-    run_ipc_series(Kernel::Gemver);
+    let mut h = util::bench::Harness::new("fig18_ipc_gemver");
+    h.once("run", || {
+        bench::banner("Figure 18", "total IPC over time, gemver (read-intensive)");
+        run_ipc_series(Kernel::Gemver);
+    });
+    h.finish();
 }
 
 pub fn run_ipc_series(kernel: Kernel) {

@@ -10,6 +10,10 @@ use workloads::Kernel;
 mod fig18;
 
 fn main() {
-    bench::banner("Figure 19", "total IPC over time, doitg (write-intensive)");
-    fig18::run_ipc_series(Kernel::Doitg);
+    let mut h = util::bench::Harness::new("fig19_ipc_doitg");
+    h.once("run", || {
+        bench::banner("Figure 19", "total IPC over time, doitg (write-intensive)");
+        fig18::run_ipc_series(Kernel::Doitg);
+    });
+    h.finish();
 }

@@ -11,8 +11,12 @@ use workloads::Kernel;
 
 #[allow(dead_code)] // unused when included as a module by the sibling bench
 fn main() {
-    bench::banner("Figure 20", "core power + total energy over time, gemver");
-    run_power_series(Kernel::Gemver);
+    let mut h = util::bench::Harness::new("fig20_power_gemver");
+    h.once("run", || {
+        bench::banner("Figure 20", "core power + total energy over time, gemver");
+        run_power_series(Kernel::Gemver);
+    });
+    h.finish();
 }
 
 pub fn run_power_series(kernel: Kernel) {

@@ -10,6 +10,10 @@ use workloads::Kernel;
 mod fig20;
 
 fn main() {
-    bench::banner("Figure 21", "core power + total energy over time, doitg");
-    fig20::run_power_series(Kernel::Doitg);
+    let mut h = util::bench::Harness::new("fig21_power_doitg");
+    h.once("run", || {
+        bench::banner("Figure 21", "core power + total energy over time, doitg");
+        fig20::run_power_series(Kernel::Doitg);
+    });
+    h.finish();
 }

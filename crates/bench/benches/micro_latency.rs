@@ -1,14 +1,14 @@
-//! Criterion micro-benchmarks of the PRAM controller primitives — the
-//! §V-A claims at operation granularity: interleaving's latency hiding
-//! and selective erasing's write-latency cut, plus raw device phase
-//! costs and the wall-clock cost of the simulator itself.
+//! Micro-benchmarks of the PRAM controller primitives — the §V-A
+//! claims at operation granularity: interleaving's latency hiding and
+//! selective erasing's write-latency cut, plus raw device phase costs
+//! and the wall-clock cost of the simulator itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pram::{BufferId, BurstLen, PramModule, PramTiming, RowId};
 use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
 use sim_core::{MemoryBackend, Picos};
+use util::bench::Harness;
 
-fn bench_simulated_latencies(c: &mut Criterion) {
+fn main() {
     // Not a wall-clock benchmark: report the *simulated* latencies the
     // model produces for the paper's key operations, then benchmark the
     // simulator's own throughput below.
@@ -29,31 +29,31 @@ fn bench_simulated_latencies(c: &mut Criterion) {
         println!("simulated 128 KiB stream read under {}: {}", s.label(), t);
     }
 
-    let mut group = c.benchmark_group("simulator-throughput");
-    group.bench_function("controller_read_512B", |b| {
+    let mut h = Harness::new("micro_latency");
+    {
         let mut ctrl = PramController::new(SubsystemConfig::paper(SchedulerKind::Final, 3));
         let mut t = Picos::ZERO;
         let mut addr = 0u64;
-        b.iter(|| {
+        h.bench("controller_read_512B", || {
             t = ctrl.read(t, addr, 512).end;
             addr = (addr + 512) % (1 << 28);
         });
-    });
-    group.bench_function("controller_write_512B", |b| {
+    }
+    {
         let mut ctrl = PramController::new(SubsystemConfig::paper(SchedulerKind::Final, 3));
         let mut t = Picos::ZERO;
         let mut addr = 0u64;
-        b.iter(|| {
+        h.bench("controller_write_512B", || {
             t = ctrl.write(t, addr, 512).end;
             addr = (addr + 512) % (1 << 28);
         });
-    });
-    group.bench_function("device_three_phase_read", |b| {
+    }
+    {
         let mut m = PramModule::new(PramTiming::table2(), 1);
         let lb = m.geometry().lower_row_bits;
         let mut t = Picos::ZERO;
         let mut r = 0u32;
-        b.iter(|| {
+        h.bench("device_three_phase_read", || {
             let row = RowId::new((r % 16) as u8, r / 16);
             let pre = m.pre_active(t, BufferId::B0, row.upper(lb));
             let act = m.activate(pre.end, BufferId::B0, row.lower(lb));
@@ -61,13 +61,6 @@ fn bench_simulated_latencies(c: &mut Criterion) {
             t = rd.end;
             r = (r + 1) % (1 << 20);
         });
-    });
-    group.finish();
+    }
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_simulated_latencies
-}
-criterion_main!(benches);

@@ -7,61 +7,67 @@ use pram::PramTiming;
 use storage::norintf::NorPramParams;
 
 fn main() {
-    bench::banner(
-        "Table I",
-        "configuration parameters of all evaluated systems",
-    );
-    println!(
-        "{:<22} {:>6} {:>9} {:>10} {:>11} {:>11}",
-        "system", "hetero", "int.DRAM", "read(us)", "write(us)", "erase(us)"
-    );
-    let pram = PramTiming::table2();
-    let nor = NorPramParams::default();
-    for k in SystemKind::TABLE1 {
-        let (r, w, e): (String, String, String) = match k {
-            SystemKind::Hetero | SystemKind::Heterodirect => {
-                let t = FlashTiming::table1(CellKind::Mlc);
-                (f(t.t_read), f(t.t_program), f(t.t_erase))
-            }
-            SystemKind::HeteroPram | SystemKind::HeterodirectPram => (
-                "0.1".into(),
-                format!(
-                    "{}/{}",
-                    pram.t_program_set.as_us_f64(),
-                    pram.t_program_overwrite().as_us_f64()
-                ),
-                "N/A".into(),
-            ),
-            SystemKind::NorIntf => (
-                format!("{}(ns)", nor.t_access.as_ns_f64()),
-                f(nor.t_program),
-                "N/A".into(),
-            ),
-            SystemKind::IntegratedSlc => tier(CellKind::Slc),
-            SystemKind::IntegratedMlc => tier(CellKind::Mlc),
-            SystemKind::IntegratedTlc => tier(CellKind::Tlc),
-            SystemKind::PageBuffer | SystemKind::DramLess => (
-                "0.1".into(),
-                format!(
-                    "{}/{}",
-                    pram.t_program_set.as_us_f64(),
-                    pram.t_program_overwrite().as_us_f64()
-                ),
-                "N/A".into(),
-            ),
-            _ => unreachable!(),
-        };
+    let mut h = util::bench::Harness::new("table1_configs");
+    h.once("run", || {
+        bench::banner(
+            "Table I",
+            "configuration parameters of all evaluated systems",
+        );
         println!(
             "{:<22} {:>6} {:>9} {:>10} {:>11} {:>11}",
-            k.label(),
-            if k.is_heterogeneous() { "yes" } else { "no" },
-            if k.has_internal_dram() { "yes" } else { "no" },
-            r,
-            w,
-            e
+            "system", "hetero", "int.DRAM", "read(us)", "write(us)", "erase(us)"
         );
-    }
-    println!("\n(NOR-intf read reported in ns: see EXPERIMENTS.md on the Table I unit ambiguity)");
+        let pram = PramTiming::table2();
+        let nor = NorPramParams::default();
+        for k in SystemKind::TABLE1 {
+            let (r, w, e): (String, String, String) = match k {
+                SystemKind::Hetero | SystemKind::Heterodirect => {
+                    let t = FlashTiming::table1(CellKind::Mlc);
+                    (f(t.t_read), f(t.t_program), f(t.t_erase))
+                }
+                SystemKind::HeteroPram | SystemKind::HeterodirectPram => (
+                    "0.1".into(),
+                    format!(
+                        "{}/{}",
+                        pram.t_program_set.as_us_f64(),
+                        pram.t_program_overwrite().as_us_f64()
+                    ),
+                    "N/A".into(),
+                ),
+                SystemKind::NorIntf => (
+                    format!("{}(ns)", nor.t_access.as_ns_f64()),
+                    f(nor.t_program),
+                    "N/A".into(),
+                ),
+                SystemKind::IntegratedSlc => tier(CellKind::Slc),
+                SystemKind::IntegratedMlc => tier(CellKind::Mlc),
+                SystemKind::IntegratedTlc => tier(CellKind::Tlc),
+                SystemKind::PageBuffer | SystemKind::DramLess => (
+                    "0.1".into(),
+                    format!(
+                        "{}/{}",
+                        pram.t_program_set.as_us_f64(),
+                        pram.t_program_overwrite().as_us_f64()
+                    ),
+                    "N/A".into(),
+                ),
+                _ => unreachable!(),
+            };
+            println!(
+                "{:<22} {:>6} {:>9} {:>10} {:>11} {:>11}",
+                k.label(),
+                if k.is_heterogeneous() { "yes" } else { "no" },
+                if k.has_internal_dram() { "yes" } else { "no" },
+                r,
+                w,
+                e
+            );
+        }
+        println!(
+            "\n(NOR-intf read reported in ns: see EXPERIMENTS.md on the Table I unit ambiguity)"
+        );
+    });
+    h.finish();
 }
 
 fn f(t: sim_core::Picos) -> String {

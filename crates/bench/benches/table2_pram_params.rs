@@ -5,57 +5,61 @@ use pram::{BurstLen, PramTiming};
 use sim_core::Picos;
 
 fn main() {
-    bench::banner("Table II", "characterized PRAM parameters");
-    let t = PramTiming::table2();
-    println!(
-        "RL (cycle)      {:>8}   tRP (cycle)   {:>8}   tDQSS (ns)  {:.2}-{:.2}",
-        t.rl_cycles,
-        t.trp_cycles,
-        t.tdqss_min.as_ns_f64(),
-        t.tdqss_max.as_ns_f64()
-    );
-    println!(
-        "WL (cycle)      {:>8}   tRCD (ns)     {:>8}   tWRA (ns)   {:>8}",
-        t.wl_cycles,
-        t.trcd.as_ns_f64(),
-        t.twra.as_ns_f64()
-    );
-    println!(
-        "tCK (ns)        {:>8}   tDQSCK (ns)   {:.1}-{:.1}   tBURST      4/8/16 (BL4/8/16)",
-        t.tck().as_ns_f64(),
-        t.tdqsck_min.as_ns_f64(),
-        t.tdqsck_max.as_ns_f64()
-    );
-    println!(
-        "RAB             {:>8}   RDB           32B,{}RDBs  PRAM write  {}-{} us",
-        t.rab_count,
-        t.rdb_count,
-        t.t_program_set.as_us_f64(),
-        t.t_program_overwrite().as_us_f64()
-    );
-    println!("Channels               2   Packages            16   Partitions        16");
-    println!();
-    println!(
-        "derived: nominal three-phase read = {} (paper: ~100 ns)",
-        t.nominal_read()
-    );
-    println!(
-        "derived: erase = {} = {}x an overwrite (paper: ~3000x)",
-        t.t_erase,
-        t.t_erase / t.t_program_overwrite()
-    );
+    let mut h = util::bench::Harness::new("table2_pram_params");
+    h.once("run", || {
+        bench::banner("Table II", "characterized PRAM parameters");
+        let t = PramTiming::table2();
+        println!(
+            "RL (cycle)      {:>8}   tRP (cycle)   {:>8}   tDQSS (ns)  {:.2}-{:.2}",
+            t.rl_cycles,
+            t.trp_cycles,
+            t.tdqss_min.as_ns_f64(),
+            t.tdqss_max.as_ns_f64()
+        );
+        println!(
+            "WL (cycle)      {:>8}   tRCD (ns)     {:>8}   tWRA (ns)   {:>8}",
+            t.wl_cycles,
+            t.trcd.as_ns_f64(),
+            t.twra.as_ns_f64()
+        );
+        println!(
+            "tCK (ns)        {:>8}   tDQSCK (ns)   {:.1}-{:.1}   tBURST      4/8/16 (BL4/8/16)",
+            t.tck().as_ns_f64(),
+            t.tdqsck_min.as_ns_f64(),
+            t.tdqsck_max.as_ns_f64()
+        );
+        println!(
+            "RAB             {:>8}   RDB           32B,{}RDBs  PRAM write  {}-{} us",
+            t.rab_count,
+            t.rdb_count,
+            t.t_program_set.as_us_f64(),
+            t.t_program_overwrite().as_us_f64()
+        );
+        println!("Channels               2   Packages            16   Partitions        16");
+        println!();
+        println!(
+            "derived: nominal three-phase read = {} (paper: ~100 ns)",
+            t.nominal_read()
+        );
+        println!(
+            "derived: erase = {} = {}x an overwrite (paper: ~3000x)",
+            t.t_erase,
+            t.t_erase / t.t_program_overwrite()
+        );
 
-    // Assertions: the model must carry the paper's exact values.
-    assert_eq!(t.rl_cycles, 6);
-    assert_eq!(t.wl_cycles, 3);
-    assert_eq!(t.trp_cycles, 3);
-    assert_eq!(t.tck(), Picos::from_ns_f64(2.5));
-    assert_eq!(t.trcd, Picos::from_ns(80));
-    assert_eq!(t.twra, Picos::from_ns(15));
-    assert_eq!(t.tburst(BurstLen::Bl4), Picos::from_ns(10));
-    assert_eq!(t.tburst(BurstLen::Bl16), Picos::from_ns(40));
-    assert_eq!(t.t_program_set, Picos::from_us(10));
-    assert_eq!(t.t_program_overwrite(), Picos::from_us(18));
-    assert_eq!((t.rab_count, t.rdb_count), (4, 4));
-    println!("\nall Table II values verified against the model.");
+        // Assertions: the model must carry the paper's exact values.
+        assert_eq!(t.rl_cycles, 6);
+        assert_eq!(t.wl_cycles, 3);
+        assert_eq!(t.trp_cycles, 3);
+        assert_eq!(t.tck(), Picos::from_ns_f64(2.5));
+        assert_eq!(t.trcd, Picos::from_ns(80));
+        assert_eq!(t.twra, Picos::from_ns(15));
+        assert_eq!(t.tburst(BurstLen::Bl4), Picos::from_ns(10));
+        assert_eq!(t.tburst(BurstLen::Bl16), Picos::from_ns(40));
+        assert_eq!(t.t_program_set, Picos::from_us(10));
+        assert_eq!(t.t_program_overwrite(), Picos::from_us(18));
+        assert_eq!((t.rab_count, t.rdb_count), (4, 4));
+        println!("\nall Table II values verified against the model.");
+    });
+    h.finish();
 }

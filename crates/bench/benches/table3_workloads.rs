@@ -2,36 +2,40 @@
 //! the instrumented kernels.
 
 fn main() {
-    bench::banner(
-        "Table III",
-        "workload characteristics (measured from real kernel runs)",
-    );
-    let p = bench::params();
-    println!(
-        "{:<10} {:>6} {:>11} {:>9} {:>9} {:>8} {:>12} {:>8}",
-        "kernel", "n", "footprint", "input", "output", "write%", "instructions", "class"
-    );
-    for w in bench::suite() {
-        let b = w.build(p.agents);
-        let c = b.character;
-        let class = if w.kernel.is_read_intensive() {
-            "read"
-        } else if w.kernel.is_write_intensive() {
-            "write"
-        } else {
-            "mixed"
-        };
-        println!(
-            "{:<10} {:>6} {:>9}KB {:>7}KB {:>7}KB {:>7.1}% {:>12} {:>8}",
-            w.kernel.label(),
-            w.n,
-            c.footprint / 1024,
-            c.bytes_in / 1024,
-            c.bytes_out / 1024,
-            c.write_ratio * 100.0,
-            c.instructions,
-            class
+    let mut h = util::bench::Harness::new("table3_workloads");
+    h.once("run", || {
+        bench::banner(
+            "Table III",
+            "workload characteristics (measured from real kernel runs)",
         );
-    }
-    println!("\n(write intensiveness classified by output-per-input volume, as in §VI)");
+        let p = bench::params();
+        println!(
+            "{:<10} {:>6} {:>11} {:>9} {:>9} {:>8} {:>12} {:>8}",
+            "kernel", "n", "footprint", "input", "output", "write%", "instructions", "class"
+        );
+        for w in bench::suite() {
+            let b = w.build(p.agents);
+            let c = b.character;
+            let class = if w.kernel.is_read_intensive() {
+                "read"
+            } else if w.kernel.is_write_intensive() {
+                "write"
+            } else {
+                "mixed"
+            };
+            println!(
+                "{:<10} {:>6} {:>9}KB {:>7}KB {:>7}KB {:>7.1}% {:>12} {:>8}",
+                w.kernel.label(),
+                w.n,
+                c.footprint / 1024,
+                c.bytes_in / 1024,
+                c.bytes_out / 1024,
+                c.write_ratio * 100.0,
+                c.instructions,
+                class
+            );
+        }
+        println!("\n(write intensiveness classified by output-per-input volume, as in §VI)");
+    });
+    h.finish();
 }

@@ -27,21 +27,22 @@ pub fn params() -> SystemParams {
 }
 
 /// Sweeps `kinds × workloads`, parallelized across workloads with
-/// crossbeam scoped threads (each workload builds its traces once and
-/// runs every system on them).
+/// std scoped threads (each workload builds its traces once and runs
+/// every system on them).
 pub fn sweep(kinds: &[SystemKind], workloads: &[Workload]) -> SuiteResult {
     let p = params();
     let mut buckets: Vec<Vec<RunOutcome>> = Vec::new();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = workloads
             .iter()
             .map(|w| {
                 let kinds = kinds.to_vec();
-                s.spawn(move |_| {
+                let p = &p;
+                s.spawn(move || {
                     let built = w.build(p.agents);
                     kinds
                         .iter()
-                        .map(|&k| dramless::system::simulate_built(k, &built, &p))
+                        .map(|&k| dramless::system::simulate_built(k, &built, p))
                         .collect::<Vec<_>>()
                 })
             })
@@ -49,8 +50,7 @@ pub fn sweep(kinds: &[SystemKind], workloads: &[Workload]) -> SuiteResult {
         for h in handles {
             buckets.push(h.join().expect("workload sweep thread"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     SuiteResult {
         outcomes: buckets.into_iter().flatten().collect(),
     }

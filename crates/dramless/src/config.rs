@@ -1,6 +1,5 @@
 //! System configurations (Table I).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The evaluated accelerated-system designs.
@@ -8,7 +7,7 @@ use std::fmt;
 /// The first ten are Table I's columns; [`SystemKind::DramLessFirmware`]
 /// is the §VI firmware baseline and [`SystemKind::Ideal`] the Fig. 1
 /// all-in-memory reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// Flash SSD + host-mediated staging + accelerator DRAM.
     Hetero,
@@ -36,6 +35,21 @@ pub enum SystemKind {
     /// An idealized system whose whole dataset fits in fast memory.
     Ideal,
 }
+
+util::json_unit_enum!(SystemKind {
+    Hetero,
+    Heterodirect,
+    HeteroPram,
+    HeterodirectPram,
+    NorIntf,
+    IntegratedSlc,
+    IntegratedMlc,
+    IntegratedTlc,
+    PageBuffer,
+    DramLess,
+    DramLessFirmware,
+    Ideal,
+});
 
 impl SystemKind {
     /// Table I's ten columns, in figure order.
@@ -121,7 +135,7 @@ impl fmt::Display for SystemKind {
 }
 
 /// Tunable parameters shared by every configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
     /// Agent PEs running kernels (the platform has 8 PEs; one serves).
     pub agents: usize,
@@ -143,6 +157,15 @@ pub struct SystemParams {
     /// Time-series bucket width for IPC/power sampling.
     pub sample_bucket_us: u64,
 }
+
+util::json_struct!(SystemParams {
+    agents,
+    seed,
+    capacity_pressure,
+    page_bytes,
+    image_bytes_per_agent,
+    sample_bucket_us,
+});
 
 impl Default for SystemParams {
     fn default() -> Self {

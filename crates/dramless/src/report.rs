@@ -2,13 +2,12 @@
 
 use crate::config::SystemKind;
 use accel::exec::ExecReport;
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::time::Picos;
 use workloads::Kernel;
 
 /// Execution-time decomposition (the Fig. 16 stack).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Breakdown {
     /// Kernel offload: image transfer + agent scheduling.
     pub offload: Picos,
@@ -22,6 +21,14 @@ pub struct Breakdown {
     /// Writing results back to external storage (heterogeneous only).
     pub staging_out: Picos,
 }
+
+util::json_struct!(Breakdown {
+    offload,
+    staging_in,
+    compute,
+    memory,
+    staging_out
+});
 
 impl Breakdown {
     /// Total decomposed time.
@@ -47,7 +54,7 @@ impl Breakdown {
 }
 
 /// The complete result of simulating one workload on one configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// Which system ran.
     pub system: SystemKind,
@@ -65,6 +72,16 @@ pub struct RunOutcome {
     /// Merged energy ledger across every component.
     pub energy: EnergyBook,
 }
+
+util::json_struct!(RunOutcome {
+    system,
+    kernel,
+    total_time,
+    data_bytes,
+    exec,
+    breakdown,
+    energy
+});
 
 impl RunOutcome {
     /// Data-processing bandwidth in bytes/second over the whole run —
@@ -89,11 +106,13 @@ impl RunOutcome {
 
 /// Results of sweeping one workload across many systems (or the whole
 /// suite — one entry per `(system, kernel)` pair).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SuiteResult {
     /// All outcomes, in run order.
     pub outcomes: Vec<RunOutcome>,
 }
+
+util::json_struct!(SuiteResult { outcomes });
 
 impl SuiteResult {
     /// Looks up an outcome.
@@ -165,7 +184,7 @@ impl SuiteResult {
 
     /// Serializes to pretty JSON for machine-readable experiment records.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("suite results are serializable")
+        util::json::ToJson::to_json_pretty(self)
     }
 }
 

@@ -12,11 +12,10 @@
 //! exactly the work the FTL caused.
 
 use crate::geometry::FlashGeometry;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A physical page location.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PhysPage {
     /// Die index.
     pub die: usize,
@@ -26,8 +25,10 @@ pub struct PhysPage {
     pub page: u32,
 }
 
+util::json_struct!(PhysPage { die, block, page });
+
 /// A physical operation the FTL requires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FtlOp {
     /// Read a page (GC relocation source).
     Read(PhysPage),
@@ -42,7 +43,44 @@ pub enum FtlOp {
     },
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+impl util::json::ToJson for FtlOp {
+    fn to_json(&self) -> util::json::Json {
+        use util::json::Json;
+        match *self {
+            FtlOp::Read(p) => Json::Obj(vec![("Read".to_string(), p.to_json())]),
+            FtlOp::Program(p) => Json::Obj(vec![("Program".to_string(), p.to_json())]),
+            FtlOp::Erase { die, block } => Json::Obj(vec![(
+                "Erase".to_string(),
+                Json::Obj(vec![
+                    ("die".to_string(), die.to_json()),
+                    ("block".to_string(), block.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl util::json::FromJson for FtlOp {
+    fn from_json(v: &util::json::Json) -> Result<Self, util::json::JsonError> {
+        use util::json::{field, Json, JsonError};
+        let pairs = match v {
+            Json::Obj(pairs) if pairs.len() == 1 => pairs,
+            _ => return Err(JsonError::new("expected single-key FtlOp object")),
+        };
+        let (tag, body) = &pairs[0];
+        match tag.as_str() {
+            "Read" => Ok(FtlOp::Read(PhysPage::from_json(body)?)),
+            "Program" => Ok(FtlOp::Program(PhysPage::from_json(body)?)),
+            "Erase" => Ok(FtlOp::Erase {
+                die: field(body, "die")?,
+                block: field(body, "block")?,
+            }),
+            other => Err(JsonError::new(format!("unknown FtlOp variant {other:?}"))),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Block {
     /// Next free page slot; `pages_per_block` means full.
     write_ptr: u32,
@@ -50,6 +88,12 @@ struct Block {
     owners: Vec<Option<u64>>,
     valid: u32,
 }
+
+util::json_struct!(Block {
+    write_ptr,
+    owners,
+    valid
+});
 
 impl Block {
     fn new(pages: u32) -> Self {
@@ -69,13 +113,15 @@ impl Block {
     }
 }
 
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct DieState {
     open_block: Option<u32>,
 }
 
+util::json_struct!(DieState { open_block });
+
 /// FTL statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FtlStats {
     /// Host page writes accepted.
     pub host_programs: u64,
@@ -84,6 +130,12 @@ pub struct FtlStats {
     /// Blocks erased.
     pub erases: u64,
 }
+
+util::json_struct!(FtlStats {
+    host_programs,
+    gc_programs,
+    erases
+});
 
 impl FtlStats {
     /// Write amplification factor: total programs / host programs.
@@ -97,7 +149,7 @@ impl FtlStats {
 }
 
 /// The page-mapping FTL.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ftl {
     geometry: FlashGeometry,
     map: HashMap<u64, PhysPage>,
@@ -109,6 +161,16 @@ pub struct Ftl {
     gc_low_water: u32,
     stats: FtlStats,
 }
+
+util::json_struct!(Ftl {
+    geometry,
+    map,
+    blocks,
+    dies,
+    next_die,
+    gc_low_water,
+    stats
+});
 
 impl Ftl {
     /// Creates an FTL over `geometry`, garbage-collecting when a die

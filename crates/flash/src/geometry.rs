@@ -1,9 +1,7 @@
 //! Flash array geometry.
 
-use serde::{Deserialize, Serialize};
-
 /// Static layout of a flash device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlashGeometry {
     /// Independent dies (parallel units).
     pub dies: usize,
@@ -15,6 +13,13 @@ pub struct FlashGeometry {
     /// I/O").
     pub page_bytes: u32,
 }
+
+util::json_struct!(FlashGeometry {
+    dies,
+    blocks_per_die,
+    pages_per_block,
+    page_bytes
+});
 
 impl Default for FlashGeometry {
     fn default() -> Self {

@@ -1,10 +1,9 @@
 //! Flash timing tiers (Table I).
 
-use serde::{Deserialize, Serialize};
 use sim_core::time::Picos;
 
 /// NAND cell density class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellKind {
     /// Single-level cell: fastest, used by "Integrated-SLC".
     Slc,
@@ -13,6 +12,8 @@ pub enum CellKind {
     /// Triple-level cell: densest and slowest.
     Tlc,
 }
+
+util::json_unit_enum!(CellKind { Slc, Mlc, Tlc });
 
 impl CellKind {
     /// All kinds in Table I order.
@@ -29,7 +30,7 @@ impl CellKind {
 }
 
 /// The timing of one flash device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlashTiming {
     /// Array-to-register page read time (tR).
     pub t_read: Picos,
@@ -40,6 +41,13 @@ pub struct FlashTiming {
     /// Channel transfer bandwidth in bytes/second (ONFI-class bus).
     pub bus_bytes_per_sec: u64,
 }
+
+util::json_struct!(FlashTiming {
+    t_read,
+    t_program,
+    t_erase,
+    bus_bytes_per_sec
+});
 
 impl FlashTiming {
     /// Table I parameters for a cell kind.

@@ -4,7 +4,6 @@
 //! different PCIe slots" \[17\]; every byte between them crosses at least
 //! one link (two, when the host mediates).
 
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::time::Picos;
 use sim_core::timeline::Timeline;
@@ -13,7 +12,7 @@ use sim_core::timeline::Timeline;
 const E_PER_BYTE: Joules = Joules::from_pj(35);
 
 /// Link parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PcieParams {
     /// Effective payload bandwidth in bytes/second.
     pub bytes_per_sec: u64,
@@ -22,6 +21,12 @@ pub struct PcieParams {
     /// DMA descriptor setup per transfer.
     pub dma_setup: Picos,
 }
+
+util::json_struct!(PcieParams {
+    bytes_per_sec,
+    latency,
+    dma_setup
+});
 
 impl Default for PcieParams {
     fn default() -> Self {

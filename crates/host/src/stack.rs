@@ -10,13 +10,12 @@
 //! driver work, mode switches, and bandwidth-limited memory copies — plus
 //! the energy of a server-class CPU doing it.
 
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Watts};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
 
 /// Stack cost parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostStackParams {
     /// Entering + leaving the kernel once.
     pub mode_switch: Picos,
@@ -38,6 +37,18 @@ pub struct HostStackParams {
     /// Host cores available to run storage-stack work concurrently.
     pub cores: usize,
 }
+
+util::json_struct!(HostStackParams {
+    mode_switch,
+    fs_request,
+    driver_request,
+    interrupt,
+    copy_bytes_per_sec,
+    copies,
+    io_request_bytes,
+    cpu_power,
+    cores,
+});
 
 impl Default for HostStackParams {
     fn default() -> Self {

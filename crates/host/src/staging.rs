@@ -12,19 +12,23 @@
 
 use crate::pcie::PcieLink;
 use crate::stack::HostStack;
-use serde::{Deserialize, Serialize};
 use sim_core::energy::EnergyBook;
 use sim_core::mem::MemoryBackend;
 use sim_core::time::Picos;
 
 /// Which staging datapath a heterogeneous system uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StagingPath {
     /// SSD → host DRAM (2 copies + deserialize) → PCIe → accelerator.
     HostMediated,
     /// SSD → PCIe switch → accelerator, zero host copies.
     P2pDma,
 }
+
+util::json_unit_enum!(StagingPath {
+    HostMediated,
+    P2pDma
+});
 
 impl StagingPath {
     /// Label used in reports.
@@ -37,7 +41,7 @@ impl StagingPath {
 }
 
 /// The outcome of moving one buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StagingReport {
     /// When the transfer finished.
     pub done: Picos,
@@ -46,6 +50,12 @@ pub struct StagingReport {
     /// I/O requests issued to the SSD.
     pub requests: u64,
 }
+
+util::json_struct!(StagingReport {
+    done,
+    bytes,
+    requests
+});
 
 /// The staging engine: owns the host stack and both PCIe links.
 #[derive(Debug)]

@@ -14,10 +14,8 @@
 //! modules and all partitions — maximum device parallelism, which is what
 //! the multi-resource aware interleaving scheduler then exploits.
 
-use serde::{Deserialize, Serialize};
-
 /// Where one word-aligned fragment of a request lands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Target {
     /// Channel index.
     pub channel: usize,
@@ -27,8 +25,14 @@ pub struct Target {
     pub module_addr: u64,
 }
 
+util::json_struct!(Target {
+    channel,
+    module,
+    module_addr
+});
+
 /// A word-aligned fragment of a larger request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fragment {
     /// Where the fragment lands.
     pub target: Target,
@@ -38,8 +42,14 @@ pub struct Fragment {
     pub len: u32,
 }
 
+util::json_struct!(Fragment {
+    target,
+    global_addr,
+    len
+});
+
 /// The controller's global striping function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMap {
     /// Number of channels (paper: 2).
     pub channels: usize,
@@ -48,6 +58,12 @@ pub struct AddressMap {
     /// Word size in bytes (paper: 32).
     pub word_bytes: u64,
 }
+
+util::json_struct!(AddressMap {
+    channels,
+    modules_per_channel,
+    word_bytes
+});
 
 impl Default for AddressMap {
     fn default() -> Self {

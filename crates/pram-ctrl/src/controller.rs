@@ -27,7 +27,6 @@ use pram::cell::WORD_BYTES;
 use pram::overlay::regs;
 use pram::timing::{BurstLen, PramTiming};
 use pram::PramChannel;
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::time::Picos;
@@ -37,7 +36,7 @@ use std::collections::{HashMap, HashSet};
 const E_CTRL_OP: Joules = Joules::from_pj(200);
 
 /// Construction parameters of the PRAM subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubsystemConfig {
     /// Device timing (Table II by default).
     pub timing: PramTiming,
@@ -56,6 +55,16 @@ pub struct SubsystemConfig {
     /// Determinism seed.
     pub seed: u64,
 }
+
+util::json_struct!(SubsystemConfig {
+    timing,
+    map,
+    scheduler,
+    phy,
+    write_pausing,
+    wear_leveling,
+    seed,
+});
 
 impl SubsystemConfig {
     /// The paper configuration: 2 channels × 16 modules, Table II timing.
@@ -90,7 +99,7 @@ impl SubsystemConfig {
 }
 
 /// Controller-level statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CtrlStats {
     /// Read requests serviced.
     pub reads: u64,
@@ -115,6 +124,20 @@ pub struct CtrlStats {
     /// Sum of write latencies (issue → posted).
     pub write_latency_sum: Picos,
 }
+
+util::json_struct!(CtrlStats {
+    reads,
+    writes,
+    words_read,
+    words_written,
+    pre_active_skips,
+    activate_skips,
+    preerase_hits,
+    preerase_misses,
+    gap_moves,
+    read_latency_sum,
+    write_latency_sum,
+});
 
 /// The FPGA PRAM controller: translator + command generator + datapath
 /// over two channels of PRAM modules.

@@ -13,12 +13,11 @@
 
 use crate::controller::PramController;
 use pram::cell::WORD_BYTES;
-use serde::{Deserialize, Serialize};
 use sim_core::mem::Access;
 use sim_core::time::Picos;
 
 /// Operation selector held in the mode register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(u32)]
 pub enum Mode {
     /// Read one 32 B word into the read datapath register.
@@ -27,6 +26,8 @@ pub enum Mode {
     /// Write the write datapath register's 32 B to memory.
     Write = 1,
 }
+
+util::json_unit_enum!(Mode { Read, Write });
 
 /// Errors raised by the register protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -14,14 +14,13 @@
 //! the same PRAM datapath as the hardware-automated controller.
 
 use crate::controller::PramController;
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Watts};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::time::{Freq, Picos};
 use sim_core::timeline::TimelineBank;
 
 /// Firmware execution-cost parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FirmwareParams {
     /// Embedded cores available to run request handlers.
     pub cores: usize,
@@ -36,6 +35,14 @@ pub struct FirmwareParams {
     /// Active power of one busy core.
     pub core_power: Watts,
 }
+
+util::json_struct!(FirmwareParams {
+    cores,
+    clock,
+    instructions_per_read,
+    instructions_per_write,
+    core_power,
+});
 
 impl Default for FirmwareParams {
     fn default() -> Self {

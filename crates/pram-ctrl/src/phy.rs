@@ -10,11 +10,10 @@
 //! the burst length and overlay window address."
 
 use pram::timing::PramTiming;
-use serde::{Deserialize, Serialize};
 use sim_core::time::Picos;
 
 /// PHY cost parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhyParams {
     /// Clock-domain-crossing latency added to each word operation (the
     /// FPGA fabric and the PRAM interface run from separate 400 MHz
@@ -28,6 +27,13 @@ pub struct PhyParams {
     pub mode_register_set: Picos,
 }
 
+util::json_struct!(PhyParams {
+    sync_latency,
+    auto_init,
+    zq_calibration,
+    mode_register_set
+});
+
 impl Default for PhyParams {
     fn default() -> Self {
         PhyParams {
@@ -40,7 +46,7 @@ impl Default for PhyParams {
 }
 
 /// What the initializer did at boot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InitReport {
     /// Modules initialized.
     pub modules: usize,
@@ -48,11 +54,15 @@ pub struct InitReport {
     pub ready_at: Picos,
 }
 
+util::json_struct!(InitReport { modules, ready_at });
+
 /// The PHY + initializer pair for one controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Phy {
     params: PhyParams,
 }
+
+util::json_struct!(Phy { params });
 
 impl Phy {
     /// Creates a PHY with the given parameters.

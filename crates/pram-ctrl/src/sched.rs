@@ -13,11 +13,10 @@
 //!   later overwrite SET-only.
 //! * **Final** — both optimizations together; the DRAM-less default.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which of the paper's scheduler variants the controller runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedulerKind {
     /// Noop scheduling, single row buffer, no pre-erase.
     BareMetal,
@@ -29,6 +28,13 @@ pub enum SchedulerKind {
     #[default]
     Final,
 }
+
+util::json_unit_enum!(SchedulerKind {
+    BareMetal,
+    Interleaving,
+    SelectiveErasing,
+    Final
+});
 
 impl SchedulerKind {
     /// All variants, in the order Fig. 13 plots them.

@@ -12,16 +12,16 @@
 //! physical slots minus the gap — property-tested in the repository's
 //! `prop_invariants` suite as well as here.
 
-use serde::{Deserialize, Serialize};
-
 /// A line copy the controller must perform because the gap moved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GapMove {
     /// Physical slot whose contents move…
     pub from: u64,
     /// …into this (previously gap) slot.
     pub to: u64,
 }
+
+util::json_struct!(GapMove { from, to });
 
 /// Start-gap remapping state over `n` logical lines.
 ///
@@ -38,7 +38,7 @@ pub struct GapMove {
 /// // After enough writes the line has physically moved.
 /// assert_ne!(sg.map(3), before);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StartGap {
     lines: u64,
     /// Gap slot position in `0..=lines`.
@@ -49,6 +49,15 @@ pub struct StartGap {
     interval: u64,
     total_moves: u64,
 }
+
+util::json_struct!(StartGap {
+    lines,
+    gap,
+    start,
+    writes_since_move,
+    interval,
+    total_moves
+});
 
 impl StartGap {
     /// Creates a leveler over `lines` logical lines, moving the gap every

@@ -13,11 +13,10 @@
 
 use crate::cell::WORD_BYTES;
 use crate::geometry::{RowId, UpperRow};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A buffer address: selects one RAB/RDB pair (2-bit BA signal).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BufferId {
     /// Buffer 0.
     B0,
@@ -28,6 +27,8 @@ pub enum BufferId {
     /// Buffer 3.
     B3,
 }
+
+util::json_unit_enum!(BufferId { B0, B1, B2, B3 });
 
 impl BufferId {
     /// All buffer ids in order.
@@ -60,13 +61,15 @@ impl fmt::Display for BufferId {
 }
 
 /// State of one RAB/RDB pair.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RowBuffer {
     /// Upper row address latched by the last pre-active phase, if any.
     pub rab: Option<UpperRow>,
     /// Row currently sensed into the data buffer, with its contents.
     pub rdb: Option<(RowId, [u8; WORD_BYTES])>,
 }
+
+util::json_struct!(RowBuffer { rab, rdb });
 
 /// The full row-buffer set of a module.
 ///
@@ -82,10 +85,12 @@ pub struct RowBuffer {
 /// assert!(bufs.rab_holds(BufferId::B2, row.upper(6)));
 /// assert!(bufs.find_rdb(row).is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowBufferSet {
     buffers: Vec<RowBuffer>,
 }
+
+util::json_struct!(RowBufferSet { buffers });
 
 impl RowBufferSet {
     /// Creates `n` empty buffers (Table II devices have 4).

@@ -18,17 +18,15 @@
 //! The array is sparse: unwritten rows are pristine zeros.
 
 use crate::geometry::{PartitionId, PramGeometry, RowId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Size of one program unit (row word) in bytes.
 pub const WORD_BYTES: usize = 32;
 
 /// One stored word and its cell condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Word {
     /// The 32 bytes held by the row.
-    #[serde(with = "serde_bytes_array")]
     pub data: [u8; WORD_BYTES],
     /// Whether all cells are in the pristine (RESET) state, meaning the
     /// next program is SET-only.
@@ -37,19 +35,11 @@ pub struct Word {
     pub programs: u32,
 }
 
-mod serde_bytes_array {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[u8; 32], s: S) -> Result<S::Ok, S::Error> {
-        v.as_slice().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 32], D::Error> {
-        let v: Vec<u8> = Vec::deserialize(d)?;
-        v.try_into()
-            .map_err(|_| serde::de::Error::custom("expected 32 bytes"))
-    }
-}
+util::json_struct!(Word {
+    data,
+    pristine,
+    programs
+});
 
 impl Default for Word {
     fn default() -> Self {
@@ -62,7 +52,7 @@ impl Default for Word {
 }
 
 /// The kind of cell operation a program performed, which decides latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProgramKind {
     /// Target word was pristine: SET pulses only.
     SetOnly,
@@ -74,6 +64,13 @@ pub enum ProgramKind {
     /// All-zero data to an already-pristine word: nothing to do.
     NoopErase,
 }
+
+util::json_unit_enum!(ProgramKind {
+    SetOnly,
+    Overwrite,
+    SelectiveErase,
+    NoopErase
+});
 
 /// The sparse cell array of one PRAM module.
 ///
@@ -91,7 +88,7 @@ pub enum ProgramKind {
 /// // A second write to the same word is an overwrite (RESET + SET).
 /// assert_eq!(cells.program(row, &[0xCD; WORD_BYTES]), ProgramKind::Overwrite);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CellArray {
     geometry: PramGeometry,
     rows: HashMap<RowId, Word>,
@@ -100,6 +97,15 @@ pub struct CellArray {
     selective_erases: u64,
     erases: u64,
 }
+
+util::json_struct!(CellArray {
+    geometry,
+    rows,
+    programs,
+    overwrites,
+    selective_erases,
+    erases
+});
 
 impl CellArray {
     /// Creates an all-pristine array.

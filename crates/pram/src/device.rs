@@ -17,7 +17,6 @@ use crate::cell::{CellArray, ProgramKind, WORD_BYTES};
 use crate::geometry::{LowerRow, PartitionId, PramGeometry, RowId, UpperRow};
 use crate::overlay::{OverlayStatus, OverlayWindow, StagedProgram};
 use crate::timing::{BurstLen, PramTiming};
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
@@ -44,13 +43,15 @@ pub mod energy {
 }
 
 /// Start/end instants of one executed protocol phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseTiming {
     /// When the phase actually began.
     pub start: Picos,
     /// When its effect (data/state) is available.
     pub end: Picos,
 }
+
+util::json_struct!(PhaseTiming { start, end });
 
 impl PhaseTiming {
     /// A zero-length phase at `at` (used for skipped phases).
@@ -65,7 +66,7 @@ impl PhaseTiming {
 }
 
 /// Raw operation counters of one module.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ModuleStats {
     /// Pre-active phases executed.
     pub pre_actives: u64,
@@ -88,6 +89,19 @@ pub struct ModuleStats {
     /// Programs paused to let a read through (write-pausing extension).
     pub write_pauses: u64,
 }
+
+util::json_struct!(ModuleStats {
+    pre_actives,
+    activates,
+    read_bursts,
+    write_bursts,
+    programs,
+    set_only_programs,
+    overwrite_programs,
+    selective_erases,
+    partition_erases,
+    write_pauses,
+});
 
 /// One PRAM package: 1 bank × 16 partitions with 4 row buffers and an
 /// overlay window, per Section II.

@@ -13,15 +13,13 @@
 //! a row address buffer (RAB), while the low bits — the **lower row
 //! address** — travel with the activate phase.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a partition within a bank (0..16 in the Table II device).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PartitionId(pub u8);
+
+util::json_newtype!(PartitionId);
 
 impl fmt::Display for PartitionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -30,14 +28,16 @@ impl fmt::Display for PartitionId {
 }
 
 /// The upper part of a row address, as stored in a RAB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct UpperRow(pub u32);
 
+util::json_newtype!(UpperRow);
+
 /// The lower part of a row address, delivered with the activate phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LowerRow(pub u32);
+
+util::json_newtype!(LowerRow);
 
 /// A full row identifier within one PRAM module: `(partition, array_row)`.
 ///
@@ -53,13 +53,18 @@ pub struct LowerRow(pub u32);
 /// let (u, l) = (row.upper(6), row.lower(6));
 /// assert_eq!(RowId::from_parts(u, l, 6), row);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RowId {
     /// Which partition the row lives in.
     pub partition: PartitionId,
     /// Row index inside the partition's array.
     pub array_row: u32,
 }
+
+util::json_struct!(RowId {
+    partition,
+    array_row
+});
 
 impl RowId {
     /// Creates a row identifier.
@@ -104,7 +109,7 @@ impl fmt::Display for RowId {
 }
 
 /// Static geometry of one PRAM module (Section II-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PramGeometry {
     /// Partitions per bank. Table II: 16.
     pub partitions: u8,
@@ -120,6 +125,15 @@ pub struct PramGeometry {
     /// How many low row-address bits form the *lower row address*.
     pub lower_row_bits: u32,
 }
+
+util::json_struct!(PramGeometry {
+    partitions,
+    tiles_per_partition,
+    bitlines,
+    wordlines,
+    word_bytes,
+    lower_row_bits,
+});
 
 impl Default for PramGeometry {
     fn default() -> Self {

@@ -20,7 +20,6 @@
 //! | `0x800` | program buffer |
 
 use crate::cell::WORD_BYTES;
-use serde::{Deserialize, Serialize};
 
 /// Offsets of the overlay-window registers relative to OWBA.
 pub mod regs {
@@ -39,7 +38,7 @@ pub mod regs {
 }
 
 /// Command codes accepted by the command-code register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum OverlayCommand {
     /// Buffered word program.
@@ -48,8 +47,13 @@ pub enum OverlayCommand {
     Erase = 0x20,
 }
 
+util::json_unit_enum!(OverlayCommand {
+    BufferedProgram,
+    Erase
+});
+
 /// Status reported through the status register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OverlayStatus {
     /// No operation pending or running.
     #[default]
@@ -57,6 +61,8 @@ pub enum OverlayStatus {
     /// An array program/erase is in flight.
     Busy,
 }
+
+util::json_unit_enum!(OverlayStatus { Ready, Busy });
 
 /// The overlay-window state machine of one PRAM module.
 ///
@@ -79,7 +85,7 @@ pub enum OverlayStatus {
 /// assert_eq!(staged.target_addr, 4096);
 /// assert_eq!(staged.data[0], 0xAA);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverlayWindow {
     /// Current overlay window base address.
     owba: u64,
@@ -94,8 +100,19 @@ pub struct OverlayWindow {
     meta: OverlayMeta,
 }
 
+util::json_struct!(OverlayWindow {
+    owba,
+    command,
+    target_addr,
+    burst_bytes,
+    program_buffer,
+    buffer_valid_bytes,
+    status,
+    meta,
+});
+
 /// The 128-byte meta-information block at the head of the window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OverlayMeta {
     /// Total window span in bytes.
     pub window_size: u32,
@@ -104,6 +121,12 @@ pub struct OverlayMeta {
     /// Program buffer capacity in bytes.
     pub buffer_size: u32,
 }
+
+util::json_struct!(OverlayMeta {
+    window_size,
+    buffer_offset,
+    buffer_size
+});
 
 impl Default for OverlayMeta {
     fn default() -> Self {
@@ -116,7 +139,7 @@ impl Default for OverlayMeta {
 }
 
 /// A fully staged program ready for array execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StagedProgram {
     /// Command code that was staged.
     pub command: u8,
@@ -127,6 +150,13 @@ pub struct StagedProgram {
     /// Program-buffer contents.
     pub data: [u8; WORD_BYTES],
 }
+
+util::json_struct!(StagedProgram {
+    command,
+    target_addr,
+    burst_bytes,
+    data
+});
 
 impl OverlayWindow {
     /// Creates a window based at `owba`.

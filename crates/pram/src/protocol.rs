@@ -11,11 +11,10 @@
 use crate::buffers::BufferId;
 use crate::geometry::{LowerRow, UpperRow};
 use crate::timing::BurstLen;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A three-phase addressing command as issued by the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Command {
     /// Pre-active phase: select RAB `ba` and latch the upper row address.
     PreActive {
@@ -51,6 +50,77 @@ pub enum Command {
         /// Burst length.
         bl: BurstLen,
     },
+}
+
+impl util::json::ToJson for Command {
+    fn to_json(&self) -> util::json::Json {
+        use util::json::Json;
+        let (tag, fields) = match *self {
+            Command::PreActive { ba, upper } => (
+                "PreActive",
+                vec![
+                    ("ba".to_string(), ba.to_json()),
+                    ("upper".to_string(), upper.to_json()),
+                ],
+            ),
+            Command::Activate { ba, lower } => (
+                "Activate",
+                vec![
+                    ("ba".to_string(), ba.to_json()),
+                    ("lower".to_string(), lower.to_json()),
+                ],
+            ),
+            Command::Read { ba, col, bl } => (
+                "Read",
+                vec![
+                    ("ba".to_string(), ba.to_json()),
+                    ("col".to_string(), col.to_json()),
+                    ("bl".to_string(), bl.to_json()),
+                ],
+            ),
+            Command::Write { ba, col, bl } => (
+                "Write",
+                vec![
+                    ("ba".to_string(), ba.to_json()),
+                    ("col".to_string(), col.to_json()),
+                    ("bl".to_string(), bl.to_json()),
+                ],
+            ),
+        };
+        Json::Obj(vec![(tag.to_string(), Json::Obj(fields))])
+    }
+}
+
+impl util::json::FromJson for Command {
+    fn from_json(v: &util::json::Json) -> Result<Self, util::json::JsonError> {
+        use util::json::{field, Json, JsonError};
+        let pairs = match v {
+            Json::Obj(pairs) if pairs.len() == 1 => pairs,
+            _ => return Err(JsonError::new("expected single-key Command object")),
+        };
+        let (tag, body) = &pairs[0];
+        match tag.as_str() {
+            "PreActive" => Ok(Command::PreActive {
+                ba: field(body, "ba")?,
+                upper: field(body, "upper")?,
+            }),
+            "Activate" => Ok(Command::Activate {
+                ba: field(body, "ba")?,
+                lower: field(body, "lower")?,
+            }),
+            "Read" => Ok(Command::Read {
+                ba: field(body, "ba")?,
+                col: field(body, "col")?,
+                bl: field(body, "bl")?,
+            }),
+            "Write" => Ok(Command::Write {
+                ba: field(body, "ba")?,
+                col: field(body, "col")?,
+                bl: field(body, "bl")?,
+            }),
+            other => Err(JsonError::new(format!("unknown Command variant {other:?}"))),
+        }
+    }
 }
 
 impl Command {
@@ -111,9 +181,10 @@ impl fmt::Display for Command {
 /// assert_eq!(pkt.ba(), 2);
 /// assert_eq!(pkt.op(), cmd.opcode());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SignalPacket(u32);
+
+util::json_newtype!(SignalPacket);
 
 impl SignalPacket {
     /// Packs the three fields.

@@ -13,12 +13,11 @@
 //! The paper additionally characterizes the erase latency at ~60 ms
 //! (§V-A) and notes that a complete three-phase read lands around 100 ns.
 
-use serde::{Deserialize, Serialize};
 use sim_core::time::{Freq, Picos};
 use sim_core::SimRng;
 
 /// LPDDR2-NVM burst length selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BurstLen {
     /// 4-beat burst (8 bytes on the 16-bit dq bus).
     Bl4,
@@ -28,6 +27,8 @@ pub enum BurstLen {
     #[default]
     Bl16,
 }
+
+util::json_unit_enum!(BurstLen { Bl4, Bl8, Bl16 });
 
 impl BurstLen {
     /// Burst duration in interface cycles (Table II maps BLn to n cycles).
@@ -69,7 +70,7 @@ impl BurstLen {
 ///
 /// Constructed via [`PramTiming::table2`] for the paper's characterized
 /// device; all fields are public so ablation benches can sweep them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PramTiming {
     /// Interface clock (400 MHz → tCK = 2.5 ns).
     pub clock: Freq,
@@ -108,6 +109,25 @@ pub struct PramTiming {
     /// Number of row data buffers (each `word_bytes` wide).
     pub rdb_count: usize,
 }
+
+util::json_struct!(PramTiming {
+    clock,
+    rl_cycles,
+    wl_cycles,
+    trp_cycles,
+    trcd,
+    tdqsck_min,
+    tdqsck_max,
+    tdqss_min,
+    tdqss_max,
+    twra,
+    t_program_set,
+    t_reset_extra,
+    t_erase,
+    t_pause_resume,
+    rab_count,
+    rdb_count,
+});
 
 impl Default for PramTiming {
     fn default() -> Self {

@@ -9,7 +9,6 @@
 //! over busy time.
 
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, AddAssign};
@@ -25,11 +24,10 @@ use std::ops::{Add, AddAssign};
 /// let e = Joules::from_pj(50) + Watts::from_mw(100.0) * Picos::from_us(1);
 /// assert!((e.as_uj() - 0.10005).abs() < 1e-9);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Joules(pub u128);
+
+util::json_newtype!(Joules);
 
 impl Joules {
     /// Zero energy.
@@ -140,9 +138,10 @@ impl fmt::Display for Joules {
 }
 
 /// A power draw. Multiplying by [`Picos`] yields [`Joules`].
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Watts(pub f64);
+
+util::json_newtype!(Watts);
 
 impl Watts {
     /// Zero power.
@@ -201,13 +200,15 @@ impl fmt::Display for Watts {
 }
 
 /// One component's running energy total plus event count.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnergyAccount {
     /// Accumulated energy.
     pub energy: Joules,
     /// Number of charge events.
     pub events: u64,
 }
+
+util::json_struct!(EnergyAccount { energy, events });
 
 impl EnergyAccount {
     /// Charges `e` as one event.
@@ -235,10 +236,12 @@ impl EnergyAccount {
 /// assert_eq!(book.component("pram.array").unwrap().events, 2);
 /// assert_eq!(book.total(), Joules::from_pj(240) + Joules::from_nj(1));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyBook {
     accounts: BTreeMap<String, EnergyAccount>,
 }
+
+util::json_struct!(EnergyBook { accounts });
 
 impl EnergyBook {
     /// Creates an empty ledger.

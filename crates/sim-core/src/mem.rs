@@ -13,16 +13,17 @@
 
 use crate::energy::EnergyBook;
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// The completed timing of one memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
     /// When the backend began servicing the access (after queueing).
     pub start: Picos,
     /// When the last byte was delivered / durably accepted.
     pub end: Picos,
 }
+
+util::json_struct!(Access { start, end });
 
 impl Access {
     /// An access that completes instantly at `at` (e.g. a buffer hit with

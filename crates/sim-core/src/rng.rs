@@ -3,9 +3,10 @@
 //! Every stochastic element of the reproduction (workload data, tDQSCK /
 //! tDQSS strobe jitter, address hashing) draws from a [`SimRng`] seeded
 //! from the experiment configuration, so any run is exactly repeatable.
+//! The generator is the in-tree SplitMix64-seeded xoshiro256++ from
+//! [`util::rng`]; nothing here touches external crates or OS entropy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use util::rng::Rng64;
 
 /// A seeded random source with convenience helpers.
 ///
@@ -20,14 +21,14 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Rng64,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Rng64::seed(seed),
         }
     }
 
@@ -36,13 +37,14 @@ impl SimRng {
     /// Different streams from the same parent are decorrelated, so e.g.
     /// workload-data randomness never perturbs strobe-jitter randomness.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base: u64 = self.inner.gen();
-        SimRng::seed(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        SimRng {
+            inner: self.inner.fork(stream),
+        }
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.inner.next_u64()
     }
 
     /// Uniform value in `[lo, hi]` (inclusive).
@@ -51,13 +53,12 @@ impl SimRng {
     ///
     /// Panics if `lo > hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo <= hi, "empty range {lo}..={hi}");
-        self.inner.gen_range(lo..=hi)
+        self.inner.range_u64(lo, hi)
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        self.inner.unit_f64()
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -66,11 +67,7 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or the bounds are not finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(
-            lo.is_finite() && hi.is_finite() && lo < hi,
-            "bad range {lo}..{hi}"
-        );
-        self.inner.gen_range(lo..hi)
+        self.inner.range_f64(lo, hi)
     }
 
     /// Bernoulli draw with probability `p` of `true`.
@@ -79,8 +76,7 @@ impl SimRng {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        self.inner.gen_range(0.0..1.0) < p
+        self.inner.chance(p)
     }
 }
 

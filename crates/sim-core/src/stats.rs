@@ -5,7 +5,6 @@
 //! the power curves of Figs. 20–21.
 
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A monotonically increasing named counter.
@@ -20,11 +19,13 @@ use std::fmt;
 /// c.incr();
 /// assert_eq!(c.value(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counter {
     name: String,
     value: u64,
 }
+
+util::json_struct!(Counter { name, value });
 
 impl Counter {
     /// Creates a zeroed counter with a diagnostic name.
@@ -80,7 +81,7 @@ impl fmt::Display for Counter {
 /// assert!(h.mean() > Picos::from_us(5));
 /// assert_eq!(h.max(), Picos::from_us(10));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// bucket i counts samples with floor(log2(ns)) == i (ns < 1 goes to 0).
     buckets: Vec<u64>,
@@ -89,6 +90,14 @@ pub struct Histogram {
     min: Picos,
     max: Picos,
 }
+
+util::json_struct!(Histogram {
+    buckets,
+    count,
+    sum,
+    min,
+    max
+});
 
 impl Default for Histogram {
     fn default() -> Self {
@@ -200,12 +209,14 @@ impl Histogram {
 /// assert_eq!(ipc.buckets().len(), 2);
 /// assert_eq!(ipc.buckets()[0].1, 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     bucket_width: Picos,
     /// Sparse map from bucket index to accumulated value, kept sorted.
     data: Vec<(u64, f64)>,
 }
+
+util::json_struct!(TimeSeries { bucket_width, data });
 
 impl TimeSeries {
     /// Creates a series with the given bucket width.

@@ -6,7 +6,6 @@
 //! interface clock is `tCK = 2.5 ns = 2500 ps`, and sub-nanosecond strobe
 //! windows such as `tDQSS = 0.75–1.25 ns` are integral too.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
@@ -29,11 +28,10 @@ use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// assert!(trcd > trp);
 /// assert_eq!((trcd + trp).as_ns_f64(), 87.5);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Picos(pub u64);
+
+util::json_newtype!(Picos);
 
 impl Picos {
     /// The zero instant / empty duration.
@@ -255,11 +253,13 @@ impl fmt::Display for Picos {
 /// assert_eq!(pe.cycles_to_time(1_000), Picos::from_ns(1_000));
 /// assert_eq!(pe.time_to_cycles(Picos::from_ns(10)), 10);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Freq {
     /// Frequency in hertz.
     hz: u64,
 }
+
+util::json_struct!(Freq { hz });
 
 impl Freq {
     /// Creates a frequency from hertz.

@@ -13,7 +13,6 @@
 //! interleaving of §V-A) directly auditable in tests.
 
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// A single contended resource.
 ///
@@ -31,12 +30,18 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(start, Picos::from_ns(40));
 /// assert_eq!(bus.free_at(), Picos::from_ns(80));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timeline {
     free_at: Picos,
     busy_total: Picos,
     reservations: u64,
 }
+
+util::json_struct!(Timeline {
+    free_at,
+    busy_total,
+    reservations
+});
 
 impl Timeline {
     /// Creates a timeline that is free from time zero.
@@ -116,10 +121,12 @@ impl Timeline {
 /// // Index 1 is free earliest.
 /// assert_eq!(rdbs.first_free(Picos::ZERO), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TimelineBank {
     lanes: Vec<Timeline>,
 }
+
+util::json_struct!(TimelineBank { lanes });
 
 impl TimelineBank {
     /// Creates `n` fresh timelines.

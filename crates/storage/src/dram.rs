@@ -6,7 +6,6 @@
 //! bandwidth-limited transfer term, with per-byte access energy and
 //! standby power folded into per-access charges.
 
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::time::Picos;
@@ -16,7 +15,7 @@ use sim_core::timeline::Timeline;
 const E_PER_BYTE: Joules = Joules::from_pj(20);
 
 /// Construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramParams {
     /// Random-access latency (CAS + controller).
     pub latency: Picos,
@@ -27,6 +26,12 @@ pub struct DramParams {
     /// wrapped here).
     pub capacity: u64,
 }
+
+util::json_struct!(DramParams {
+    latency,
+    bytes_per_sec,
+    capacity
+});
 
 impl Default for DramParams {
     fn default() -> Self {

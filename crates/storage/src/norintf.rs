@@ -16,7 +16,6 @@
 //! 120 µs per word-buffer program; both interpretations are recorded in
 //! EXPERIMENTS.md.
 
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::time::Picos;
@@ -28,7 +27,7 @@ const E_BEAT: Joules = Joules::from_pj(15);
 const E_PROGRAM: Joules = Joules::from_nj(30);
 
 /// Construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NorPramParams {
     /// Initial array access per read request (interpreted from Table I,
     /// see module docs). Subsequent sequential words stream in burst
@@ -48,6 +47,14 @@ pub struct NorPramParams {
     /// each chip's interface is still 16-bit serialized.
     pub chips: usize,
 }
+
+util::json_struct!(NorPramParams {
+    t_access,
+    t_program,
+    t_beat,
+    buffer_bytes,
+    chips
+});
 
 impl Default for NorPramParams {
     fn default() -> Self {

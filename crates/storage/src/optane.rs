@@ -9,7 +9,6 @@
 //! PRAM SSDs by serializing all page-basis requests into byte-granular
 //! operations".
 
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::time::Picos;
@@ -22,7 +21,7 @@ const E_WORD_READ: Joules = Joules::from_nj(1);
 const E_WORD_PROGRAM: Joules = Joules::from_nj(20);
 
 /// Construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PramSsdParams {
     /// Internal parallel lanes (channels × banks the controller stripes
     /// words over).
@@ -38,6 +37,15 @@ pub struct PramSsdParams {
     /// Controller command-processing time per request.
     pub command_overhead: Picos,
 }
+
+util::json_struct!(PramSsdParams {
+    lanes,
+    word_bytes,
+    t_read,
+    t_write_set,
+    t_write_overwrite,
+    command_overhead,
+});
 
 impl Default for PramSsdParams {
     fn default() -> Self {

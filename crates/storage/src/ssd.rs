@@ -9,14 +9,13 @@
 use crate::cache::{CacheStats, CachedStore};
 use crate::dram::DramParams;
 use flash::{CellKind, FlashDevice, FlashGeometry, FlashTiming};
-use serde::{Deserialize, Serialize};
 use sim_core::energy::{EnergyBook, Watts};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
 
 /// SSD construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SsdParams {
     /// Flash cell kind (Table I: Hetero uses MLC).
     pub kind: CellKind,
@@ -29,6 +28,14 @@ pub struct SsdParams {
     /// Concurrent command contexts in the controller.
     pub queue_depth: usize,
 }
+
+util::json_struct!(SsdParams {
+    kind,
+    geometry,
+    buffer_pages,
+    command_overhead,
+    queue_depth
+});
 
 impl SsdParams {
     /// An Intel SSD 750-class MLC device with a 1 GB buffer.

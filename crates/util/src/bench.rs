@@ -1,0 +1,266 @@
+//! A lightweight measurement harness replacing `criterion`.
+//!
+//! Each bench target creates a [`Harness`], registers measurements with
+//! [`Harness::bench`] (warmup + N timed iterations) or
+//! [`Harness::once`] (a single timed run, e.g. a whole figure sweep),
+//! and calls [`Harness::finish`], which prints a summary table and —
+//! when `BENCH_JSON` names a path — writes every statistic as a JSON
+//! report for CI artifacts.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_ITERS` — timed iterations per measurement (default 20);
+//! * `BENCH_WARMUP` — untimed warmup iterations (default 3);
+//! * `BENCH_SMOKE=1` — smoke mode: one iteration, no warmup (CI uses
+//!   this to prove every bench target still runs);
+//! * `BENCH_JSON=<path>` — write the JSON report to `<path>`.
+
+use crate::json::ToJson;
+use std::time::Instant;
+
+/// Aggregate timing of one measurement, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Measurement label, unique within the harness.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Untimed warmup iterations that preceded them.
+    pub warmup: u64,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+    /// Median iteration.
+    pub median_ns: u64,
+    /// Mean iteration.
+    pub mean_ns: f64,
+    /// Population standard deviation.
+    pub stddev_ns: f64,
+}
+
+crate::json_struct!(Measurement {
+    name,
+    iters,
+    warmup,
+    min_ns,
+    max_ns,
+    median_ns,
+    mean_ns,
+    stddev_ns,
+});
+
+impl Measurement {
+    fn from_samples(name: &str, warmup: u64, mut samples: Vec<u64>) -> Measurement {
+        assert!(!samples.is_empty(), "no samples for {name}");
+        samples.sort_unstable();
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        Measurement {
+            name: name.to_string(),
+            iters: samples.len() as u64,
+            warmup,
+            min_ns: samples[0],
+            max_ns: *samples.last().expect("non-empty"),
+            median_ns: samples[samples.len() / 2],
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+        }
+    }
+}
+
+/// The whole report of one bench target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Bench target id ("fig15_bandwidth", "micro_latency", …).
+    pub id: String,
+    /// Whether smoke mode was active.
+    pub smoke: bool,
+    /// All measurements in registration order.
+    pub measurements: Vec<Measurement>,
+}
+
+crate::json_struct!(BenchReport {
+    id,
+    smoke,
+    measurements
+});
+
+/// Collects measurements for one bench target.
+#[derive(Debug)]
+pub struct Harness {
+    report: BenchReport,
+    iters: u64,
+    warmup: u64,
+    json_path: Option<String>,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Harness {
+    /// Creates a harness for the bench target `id`, reading the
+    /// `BENCH_*` environment knobs.
+    pub fn new(id: &str) -> Harness {
+        let smoke = std::env::var("BENCH_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let (iters, warmup) = if smoke {
+            (1, 0)
+        } else {
+            (
+                env_u64("BENCH_ITERS", 20).max(1),
+                env_u64("BENCH_WARMUP", 3),
+            )
+        };
+        Harness {
+            report: BenchReport {
+                id: id.to_string(),
+                smoke,
+                measurements: Vec::new(),
+            },
+            iters,
+            warmup,
+            json_path: std::env::var("BENCH_JSON").ok(),
+        }
+    }
+
+    /// Whether smoke mode (one iteration, no warmup) is active. Benches
+    /// use this to shrink their sweeps.
+    pub fn smoke(&self) -> bool {
+        self.report.smoke
+    }
+
+    /// Runs `f` for warmup then the configured iterations, recording
+    /// per-iteration wall time.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        self.push(Measurement::from_samples(name, self.warmup, samples));
+    }
+
+    /// Times a single run of `f` (no warmup) and returns its result.
+    /// Figure/table sweeps use this: the work runs once regardless of
+    /// `BENCH_ITERS`, but its wall time still lands in the report.
+    pub fn once<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        self.push(Measurement::from_samples(name, 0, vec![elapsed]));
+        out
+    }
+
+    fn push(&mut self, m: Measurement) {
+        assert!(
+            self.report.measurements.iter().all(|e| e.name != m.name),
+            "duplicate measurement name {:?}",
+            m.name
+        );
+        self.report.measurements.push(m);
+    }
+
+    /// Prints the summary table and writes the JSON report when
+    /// `BENCH_JSON` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the JSON file cannot be written, so CI fails loudly.
+    pub fn finish(self) {
+        println!("\n-- timings ({}) --", self.report.id);
+        println!(
+            "{:<40} {:>7} {:>12} {:>12} {:>12}",
+            "measurement", "iters", "min", "median", "stddev"
+        );
+        for m in &self.report.measurements {
+            println!(
+                "{:<40} {:>7} {:>12} {:>12} {:>12}",
+                m.name,
+                m.iters,
+                fmt_ns(m.min_ns as f64),
+                fmt_ns(m.median_ns as f64),
+                fmt_ns(m.stddev_ns)
+            );
+        }
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, self.report.to_json_pretty())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("json report written to {path}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::FromJson;
+
+    #[test]
+    fn measurement_statistics_are_correct() {
+        let m = Measurement::from_samples("m", 2, vec![30, 10, 20]);
+        assert_eq!(m.min_ns, 10);
+        assert_eq!(m.max_ns, 30);
+        assert_eq!(m.median_ns, 20);
+        assert!((m.mean_ns - 20.0).abs() < 1e-9);
+        let expect_sd = (200.0f64 / 3.0).sqrt();
+        assert!((m.stddev_ns - expect_sd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = BenchReport {
+            id: "t".into(),
+            smoke: true,
+            measurements: vec![Measurement::from_samples("a", 0, vec![5])],
+        };
+        let back = BenchReport::from_json_str(&r.to_json_pretty()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn harness_records_once_and_bench() {
+        let mut h = Harness {
+            report: BenchReport {
+                id: "t".into(),
+                smoke: false,
+                measurements: Vec::new(),
+            },
+            iters: 3,
+            warmup: 1,
+            json_path: None,
+        };
+        let out = h.once("setup", || 41 + 1);
+        assert_eq!(out, 42);
+        h.bench("loop", || std::hint::black_box(1 + 1));
+        assert_eq!(h.report.measurements.len(), 2);
+        assert_eq!(h.report.measurements[1].iters, 3);
+        h.finish();
+    }
+}

@@ -1,0 +1,284 @@
+//! A tiny byte-buffer pair replacing the `bytes` crate.
+//!
+//! [`BytesMut`] is an append-only builder with big-endian `put_*`
+//! writers; [`Bytes`] is a cheaply cloneable, sliceable view with
+//! cursor-style `get_*` readers. Only the surface the kernel-image wire
+//! format needs is implemented.
+//!
+//! # Examples
+//!
+//! ```
+//! use util::bytes::{Bytes, BytesMut};
+//!
+//! let mut b = BytesMut::new();
+//! b.put_u32(0xDEAD_BEEF);
+//! b.put_slice(b"hi");
+//! let mut wire: Bytes = b.freeze();
+//! assert_eq!(wire.remaining(), 6);
+//! assert_eq!(wire.get_u32(), 0xDEAD_BEEF);
+//! assert_eq!(&wire[..], b"hi");
+//! ```
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer with a read cursor.
+///
+/// Cloning and [`slice`](Bytes::slice) share the underlying allocation.
+/// The `get_*` methods read big-endian values and advance the view, so
+/// a `Bytes` doubles as a wire-format cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static slice (copies it; the name mirrors the `bytes`
+    /// crate for drop-in compatibility).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Bytes remaining ahead of the cursor.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Bytes remaining ahead of the cursor (alias of [`len`](Self::len)
+    /// matching the `bytes::Buf` vocabulary).
+    pub fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    /// A sub-view of the remaining bytes; shares the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for {} bytes",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the remaining bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+
+    /// Advances past `len` bytes, returning them as a shared sub-view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `len` bytes remain.
+    pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.remaining() >= n, "buffer underflow reading {n} bytes");
+        let s = &self.data[self.start..self.start + n];
+        self.start += n;
+        s
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow (as do all `get_*` readers).
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+/// An append-only byte builder with big-endian `put_*` writers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read_back() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0x0304_0506);
+        b.put_u64(0x0708_090A_0B0C_0D0E);
+        b.put_slice(b"xyz");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0x0304_0506);
+        assert_eq!(r.get_u64(), 0x0708_090A_0B0C_0D0E);
+        assert_eq!(r.copy_to_bytes(3).to_vec(), b"xyz");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slices_share_and_compare_by_content() {
+        let a = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mid = a.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(mid, Bytes::from(vec![2, 3, 4]));
+        let sub = mid.slice(1..2);
+        assert_eq!(&sub[..], &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        Bytes::from(vec![1]).get_u32();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_slice_panics() {
+        Bytes::from(vec![1, 2]).slice(0..3);
+    }
+}

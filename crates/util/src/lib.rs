@@ -1,0 +1,27 @@
+//! Zero-dependency support library for the DRAM-less workspace.
+//!
+//! Everything the simulator previously pulled from crates.io lives here
+//! as a small, auditable in-tree implementation, so the whole workspace
+//! builds and tests with `--offline` on a machine that has never seen a
+//! registry:
+//!
+//! * [`json`] — a JSON value type, writer, parser and the
+//!   [`ToJson`](json::ToJson)/[`FromJson`](json::FromJson) traits with
+//!   the [`json_struct!`], [`json_unit_enum!`] and [`json_newtype!`]
+//!   derive macros (replaces `serde`/`serde_json`);
+//! * [`rng`] — a seeded SplitMix64/xoshiro256++ generator (replaces
+//!   `rand`);
+//! * [`bytes`] — a cheap slice-able byte buffer pair
+//!   [`Bytes`](bytes::Bytes)/[`BytesMut`](bytes::BytesMut) (replaces
+//!   the `bytes` crate);
+//! * [`mod@bench`] — a warmup + N-iteration measurement harness with
+//!   min/median/stddev statistics and JSON output (replaces
+//!   `criterion`);
+//! * [`cases`] — the [`for_each_case!`] seeded case generator
+//!   (replaces `proptest`).
+
+pub mod bench;
+pub mod bytes;
+pub mod cases;
+pub mod json;
+pub mod rng;

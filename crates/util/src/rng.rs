@@ -1,0 +1,215 @@
+//! Seeded pseudo-random generation: SplitMix64 seeding feeding a
+//! xoshiro256++ core.
+//!
+//! This replaces the `rand` crate for every stochastic element of the
+//! simulator. The generator is deterministic (a fixed seed always
+//! yields the same sequence), cheap (a few arithmetic ops per draw) and
+//! has no global state.
+//!
+//! # Examples
+//!
+//! ```
+//! use util::rng::Rng64;
+//!
+//! let mut a = Rng64::seed(42);
+//! let mut b = Rng64::seed(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Used to expand one 64-bit seed into the xoshiro state and useful on
+/// its own for hash-mixing.
+#[inline]
+pub fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ generator with convenience range/float helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
+        // SplitMix64 output is never all-zero across four draws, so the
+        // xoshiro state is always valid.
+        Rng64 {
+            s: [
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Derives an independent child generator, labeled by `stream`.
+    pub fn fork(&mut self, stream: u64) -> Rng64 {
+        let base = self.next_u64();
+        Rng64::seed(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive), bias-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let span = span + 1;
+        // Rejection sampling over the largest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or the bounds are not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range {lo}..{hi}"
+        );
+        let v = lo + self.unit_f64() * (hi - lo);
+        // Guard the (theoretically possible) rounding up to `hi`.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit_f64() < p
+    }
+
+    /// A vector of `len` uniform bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.range_u64(0, 255) as u8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_fixed_sequence() {
+        let mut a = Rng64::seed(1);
+        let mut b = Rng64::seed(1);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_values() {
+        // Reference vector from the SplitMix64 paper implementation.
+        let mut s = 1234567u64;
+        assert_eq!(split_mix64(&mut s), 6457827717110365317);
+        assert_eq!(split_mix64(&mut s), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_hit_both_endpoints() {
+        let mut r = Rng64::seed(2);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            match r.range_u64(5, 8) {
+                5 => seen_lo = true,
+                8 => seen_hi = true,
+                6 | 7 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_bounds() {
+        let mut r = Rng64::seed(3);
+        for _ in 0..10_000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes_are_exact() {
+        let mut r = Rng64::seed(4);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn forks_are_reproducible_and_decorrelated() {
+        let mut p1 = Rng64::seed(9);
+        let mut p2 = Rng64::seed(9);
+        let mut c1 = p1.fork(1);
+        let mut c2 = p2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut d = Rng64::seed(9).fork(2);
+        assert_ne!(c1.next_u64(), d.next_u64());
+    }
+}

@@ -13,11 +13,10 @@
 use crate::kernels::{linalg, medley, solvers, stencils, KernelRun};
 use crate::recorder::{NullRecorder, TraceRecorder};
 use accel::trace::Trace;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The 15 evaluated kernels, with the paper's figure labels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Kernel {
     Adi,
@@ -36,6 +35,24 @@ pub enum Kernel {
     Trisolv,
     Trmm,
 }
+
+util::json_unit_enum!(Kernel {
+    Adi,
+    Chol,
+    Doitg,
+    Durbin,
+    Dynpro,
+    Fdtdap,
+    Floyd,
+    Gemver,
+    Jaco1d,
+    Jaco2d,
+    Lu,
+    Regd,
+    Seidel,
+    Trisolv,
+    Trmm,
+});
 
 impl Kernel {
     /// All kernels in the paper's figure order.
@@ -108,8 +125,10 @@ impl fmt::Display for Kernel {
 }
 
 /// A global size multiplier for the suite.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scale(pub f64);
+
+util::json_newtype!(Scale);
 
 impl Scale {
     /// The default bench scale.
@@ -138,7 +157,7 @@ impl Scale {
 }
 
 /// A kernel bound to a problem size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// Which kernel.
     pub kernel: Kernel,
@@ -147,6 +166,8 @@ pub struct Workload {
     /// Timesteps / sweeps for iterative kernels (ignored by the rest).
     pub steps: usize,
 }
+
+util::json_struct!(Workload { kernel, n, steps });
 
 /// A built workload: traces + characteristics.
 #[derive(Debug, Clone)]
@@ -162,7 +183,7 @@ pub struct BuiltWorkload {
 }
 
 /// One row of Table III: workload characteristics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadCharacter {
     /// Figure label.
     pub kernel: Kernel,
@@ -182,6 +203,17 @@ pub struct WorkloadCharacter {
     /// Instructions across all agents.
     pub instructions: u64,
 }
+
+util::json_struct!(WorkloadCharacter {
+    kernel,
+    footprint,
+    bytes_in,
+    bytes_out,
+    loads,
+    stores,
+    write_ratio,
+    instructions,
+});
 
 impl Workload {
     /// The default-scale instance of `kernel`.

@@ -9,10 +9,10 @@
 use accel::exec::{AccelConfig, Accelerator};
 use accel::kernel::{KernelImage, Segment};
 use accel::psc::{PowerSleepController, PscParams};
-use bytes::Bytes;
 use host::PcieLink;
 use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
 use sim_core::{MemoryBackend, Picos};
+use util::bytes::Bytes;
 use workloads::{Kernel, Scale, Workload};
 
 fn main() {

@@ -195,8 +195,8 @@ fn suite_sweep_and_json_serialization() {
     assert!(norm > 0.0);
     let json = r.to_json();
     assert!(json.contains("DramLess"));
-    // Round-trips through serde.
-    let back: dramless::SuiteResult = serde_json::from_str(&json).expect("parses");
+    // Round-trips through the in-tree JSON layer.
+    let back: dramless::SuiteResult = util::json::FromJson::from_json_str(&json).expect("parses");
     assert_eq!(back.outcomes.len(), 4);
 }
 

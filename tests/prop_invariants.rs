@@ -1,109 +1,126 @@
 //! Property-based tests of the core data structures and protocol
-//! invariants, using proptest.
+//! invariants, using the in-tree `util::for_each_case!` harness: each
+//! case draws its inputs from a deterministic per-case generator, so
+//! failures replay exactly and the harness names the failing case.
 
 use pram::cell::{CellArray, WORD_BYTES};
 use pram::geometry::{PramGeometry, RowId};
 use pram_ctrl::addr::AddressMap;
 use pram_ctrl::wear::StartGap;
 use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
-use proptest::prelude::*;
 use sim_core::stats::TimeSeries;
 use sim_core::{Picos, Timeline};
 use std::collections::HashSet;
+use util::for_each_case;
 
-proptest! {
-    /// Row addressing round-trips through the pre-active/activate split
-    /// for every partition/row/lower-bit width combination.
-    #[test]
-    fn row_split_round_trips(
-        partition in 0u8..16,
-        row in 0u32..(1 << 21),
-        lower_bits in 4u32..10,
-    ) {
+/// Row addressing round-trips through the pre-active/activate split
+/// for every partition/row/lower-bit width combination.
+#[test]
+fn row_split_round_trips() {
+    for_each_case!(64, |rng| {
+        let partition = rng.range_u64(0, 15) as u8;
+        let row = rng.range_u64(0, (1 << 21) - 1) as u32;
+        let lower_bits = rng.range_u64(4, 9) as u32;
         let r = RowId::new(partition, row);
         let back = RowId::from_parts(r.upper(lower_bits), r.lower(lower_bits), lower_bits);
-        prop_assert_eq!(back, r);
-    }
+        assert_eq!(back, r);
+    });
+}
 
-    /// The global striping function maps distinct addresses to distinct
-    /// (target, offset) pairs and stays within bounds.
-    #[test]
-    fn address_map_is_injective(addrs in prop::collection::hash_set(0u64..(1 << 24), 1..64)) {
+/// The global striping function maps distinct addresses to distinct
+/// (target, offset) pairs and stays within bounds.
+#[test]
+fn address_map_is_injective() {
+    for_each_case!(64, |rng| {
+        let mut addrs = HashSet::new();
+        for _ in 0..rng.range_usize(1, 63) {
+            addrs.insert(rng.range_u64(0, (1 << 24) - 1));
+        }
         let m = AddressMap::paper();
         let mut seen = HashSet::new();
         for a in addrs {
             let t = m.decompose(a);
-            prop_assert!(t.channel < 2);
-            prop_assert!(t.module < 16);
-            prop_assert!(seen.insert((t.channel, t.module, t.module_addr)),
-                "collision at address {}", a);
+            assert!(t.channel < 2);
+            assert!(t.module < 16);
+            assert!(
+                seen.insert((t.channel, t.module, t.module_addr)),
+                "collision at address {a}"
+            );
         }
-    }
+    });
+}
 
-    /// Splitting a request covers exactly its byte range, in order, with
-    /// no fragment crossing a word boundary.
-    #[test]
-    fn split_partitions_the_range(addr in 0u64..(1 << 20), len in 1u32..2048) {
+/// Splitting a request covers exactly its byte range, in order, with
+/// no fragment crossing a word boundary.
+#[test]
+fn split_partitions_the_range() {
+    for_each_case!(64, |rng| {
+        let addr = rng.range_u64(0, (1 << 20) - 1);
+        let len = rng.range_u64(1, 2047) as u32;
         let m = AddressMap::paper();
         let frags = m.split(addr, len);
         let mut cur = addr;
         for f in &frags {
-            prop_assert_eq!(f.global_addr, cur);
-            prop_assert!(f.len >= 1 && f.len <= 32);
+            assert_eq!(f.global_addr, cur);
+            assert!(f.len >= 1 && f.len <= 32);
             let first_word = f.global_addr / 32;
             let last_word = (f.global_addr + f.len as u64 - 1) / 32;
-            prop_assert_eq!(first_word, last_word, "fragment crosses a word");
+            assert_eq!(first_word, last_word, "fragment crosses a word");
             cur += f.len as u64;
         }
-        prop_assert_eq!(cur, addr + len as u64);
-    }
+        assert_eq!(cur, addr + len as u64);
+    });
+}
 
-    /// The cell array stores exactly what was programmed, regardless of
-    /// operation order, and pristine state tracks all-zero content.
-    #[test]
-    fn cell_array_is_a_faithful_store(
-        ops in prop::collection::vec((0u8..16, 0u32..256, any::<u8>()), 1..100)
-    ) {
+/// The cell array stores exactly what was programmed, regardless of
+/// operation order, and pristine state tracks all-zero content.
+#[test]
+fn cell_array_is_a_faithful_store() {
+    for_each_case!(64, |rng| {
         let mut cells = CellArray::new(PramGeometry::paper());
         let mut model: std::collections::HashMap<RowId, u8> = Default::default();
-        for (p, r, b) in ops {
-            let row = RowId::new(p, r);
+        for _ in 0..rng.range_usize(1, 99) {
+            let row = RowId::new(rng.range_u64(0, 15) as u8, rng.range_u64(0, 255) as u32);
+            let b = rng.next_u64() as u8;
             cells.program(row, &[b; WORD_BYTES]);
             model.insert(row, b);
         }
         for (row, b) in model {
-            prop_assert_eq!(cells.read(row), [b; WORD_BYTES]);
-            prop_assert_eq!(cells.is_pristine(row), b == 0);
+            assert_eq!(cells.read(row), [b; WORD_BYTES]);
+            assert_eq!(cells.is_pristine(row), b == 0);
         }
-    }
+    });
+}
 
-    /// Timeline reservations never overlap and never start before
-    /// requested.
-    #[test]
-    fn timeline_reservations_are_disjoint(
-        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..50)
-    ) {
+/// Timeline reservations never overlap and never start before
+/// requested.
+#[test]
+fn timeline_reservations_are_disjoint() {
+    for_each_case!(64, |rng| {
         let mut t = Timeline::new();
         let mut spans: Vec<(u64, u64)> = Vec::new();
-        for (earliest, dur) in reqs {
+        for _ in 0..rng.range_usize(1, 49) {
+            let earliest = rng.range_u64(0, 9_999);
+            let dur = rng.range_u64(1, 499);
             let start = t.reserve(Picos::from_ns(earliest), Picos::from_ns(dur));
-            prop_assert!(start >= Picos::from_ns(earliest));
+            assert!(start >= Picos::from_ns(earliest));
             let s = start.as_ps();
             let e = s + dur * 1000;
             for &(os, oe) in &spans {
-                prop_assert!(e <= os || s >= oe, "overlap: [{s},{e}) vs [{os},{oe})");
+                assert!(e <= os || s >= oe, "overlap: [{s},{e}) vs [{os},{oe})");
             }
             spans.push((s, e));
         }
-    }
+    });
+}
 
-    /// Start-gap stays a bijection under arbitrary write streams.
-    #[test]
-    fn start_gap_remains_bijective(
-        lines in 2u64..64,
-        interval in 1u64..16,
-        writes in 0u64..2_000,
-    ) {
+/// Start-gap stays a bijection under arbitrary write streams.
+#[test]
+fn start_gap_remains_bijective() {
+    for_each_case!(64, |rng| {
+        let lines = rng.range_u64(2, 63);
+        let interval = rng.range_u64(1, 15);
+        let writes = rng.range_u64(0, 1_999);
         let mut sg = StartGap::new(lines, interval);
         for _ in 0..writes {
             sg.on_write();
@@ -111,50 +128,56 @@ proptest! {
         let mut seen = HashSet::new();
         for l in 0..lines {
             let p = sg.map(l);
-            prop_assert!(p < sg.slots());
-            prop_assert!(seen.insert(p), "two lines mapped to slot {}", p);
+            assert!(p < sg.slots());
+            assert!(seen.insert(p), "two lines mapped to slot {p}");
         }
-    }
+    });
+}
 
-    /// Functional read-back through the full controller equals what was
-    /// written, for arbitrary (address, payload) pairs.
-    #[test]
-    fn controller_round_trips_arbitrary_payloads(
-        addr in 0u64..(1 << 16),
-        payload in prop::collection::vec(1u8..255, 1..256),
-        seed in 0u64..1000,
-    ) {
+/// Functional read-back through the full controller equals what was
+/// written, for arbitrary (address, payload) pairs.
+#[test]
+fn controller_round_trips_arbitrary_payloads() {
+    for_each_case!(32, |rng| {
+        let addr = rng.range_u64(0, (1 << 16) - 1);
+        let payload: Vec<u8> = (0..rng.range_usize(1, 255))
+            .map(|_| rng.range_u64(1, 254) as u8)
+            .collect();
+        let seed = rng.range_u64(0, 999);
         let mut c = PramController::new(SubsystemConfig::small(SchedulerKind::Final, seed));
         let w = c.write_bytes(Picos::ZERO, addr, &payload);
         let (_, back) = c.read_bytes(w.end + Picos::from_ms(1), addr, payload.len() as u32);
-        prop_assert_eq!(back, payload);
-    }
+        assert_eq!(back, payload);
+    });
+}
 
-    /// Time-series accumulation equals the sum of inserted values, and
-    /// dense rendering preserves bucket order.
-    #[test]
-    fn timeseries_total_is_exact(
-        samples in prop::collection::vec((0u64..1_000_000, 0.0f64..100.0), 1..200)
-    ) {
+/// Time-series accumulation equals the sum of inserted values, and
+/// dense rendering preserves bucket order.
+#[test]
+fn timeseries_total_is_exact() {
+    for_each_case!(64, |rng| {
         let mut ts = TimeSeries::new(Picos::from_ns(1000));
         let mut sum = 0.0;
-        for &(at, v) in &samples {
+        for _ in 0..rng.range_usize(1, 199) {
+            let at = rng.range_u64(0, 999_999);
+            let v = rng.range_f64(0.0, 100.0);
             ts.add(Picos::from_ns(at), v);
             sum += v;
         }
-        prop_assert!((ts.total() - sum).abs() < 1e-6);
+        assert!((ts.total() - sum).abs() < 1e-6);
         let buckets = ts.buckets();
-        prop_assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
-    }
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    });
+}
 
-    /// Memory accesses through the controller never travel back in time:
-    /// completion is at or after issue, and issuing later never yields an
-    /// earlier completion for the same sequence.
-    #[test]
-    fn controller_time_is_monotonic(
-        gap_ns in 0u64..100_000,
-        n in 1usize..24,
-    ) {
+/// Memory accesses through the controller never travel back in time:
+/// completion is at or after issue, and issuing later never yields an
+/// earlier completion for the same sequence.
+#[test]
+fn controller_time_is_monotonic() {
+    for_each_case!(32, |rng| {
+        let gap_ns = rng.range_u64(0, 99_999);
+        let n = rng.range_usize(1, 23);
         let mut c = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 1));
         let mut t = Picos::ZERO;
         for i in 0..n {
@@ -164,29 +187,33 @@ proptest! {
             } else {
                 c.read(t, (i as u64) * 64, 32)
             };
-            prop_assert!(a.end >= t, "completion before issue");
+            assert!(a.end >= t, "completion before issue");
             t = a.end + Picos::from_ns(gap_ns);
         }
-    }
+    });
 }
 
 mod kernel_properties {
-    use proptest::prelude::*;
+    use util::for_each_case;
     use workloads::kernels::{linalg, medley, solvers, stencils};
     use workloads::recorder::NullRecorder;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        /// Cholesky reconstructs its SPD input for arbitrary sizes.
-        #[test]
-        fn cholesky_reconstruction(n in 4usize..20, agents in 1usize..5) {
+    /// Cholesky reconstructs its SPD input for arbitrary sizes.
+    #[test]
+    fn cholesky_reconstruction() {
+        for_each_case!(16, |rng| {
+            let n = rng.range_usize(4, 19);
+            let agents = rng.range_usize(1, 4);
             let run = linalg::chol(n, agents, &mut NullRecorder);
             let l = &run.final_values;
             // Rebuild the SPD input the kernel constructs internally.
             let orig = |i: usize, j: usize| {
                 let base = 1.0 / (1.0 + (i as f64 - j as f64).abs());
-                if i == j { base + n as f64 } else { base }
+                if i == j {
+                    base + n as f64
+                } else {
+                    base
+                }
             };
             for i in 0..n {
                 for j in 0..n {
@@ -194,65 +221,86 @@ mod kernel_properties {
                     for k in 0..n {
                         acc += l[i * n + k] * l[j * n + k];
                     }
-                    prop_assert!((acc - orig(i, j)).abs() < 1e-8,
-                        "L*L^T mismatch at ({},{})", i, j);
+                    assert!(
+                        (acc - orig(i, j)).abs() < 1e-8,
+                        "L*L^T mismatch at ({i},{j})"
+                    );
                 }
             }
-        }
+        });
+    }
 
-        /// Jacobi smoothing never escapes the initial value bounds and is
-        /// independent of the agent partitioning.
-        #[test]
-        fn jacobi2d_bounds_and_agent_invariance(
-            n in 4usize..24, steps in 1usize..5, agents in 1usize..7
-        ) {
+    /// Jacobi smoothing never escapes the initial value bounds and is
+    /// independent of the agent partitioning.
+    #[test]
+    fn jacobi2d_bounds_and_agent_invariance() {
+        for_each_case!(16, |rng| {
+            let n = rng.range_usize(4, 23);
+            let steps = rng.range_usize(1, 4);
+            let agents = rng.range_usize(1, 6);
             let a = stencils::jaco2d(n, steps, agents, &mut NullRecorder);
             let b = stencils::jaco2d(n, steps, 1, &mut NullRecorder);
-            prop_assert_eq!(&a.final_values, &b.final_values);
+            assert_eq!(&a.final_values, &b.final_values);
             for &v in &a.final_values {
-                prop_assert!((0.0..=16.0).contains(&v));
+                assert!((0.0..=16.0).contains(&v));
             }
-        }
+        });
+    }
 
-        /// Floyd-Warshall output always satisfies the triangle inequality
-        /// and never exceeds the direct edge weights.
-        #[test]
-        fn floyd_is_a_metric_closure(n in 3usize..14, agents in 1usize..5) {
+    /// Floyd-Warshall output always satisfies the triangle inequality
+    /// and never exceeds the direct edge weights.
+    #[test]
+    fn floyd_is_a_metric_closure() {
+        for_each_case!(16, |rng| {
+            let n = rng.range_usize(3, 13);
+            let agents = rng.range_usize(1, 4);
             let run = medley::floyd(n, agents, &mut NullRecorder);
             let d = &run.final_values;
             for i in 0..n {
-                prop_assert_eq!(d[i * n + i], 0.0);
+                assert_eq!(d[i * n + i], 0.0);
                 for j in 0..n {
                     for k in 0..n {
-                        prop_assert!(
+                        assert!(
                             d[i * n + j] <= d[i * n + k] + d[k * n + j] + 1e-9,
-                            "({},{},{})", i, k, j
+                            "({i},{k},{j})"
                         );
                     }
                 }
             }
-        }
+        });
+    }
 
-        /// Forward substitution really solves its system.
-        #[test]
-        #[allow(clippy::needless_range_loop)] // index math mirrors the matrix
-        fn trisolv_solves(n in 3usize..32, agents in 1usize..5) {
+    /// Forward substitution really solves its system.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index math mirrors the matrix
+    fn trisolv_solves() {
+        for_each_case!(16, |rng| {
+            let n = rng.range_usize(3, 31);
+            let agents = rng.range_usize(1, 4);
             let run = solvers::trisolv(n, agents, &mut NullRecorder);
             let x = &run.final_values;
             for i in 0..n {
                 let mut acc = 0.0;
                 for j in 0..=i {
-                    let lij = if i == j { 2.0 } else { 1.0 / (2.0 + (i - j) as f64) };
+                    let lij = if i == j {
+                        2.0
+                    } else {
+                        1.0 / (2.0 + (i - j) as f64)
+                    };
                     acc += lij * x[j];
                 }
                 let b = (i % 9) as f64 + 1.0;
-                prop_assert!((acc - b).abs() < 1e-9, "row {}", i);
+                assert!((acc - b).abs() < 1e-9, "row {i}");
             }
-        }
+        });
+    }
 
-        /// Durbin solves its Toeplitz system for arbitrary sizes.
-        #[test]
-        fn durbin_solves(n in 2usize..24, agents in 1usize..5) {
+    /// Durbin solves its Toeplitz system for arbitrary sizes.
+    #[test]
+    fn durbin_solves() {
+        for_each_case!(16, |rng| {
+            let n = rng.range_usize(2, 23);
+            let agents = rng.range_usize(1, 4);
             let run = solvers::durbin(n, agents, &mut NullRecorder);
             let y = &run.final_values;
             let r: Vec<f64> = (0..n).map(|i| 0.5f64.powi(i as i32 + 1)).collect();
@@ -262,8 +310,8 @@ mod kernel_properties {
                     let t = if i == j { 1.0 } else { r[i.abs_diff(j) - 1] };
                     acc += t * y[j];
                 }
-                prop_assert!((acc + r[i]).abs() < 1e-8, "row {}", i);
+                assert!((acc + r[i]).abs() < 1e-8, "row {i}");
             }
-        }
+        });
     }
 }
