@@ -257,8 +257,11 @@ impl Accelerator {
         let cfg = &self.config;
         let mut psc = PowerSleepController::new(cfg.psc, cfg.pes);
         let mut energy = EnergyBook::new();
-        let mut ipc_series = TimeSeries::new(cfg.sample_bucket);
-        let mut power_series = TimeSeries::new(cfg.sample_bucket);
+        // Runs typically span a few hundred sample buckets; reserving up
+        // front keeps the per-op series appends reallocation-free.
+        let series_cap = 512;
+        let mut ipc_series = TimeSeries::with_capacity(cfg.sample_bucket, series_cap);
+        let mut power_series = TimeSeries::with_capacity(cfg.sample_bucket, series_cap);
 
         // Server (PE 0) schedules the agents (Fig. 9b steps 3-6).
         let mut launch = start;
@@ -290,6 +293,7 @@ impl Accelerator {
         let mut bytes_to = 0u64;
         let mut mem_requests = 0u64;
         let l2_line = cfg.l2.line;
+        let l1_line = cfg.l1.line;
         // The MCU write queue: posted write-backs drain in the
         // background; a PE only stalls when every slot is occupied past
         // its current time.
@@ -363,9 +367,16 @@ impl Accelerator {
                 TraceOp::Load { addr, len } | TraceOp::Store { addr, len } => {
                     let is_store = matches!(op, TraceOp::Store { .. });
                     let t0 = a.time;
-                    // Touch every L1 line the access covers.
-                    let lines: Vec<u64> = a.l1.lines_touched(addr, len).collect();
-                    for line in lines {
+                    // Touch every L1 line the access covers. The range
+                    // is computed inline (same math as
+                    // `Cache::lines_touched`) because borrowing the
+                    // cache for an iterator here would alias the
+                    // mutable accesses below — and collecting into a
+                    // Vec per memory op dominated sweep allocations.
+                    let line_bytes = l1_line as u64;
+                    let first = addr / line_bytes;
+                    let last = (addr + len.max(1) as u64 - 1) / line_bytes;
+                    for line in (first..=last).map(|l| l * line_bytes) {
                         let l1_out = a.l1.access(line, is_store);
                         if l1_out.hit {
                             a.time += cfg.pe.clock.cycles_to_time(cfg.pe.l1_hit_cycles);

@@ -125,7 +125,7 @@ fn dramless_with_extensions() {
         .into_iter()
         .find(|w| w.kernel == Kernel::Gemver)
         .expect("gemver");
-    let built = w.build(p.agents);
+    let built = bench::built(&w);
     let base = simulate_dramless_scheduler(SchedulerKind::Final, &built, &p);
     println!(
         "  Final scheduler        : {:.1} MB/s in {}",
@@ -148,7 +148,9 @@ fn dsp_intrinsics() {
             .into_iter()
             .find(|w| w.kernel == kernel)
             .expect("kernel in suite");
-        let mut built = w.build(p.agents);
+        // This ablation rewrites the traces, so it clones the cached
+        // build instead of mutating the shared one.
+        let mut built = (*bench::built(&w)).clone();
         let opt = simulate_dramless_scheduler(SchedulerKind::Final, &built, &p);
         built.traces = built.traces.iter().map(|t| t.scalarized()).collect();
         let scalar = simulate_dramless_scheduler(SchedulerKind::Final, &built, &p);

@@ -10,10 +10,15 @@ use dramless::SystemKind;
 
 fn main() {
     let mut h = util::bench::Harness::new("fig01_motivation");
-    h.once("run", || {
-        bench::banner("Figure 1", "accelerated system vs ideal in-memory system");
-        let suite = bench::suite();
-        let r = bench::sweep(&[SystemKind::Hetero, SystemKind::Ideal], &suite);
+    bench::banner("Figure 1", "accelerated system vs ideal in-memory system");
+    let suite = bench::suite();
+    let r = bench::sweep_timed(
+        &mut h,
+        "sweep",
+        &[SystemKind::Hetero, SystemKind::Ideal],
+        &suite,
+    );
+    h.once("render", || {
         println!(
             "{:<10} {:>14} {:>14} {:>12} {:>12}",
             "kernel", "perf vs ideal", "degradation", "energy", "energy ratio"

@@ -7,13 +7,15 @@ use dramless::SystemKind;
 
 fn main() {
     let mut h = util::bench::Harness::new("fig07_firmware_overhead");
-    h.once("run", || {
-        bench::banner("Figure 7", "firmware-managed PRAM vs oracle controller");
-        let suite = bench::suite();
-        let r = bench::sweep(
-            &[SystemKind::DramLess, SystemKind::DramLessFirmware],
-            &suite,
-        );
+    bench::banner("Figure 7", "firmware-managed PRAM vs oracle controller");
+    let suite = bench::suite();
+    let r = bench::sweep_timed(
+        &mut h,
+        "sweep",
+        &[SystemKind::DramLess, SystemKind::DramLessFirmware],
+        &suite,
+    );
+    h.once("render", || {
         println!(
             "{:<10} {:>16} {:>14}",
             "kernel", "fw perf vs oracle", "degradation"

@@ -21,7 +21,7 @@ fn main() {
         );
         let mut acc = [0.0f64; 3];
         for w in &suite {
-            let built = w.build(p.agents);
+            let built = bench::built(w);
             let bw: Vec<f64> = SchedulerKind::ALL
                 .iter()
                 .map(|&s| simulate_dramless_scheduler(s, &built, &p).bandwidth() / 1e6)

@@ -8,13 +8,13 @@ use dramless::SystemKind;
 
 fn main() {
     let mut h = util::bench::Harness::new("fig15_bandwidth");
-    h.once("run", || {
-        bench::banner(
-            "Figure 15",
-            "bandwidth of the evaluated systems, normalized to Hetero",
-        );
-        let suite = bench::suite();
-        let r = bench::sweep(&SystemKind::EVALUATED, &suite);
+    bench::banner(
+        "Figure 15",
+        "bandwidth of the evaluated systems, normalized to Hetero",
+    );
+    let suite = bench::suite();
+    let r = bench::sweep_timed(&mut h, "sweep", &SystemKind::EVALUATED, &suite);
+    h.once("render", || {
         print!("{:<10}", "kernel");
         for k in SystemKind::EVALUATED {
             print!(" {:>9}", &k.label()[..k.label().len().min(9)]);

@@ -6,13 +6,13 @@ use dramless::SystemKind;
 
 fn main() {
     let mut h = util::bench::Harness::new("fig16_exec_breakdown");
-    h.once("run", || {
-        bench::banner(
-            "Figure 16",
-            "execution time decomposition (fractions of total)",
-        );
-        let suite = bench::suite();
-        let r = bench::sweep(&SystemKind::EVALUATED, &suite);
+    bench::banner(
+        "Figure 16",
+        "execution time decomposition (fractions of total)",
+    );
+    let suite = bench::suite();
+    let r = bench::sweep_timed(&mut h, "sweep", &SystemKind::EVALUATED, &suite);
+    h.once("render", || {
         println!(
             "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
             "system", "offload", "stage-in", "compute", "memory", "stage-out", "avg total"

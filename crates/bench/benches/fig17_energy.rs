@@ -5,13 +5,13 @@ use dramless::SystemKind;
 
 fn main() {
     let mut h = util::bench::Harness::new("fig17_energy");
-    h.once("run", || {
-        bench::banner(
-            "Figure 17",
-            "energy decomposition by component (mJ, suite average)",
-        );
-        let suite = bench::suite();
-        let r = bench::sweep(&SystemKind::EVALUATED, &suite);
+    bench::banner(
+        "Figure 17",
+        "energy decomposition by component (mJ, suite average)",
+    );
+    let suite = bench::suite();
+    let r = bench::sweep_timed(&mut h, "sweep", &SystemKind::EVALUATED, &suite);
+    h.once("render", || {
         let groups: [(&str, &[&str]); 7] = [
             ("PE", &["pe."]),
             ("host", &["host."]),

@@ -25,7 +25,7 @@ pub fn run_power_series(kernel: Kernel) {
         .into_iter()
         .find(|w| w.kernel == kernel)
         .expect("kernel in suite");
-    let built = w.build(p.agents);
+    let built = bench::built(&w);
     let kinds = [
         SystemKind::IntegratedSlc,
         SystemKind::PageBuffer,

@@ -8,13 +8,12 @@ fn main() {
             "Table III",
             "workload characteristics (measured from real kernel runs)",
         );
-        let p = bench::params();
         println!(
             "{:<10} {:>6} {:>11} {:>9} {:>9} {:>8} {:>12} {:>8}",
             "kernel", "n", "footprint", "input", "output", "write%", "instructions", "class"
         );
         for w in bench::suite() {
-            let b = w.build(p.agents);
+            let b = bench::built(&w);
             let c = b.character;
             let class = if w.kernel.is_read_intensive() {
                 "read"

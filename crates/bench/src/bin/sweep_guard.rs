@@ -1,0 +1,88 @@
+//! `sweep-guard` — CI gate for the sweep engine's wall-clock.
+//!
+//! Reads the JSON report a `BENCH_SMOKE=1` bench run wrote (the
+//! measurement named `sweep`, recorded by `bench::sweep_timed`) and
+//! compares it against the committed baseline
+//! (`crates/bench/sweep_baseline.json`). Exits non-zero when the smoke
+//! sweep took more than `max_regression` times the baseline — a cheap
+//! tripwire for "someone serialized the sweep again", deliberately
+//! loose (2×) so ordinary CI-runner noise never trips it.
+//!
+//! ```sh
+//! sweep-guard bench-fig15_bandwidth.json crates/bench/sweep_baseline.json
+//! ```
+
+use std::process::ExitCode;
+use util::bench::BenchReport;
+use util::json::{FromJson, Json};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sweep-guard: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report_path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("bench-fig15_bandwidth.json");
+    let baseline_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("crates/bench/sweep_baseline.json");
+
+    let report_text = match std::fs::read_to_string(report_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {report_path}: {e}")),
+    };
+    let report = match BenchReport::from_json_str(&report_text) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("parsing {report_path}: {e:?}")),
+    };
+    if !report.smoke {
+        return fail(&format!(
+            "{report_path} was not a BENCH_SMOKE=1 run; the baseline only \
+             calibrates smoke sweeps"
+        ));
+    }
+    let sweep = match report.measurements.iter().find(|m| m.name == "sweep") {
+        Some(m) => m,
+        None => return fail(&format!("{report_path} has no `sweep` measurement")),
+    };
+
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {baseline_path}: {e}")),
+    };
+    let baseline = match Json::parse(&baseline_text) {
+        Ok(j) => j,
+        Err(e) => return fail(&format!("parsing {baseline_path}: {e:?}")),
+    };
+    let base_ns = match baseline.get("sweep_smoke_ns").and_then(Json::as_u64) {
+        Some(n) if n > 0 => n,
+        _ => return fail(&format!("{baseline_path} lacks a positive sweep_smoke_ns")),
+    };
+    let max_regression = baseline
+        .get("max_regression")
+        .and_then(Json::as_f64)
+        .unwrap_or(2.0);
+
+    let ratio = sweep.median_ns as f64 / base_ns as f64;
+    println!(
+        "sweep-guard: smoke sweep {:.3}s vs baseline {:.3}s — {:.2}x (limit {:.1}x), {:.1} cells/s",
+        sweep.median_ns as f64 / 1e9,
+        base_ns as f64 / 1e9,
+        ratio,
+        max_regression,
+        sweep.units_per_sec,
+    );
+    if ratio > max_regression {
+        return fail(&format!(
+            "sweep wall-clock regressed {ratio:.2}x over the committed baseline \
+             (limit {max_regression:.1}x); if this is an intentional trade, \
+             re-record {baseline_path}"
+        ));
+    }
+    ExitCode::SUCCESS
+}

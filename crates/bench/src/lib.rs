@@ -5,9 +5,13 @@
 //! rows/series the paper reports (see EXPERIMENTS.md for the
 //! paper-vs-measured record). `cargo bench` runs them all.
 
+use std::sync::Arc;
+
 use dramless::{RunOutcome, SuiteResult, SystemKind, SystemParams};
 use sim_core::stats::TimeSeries;
 use sim_core::Picos;
+use util::bench::Harness;
+use workloads::suite::BuiltWorkload;
 use workloads::{Scale, Workload};
 
 /// The evaluation scale: `DRAMLESS_SCALE` env var, default 1.0 (the
@@ -26,34 +30,31 @@ pub fn params() -> SystemParams {
     SystemParams::default()
 }
 
-/// Sweeps `kinds × workloads`, parallelized across workloads with
-/// std scoped threads (each workload builds its traces once and runs
-/// every system on them).
+/// Sweeps `kinds × workloads` on the work-stealing engine
+/// ([`dramless::sweep`]): every cell is one stealable task, traces come
+/// from the process-wide cache, and the output order matches the serial
+/// nested loop byte-for-byte.
 pub fn sweep(kinds: &[SystemKind], workloads: &[Workload]) -> SuiteResult {
-    let p = params();
-    let mut buckets: Vec<Vec<RunOutcome>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                let kinds = kinds.to_vec();
-                let p = &p;
-                s.spawn(move || {
-                    let built = w.build(p.agents);
-                    kinds
-                        .iter()
-                        .map(|&k| dramless::system::simulate_built(k, &built, p))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            buckets.push(h.join().expect("workload sweep thread"));
-        }
-    });
-    SuiteResult {
-        outcomes: buckets.into_iter().flatten().collect(),
-    }
+    dramless::sweep::sweep(kinds, workloads, &params())
+}
+
+/// Like [`sweep`], but records the sweep wall-clock and cells/second in
+/// `harness` under `name` (the line CI's sweep-regression guard reads).
+pub fn sweep_timed(
+    harness: &mut Harness,
+    name: &str,
+    kinds: &[SystemKind],
+    workloads: &[Workload],
+) -> SuiteResult {
+    let cells = (kinds.len() * workloads.len()) as u64;
+    harness.once_throughput(name, cells, || sweep(kinds, workloads))
+}
+
+/// Builds `w` through the process-wide trace cache at the default agent
+/// count — the bench targets that replay a single workload (Fig. 13/18/
+/// 20, Table III) share builds with the sweeps this way.
+pub fn built(w: &Workload) -> Arc<BuiltWorkload> {
+    w.build_cached(params().agents)
 }
 
 /// Prints a header banner for a bench.

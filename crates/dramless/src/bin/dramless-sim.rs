@@ -7,7 +7,7 @@
 //! dramless-sim --list
 //! ```
 
-use dramless::{RunOutcome, SuiteResult, SystemKind, SystemParams};
+use dramless::{RunOutcome, SystemKind, SystemParams};
 use std::process::ExitCode;
 use workloads::{Kernel, Scale, Workload};
 
@@ -164,20 +164,28 @@ fn main() -> ExitCode {
         agents: opts.agents,
         ..Default::default()
     };
-    let mut result = SuiteResult::default();
+    let workloads: Vec<Workload> = opts
+        .kernels
+        .iter()
+        .map(|&k| Workload::of(k, opts.scale))
+        .collect();
+    // The work-stealing engine returns outcomes in workload-major order
+    // — exactly the order the old nested loop printed them in.
+    let (result, stats) = dramless::sweep::sweep_with_stats(&opts.systems, &workloads, &params);
     println!(
         "{:<22} {:<10} {:>12} {:>15} {:>12} {:>12}",
         "system", "kernel", "total time", "bandwidth", "energy", "aggregate"
     );
-    for kernel in &opts.kernels {
-        let w = Workload::of(*kernel, opts.scale);
-        let built = w.build(params.agents);
-        for &system in &opts.systems {
-            let out = dramless::system::simulate_built(system, &built, &params);
-            print_row(&out);
-            result.outcomes.push(out);
-        }
+    for out in &result.outcomes {
+        print_row(out);
     }
+    println!(
+        "\n{} cells in {:.3}s on {} thread(s) — {:.1} cells/s",
+        stats.cells,
+        stats.elapsed.as_secs_f64(),
+        stats.threads,
+        stats.cells_per_sec()
+    );
     if let Some(path) = &opts.json {
         if let Err(e) = std::fs::write(path, result.to_json()) {
             eprintln!("error: writing {path}: {e}");

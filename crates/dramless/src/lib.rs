@@ -12,7 +12,11 @@
 //! * [`system`] — backend construction and the end-to-end [`simulate`]
 //!   runner (kernel offload → optional staging → execution → writeback);
 //! * [`report`] — [`RunOutcome`] with time decomposition, energy ledger
-//!   and derived metrics, plus suite-sweep helpers.
+//!   and derived metrics, plus suite-sweep helpers;
+//! * [`sweep`] — the work-stealing sweep engine: every
+//!   `config × workload` cell is an independent stealable task,
+//!   scheduled cost-descending on [`util::pool`], with byte-identical
+//!   output at any thread count (`DRAMLESS_THREADS`).
 //!
 //! # Quick start
 //!
@@ -29,8 +33,10 @@
 
 pub mod config;
 pub mod report;
+pub mod sweep;
 pub mod system;
 
 pub use config::{SystemKind, SystemParams};
 pub use report::{Breakdown, RunOutcome, SuiteResult};
+pub use sweep::{sweep_with_stats, SweepStats};
 pub use system::{run_suite, simulate, simulate_dramless_scheduler};

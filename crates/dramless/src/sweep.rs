@@ -1,0 +1,206 @@
+//! The work-stealing sweep engine.
+//!
+//! A full evaluation is a `config × workload` grid — 11 × 15 = 165
+//! independent cells. The old driver parallelized at workload
+//! granularity (15 coarse units), so wall-clock degenerated to the
+//! slowest workload times all eleven configs. Here every cell is one
+//! stealable task on [`util::pool`]:
+//!
+//! 1. **Build phase** — each workload's traces are built (or fetched
+//!    from the process-wide [`workloads::cache`]) in parallel, handing
+//!    out shared `Arc<BuiltWorkload>`s.
+//! 2. **Cell phase** — cells are submitted in descending estimated-cost
+//!    order (backend weight × trace ops), so expensive configs like
+//!    Hetero and Integrated-TLC start first and the tail of the sweep is
+//!    short cells, not a straggler.
+//!
+//! Results are scattered back to workload-major × config order by
+//! submission index, so the output is byte-identical to the serial
+//! sweep regardless of thread count or steal interleaving
+//! (`tests/sweep_determinism.rs` locks this in). Thread count follows
+//! the pool: `DRAMLESS_THREADS` if set, else available parallelism.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use util::pool::{global, Pool, Task};
+use workloads::suite::BuiltWorkload;
+use workloads::Workload;
+
+use crate::config::{SystemKind, SystemParams};
+use crate::report::{RunOutcome, SuiteResult};
+use crate::system::simulate_built;
+
+/// Wall-clock accounting for one sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepStats {
+    /// `config × workload` cells simulated.
+    pub cells: usize,
+    /// End-to-end sweep wall-clock (build phase + cell phase).
+    pub elapsed: Duration,
+    /// Worker threads (including the caller) that executed it.
+    pub threads: usize,
+}
+
+impl SweepStats {
+    /// Simulated cells per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s > 0.0 {
+            self.cells as f64 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Relative simulation cost of one cell on `kind`, from measured sweep
+/// profiles: heterogeneous staging and dense flash dominate; the
+/// load/store PRAM designs are cheap. Only the *ordering* matters —
+/// a wrong weight costs schedule quality, never correctness.
+fn kind_weight(kind: SystemKind) -> u64 {
+    match kind {
+        SystemKind::IntegratedTlc => 10,
+        SystemKind::Hetero | SystemKind::IntegratedMlc => 8,
+        SystemKind::Heterodirect | SystemKind::IntegratedSlc => 6,
+        SystemKind::NorIntf => 5,
+        SystemKind::HeteroPram | SystemKind::HeterodirectPram => 4,
+        SystemKind::PageBuffer | SystemKind::DramLessFirmware => 3,
+        SystemKind::DramLess => 2,
+        SystemKind::Ideal => 1,
+    }
+}
+
+/// Sweeps `kinds × workloads` on the global pool.
+///
+/// Output order (workload-major, then `kinds` order) and content are
+/// identical to the serial nested loop, at any thread count.
+pub fn sweep(kinds: &[SystemKind], workloads: &[Workload], params: &SystemParams) -> SuiteResult {
+    sweep_on(global(), kinds, workloads, params).0
+}
+
+/// Like [`sweep`], also returning wall-clock stats for the bench
+/// harness's cells/second line.
+pub fn sweep_with_stats(
+    kinds: &[SystemKind],
+    workloads: &[Workload],
+    params: &SystemParams,
+) -> (SuiteResult, SweepStats) {
+    sweep_on(global(), kinds, workloads, params)
+}
+
+/// Sweeps on an explicit pool (the determinism test runs the same grid
+/// on a 1-thread and an N-thread pool and diffs the JSON).
+pub fn sweep_on(
+    pool: &Pool,
+    kinds: &[SystemKind],
+    workloads: &[Workload],
+    params: &SystemParams,
+) -> (SuiteResult, SweepStats) {
+    let start = Instant::now();
+    let agents = params.agents;
+
+    // Phase 1: build every workload's traces in parallel, via the
+    // process-wide cache so repeated sweeps (and the other bench
+    // targets) reuse them.
+    let built: Vec<Arc<BuiltWorkload>> = pool.run(
+        workloads
+            .iter()
+            .map(|w| {
+                let w = *w;
+                Box::new(move || w.build_cached(agents)) as Task<_>
+            })
+            .collect(),
+    );
+
+    // Phase 2: one task per cell, submitted cost-descending. `slot` is
+    // the cell's position in the canonical workload-major output order.
+    struct Cell {
+        slot: usize,
+        kind: SystemKind,
+        built: Arc<BuiltWorkload>,
+        cost: u64,
+    }
+    let mut cells = Vec::with_capacity(workloads.len() * kinds.len());
+    for (wi, b) in built.iter().enumerate() {
+        let ops = b.character.loads + b.character.stores + b.character.instructions / 64;
+        for (ki, &kind) in kinds.iter().enumerate() {
+            cells.push(Cell {
+                slot: wi * kinds.len() + ki,
+                kind,
+                built: Arc::clone(b),
+                cost: kind_weight(kind) * ops.max(1),
+            });
+        }
+    }
+    cells.sort_by(|a, b| b.cost.cmp(&a.cost).then(a.slot.cmp(&b.slot)));
+    let order: Vec<usize> = cells.iter().map(|c| c.slot).collect();
+
+    let p = *params;
+    let ran = pool.run(
+        cells
+            .into_iter()
+            .map(|c| Box::new(move || simulate_built(c.kind, &c.built, &p)) as Task<_>)
+            .collect(),
+    );
+
+    // Scatter back to canonical order, independent of who ran what.
+    let mut outcomes: Vec<Option<RunOutcome>> = (0..order.len()).map(|_| None).collect();
+    for (outcome, slot) in ran.into_iter().zip(order) {
+        outcomes[slot] = Some(outcome);
+    }
+    let result = SuiteResult {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every cell simulated exactly once"))
+            .collect(),
+    };
+    let stats = SweepStats {
+        cells: result.outcomes.len(),
+        elapsed: start.elapsed(),
+        threads: pool.threads(),
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Kernel, Scale};
+
+    #[test]
+    fn sweep_matches_serial_nested_loop() {
+        let kinds = [SystemKind::DramLess, SystemKind::NorIntf];
+        let workloads: Vec<Workload> = [Kernel::Trisolv, Kernel::Durbin]
+            .iter()
+            .map(|&k| Workload::of(k, Scale(0.1)))
+            .collect();
+        let params = SystemParams {
+            agents: 2,
+            ..Default::default()
+        };
+
+        let mut serial = SuiteResult::default();
+        for w in &workloads {
+            let b = w.build(params.agents);
+            for &k in &kinds {
+                serial.outcomes.push(simulate_built(k, &b, &params));
+            }
+        }
+
+        let pool = Pool::new(3);
+        let (swept, stats) = sweep_on(&pool, &kinds, &workloads, &params);
+        assert_eq!(stats.cells, 4);
+        assert_eq!(swept.to_json(), serial.to_json());
+    }
+
+    #[test]
+    fn every_kind_has_a_weight_order() {
+        // The exact weights are heuristic; the invariant worth pinning
+        // is that the proposed design is scheduled as cheaper than the
+        // staging-bound and dense-flash systems it is compared against.
+        assert!(kind_weight(SystemKind::Hetero) > kind_weight(SystemKind::DramLess));
+        assert!(kind_weight(SystemKind::IntegratedTlc) > kind_weight(SystemKind::DramLess));
+        assert!(kind_weight(SystemKind::DramLess) > kind_weight(SystemKind::Ideal));
+    }
+}

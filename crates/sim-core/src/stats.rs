@@ -225,10 +225,21 @@ impl TimeSeries {
     ///
     /// Panics if `bucket_width` is zero.
     pub fn new(bucket_width: Picos) -> Self {
+        Self::with_capacity(bucket_width, 0)
+    }
+
+    /// Like [`TimeSeries::new`] with room for `capacity` non-empty
+    /// buckets up front — hot producers (the execution engine's IPC and
+    /// power curves) use this to avoid growth reallocations mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn with_capacity(bucket_width: Picos, capacity: usize) -> Self {
         assert!(!bucket_width.is_zero(), "bucket width must be non-zero");
         TimeSeries {
             bucket_width,
-            data: Vec::new(),
+            data: Vec::with_capacity(capacity),
         }
     }
 
@@ -240,9 +251,17 @@ impl TimeSeries {
     /// Accumulates `value` into the bucket containing instant `at`.
     pub fn add(&mut self, at: Picos, value: f64) {
         let idx = at.as_ps() / self.bucket_width.as_ps();
-        match self.data.binary_search_by_key(&idx, |&(i, _)| i) {
-            Ok(pos) => self.data[pos].1 += value,
-            Err(pos) => self.data.insert(pos, (idx, value)),
+        // Producers overwhelmingly append in non-decreasing time order
+        // (the execution engine always advances the earliest agent), so
+        // check the tail before falling back to a binary search.
+        match self.data.last_mut() {
+            Some(&mut (last, ref mut v)) if last == idx => *v += value,
+            Some(&mut (last, _)) if last < idx => self.data.push((idx, value)),
+            None => self.data.push((idx, value)),
+            _ => match self.data.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.data[pos].1 += value,
+                Err(pos) => self.data.insert(pos, (idx, value)),
+            },
         }
     }
 

@@ -37,6 +37,12 @@ pub struct Measurement {
     pub mean_ns: f64,
     /// Population standard deviation.
     pub stddev_ns: f64,
+    /// Work items processed per iteration (0 for plain timings). Sweep
+    /// measurements set this to the number of `config × workload` cells.
+    pub units: u64,
+    /// `units` divided by the median iteration time, in items/second
+    /// (0.0 for plain timings).
+    pub units_per_sec: f64,
 }
 
 crate::json_struct!(Measurement {
@@ -48,6 +54,8 @@ crate::json_struct!(Measurement {
     median_ns,
     mean_ns,
     stddev_ns,
+    units,
+    units_per_sec,
 });
 
 impl Measurement {
@@ -70,7 +78,19 @@ impl Measurement {
             median_ns: samples[samples.len() / 2],
             mean_ns: mean,
             stddev_ns: var.sqrt(),
+            units: 0,
+            units_per_sec: 0.0,
         }
+    }
+
+    fn with_units(mut self, units: u64) -> Measurement {
+        self.units = units;
+        self.units_per_sec = if self.median_ns > 0 {
+            units as f64 * 1e9 / self.median_ns as f64
+        } else {
+            0.0
+        };
+        self
     }
 }
 
@@ -166,6 +186,18 @@ impl Harness {
         out
     }
 
+    /// Like [`Harness::once`], for work with a natural item count (e.g.
+    /// sweep cells): the measurement additionally records `units` and
+    /// the derived items/second, and [`Harness::finish`] prints a
+    /// wall-clock + rate line for it.
+    pub fn once_throughput<R>(&mut self, name: &str, units: u64, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        self.push(Measurement::from_samples(name, 0, vec![elapsed]).with_units(units));
+        out
+    }
+
     fn push(&mut self, m: Measurement) {
         assert!(
             self.report.measurements.iter().all(|e| e.name != m.name),
@@ -197,6 +229,17 @@ impl Harness {
                 fmt_ns(m.stddev_ns)
             );
         }
+        for m in &self.report.measurements {
+            if m.units > 0 {
+                println!(
+                    "{}: wall-clock {} — {:.1} cells/s ({} cells)",
+                    m.name,
+                    fmt_ns(m.median_ns as f64),
+                    m.units_per_sec,
+                    m.units
+                );
+            }
+        }
         if let Some(path) = &self.json_path {
             std::fs::write(path, self.report.to_json_pretty())
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -221,6 +264,7 @@ fn fmt_ns(ns: f64) -> String {
 mod tests {
     use super::*;
     use crate::json::FromJson;
+    use std::time::Duration;
 
     #[test]
     fn measurement_statistics_are_correct() {
@@ -262,5 +306,31 @@ mod tests {
         assert_eq!(h.report.measurements.len(), 2);
         assert_eq!(h.report.measurements[1].iters, 3);
         h.finish();
+    }
+
+    #[test]
+    fn throughput_measurement_derives_rate() {
+        let mut h = Harness {
+            report: BenchReport {
+                id: "t".into(),
+                smoke: false,
+                measurements: Vec::new(),
+            },
+            iters: 1,
+            warmup: 0,
+            json_path: None,
+        };
+        h.once_throughput("sweep", 165, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        let m = &h.report.measurements[0];
+        assert_eq!(m.units, 165);
+        let expect = 165.0 * 1e9 / m.median_ns as f64;
+        assert!((m.units_per_sec - expect).abs() < 1e-6);
+        assert!(m.units_per_sec > 0.0);
+        // Plain timings stay rate-free.
+        let plain = Measurement::from_samples("p", 0, vec![10]);
+        assert_eq!(plain.units, 0);
+        assert_eq!(plain.units_per_sec, 0.0);
     }
 }

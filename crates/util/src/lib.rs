@@ -18,10 +18,14 @@
 //!   min/median/stddev statistics and JSON output (replaces
 //!   `criterion`);
 //! * [`cases`] — the [`for_each_case!`] seeded case generator
-//!   (replaces `proptest`).
+//!   (replaces `proptest`);
+//! * [`pool`] — a work-stealing thread pool with deterministic result
+//!   ordering and panic propagation (replaces `rayon`); sized by the
+//!   `DRAMLESS_THREADS` environment variable.
 
 pub mod bench;
 pub mod bytes;
 pub mod cases;
 pub mod json;
+pub mod pool;
 pub mod rng;

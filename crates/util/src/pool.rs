@@ -1,0 +1,431 @@
+//! A zero-dependency work-stealing thread pool (replaces `rayon`).
+//!
+//! The sweep engine schedules every `config × workload` cell of the
+//! paper's evaluation grid as an independent task; this pool runs those
+//! tasks across all available cores. Design:
+//!
+//! * **Per-worker deques with stealing** — submitted tasks are dealt
+//!   round-robin across one deque per worker; a worker drains its own
+//!   deque first and steals from its neighbours (front-first, so a
+//!   cost-descending submission order keeps the most expensive cells
+//!   running earliest) when it runs dry.
+//! * **Caller participation** — [`Pool::run`] executes tasks on the
+//!   calling thread too, so a 1-thread pool is exactly a serial loop
+//!   and a nested `run` from inside a task can never deadlock: the
+//!   nested caller steals and executes work itself instead of waiting
+//!   on a worker to become free.
+//! * **Panic propagation** — a panicking task does not poison the pool;
+//!   the panic payload is captured and re-raised on the thread that
+//!   called [`Pool::run`] after the whole batch has settled.
+//! * **Determinism** — results are returned in submission order no
+//!   matter which thread ran which task, so a parallel run is
+//!   byte-identical to a serial one for deterministic tasks.
+//!
+//! The process-wide [`global`] pool sizes itself from the
+//! `DRAMLESS_THREADS` environment variable (clamped to at least 1),
+//! falling back to [`std::thread::available_parallelism`].
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A boxed task submitted to [`Pool::run`].
+pub type Task<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// `pending`/`shutdown` handshake between submitters and sleeping
+/// workers. `pending` counts jobs that are queued but not yet reserved
+/// by any thread; a reservation (decrement) guarantees a job is
+/// waiting in some deque.
+struct Signal {
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    /// One deque per worker thread (at least one, so external callers
+    /// always have somewhere to push and steal from).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    sig: Mutex<Signal>,
+    available: Condvar,
+    /// Round-robin cursor for distributing submitted jobs.
+    next: AtomicUsize,
+}
+
+impl Shared {
+    /// Queues a job and wakes one sleeping worker.
+    fn push(&self, job: Job) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.deques[slot]
+            .lock()
+            .expect("pool deque lock")
+            .push_back(job);
+        let mut s = self.sig.lock().expect("pool signal lock");
+        s.pending += 1;
+        drop(s);
+        self.available.notify_one();
+    }
+
+    /// Reserves and takes one queued job, preferring the deque at
+    /// `home`. Returns `None` when nothing is queued. Because every
+    /// push happens before its `pending` increment and every taker
+    /// reserves before scanning, a successful reservation always finds
+    /// a job.
+    fn take(&self, home: usize) -> Option<Job> {
+        {
+            let mut s = self.sig.lock().expect("pool signal lock");
+            if s.pending == 0 {
+                return None;
+            }
+            s.pending -= 1;
+        }
+        let n = self.deques.len();
+        loop {
+            for k in 0..n {
+                let i = (home + k) % n;
+                if let Some(job) = self.deques[i].lock().expect("pool deque lock").pop_front() {
+                    return Some(job);
+                }
+            }
+            // A racing pusher has incremented `pending` but its job is
+            // not visible in any deque yet; the reservation guarantees
+            // one is imminent, so spin the scan (window is a few
+            // instructions wide).
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Per-batch completion state for one [`Pool::run`] call.
+struct Batch<T> {
+    /// One result slot per task, filled by whichever thread ran it.
+    slots: Vec<Mutex<Option<thread::Result<T>>>>,
+    /// Tasks not yet finished.
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<T> Batch<T> {
+    fn finish(&self, index: usize, result: thread::Result<T>) {
+        *self.slots[index].lock().expect("pool batch slot") = Some(result);
+        let mut rem = self.remaining.lock().expect("pool batch counter");
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("pool batch counter") == 0
+    }
+}
+
+/// The work-stealing pool. See the [module docs](self) for the design.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with `threads` total execution contexts: the
+    /// calling thread plus `threads - 1` spawned workers. `Pool::new(1)`
+    /// spawns nothing and [`Pool::run`] degenerates to a serial loop.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sig: Mutex::new(Signal {
+                pending: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("dramless-pool-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total execution contexts (callers + workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion, returning their results in
+    /// submission order. The calling thread executes tasks too; when it
+    /// runs out of stealable work it sleeps until the batch finishes.
+    ///
+    /// # Panics
+    ///
+    /// If any task panicked, the first (by submission order) panic
+    /// payload is re-raised after the whole batch has settled.
+    pub fn run<T: Send + 'static>(&self, tasks: Vec<Task<T>>) -> Vec<T> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        if self.threads == 1 || tasks.len() == 1 {
+            // Serial fast path: same task order, same thread, no
+            // queueing overhead; panics propagate natively.
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+        let n = tasks.len();
+        let batch: Arc<Batch<T>> = Arc::new(Batch {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        });
+        for (index, task) in tasks.into_iter().enumerate() {
+            let batch = Arc::clone(&batch);
+            self.shared.push(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                batch.finish(index, result);
+            }));
+        }
+        // Help: execute stealable work (from this batch or any batch
+        // nested inside it) until our batch completes.
+        loop {
+            if batch.is_done() {
+                break;
+            }
+            if let Some(job) = self.shared.take(0) {
+                job();
+                continue;
+            }
+            let mut rem = batch.remaining.lock().expect("pool batch counter");
+            while *rem > 0 {
+                rem = batch.done.wait(rem).expect("pool batch wait");
+            }
+            break;
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in batch.slots.iter() {
+            match slot
+                .lock()
+                .expect("pool batch slot")
+                .take()
+                .expect("batch slot filled")
+            {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        out
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.shared.sig.lock().expect("pool signal lock");
+            s.shutdown = true;
+        }
+        self.available_notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Pool {
+    fn available_notify_all(&self) {
+        self.shared.available.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared, home: usize) {
+    loop {
+        if let Some(job) = shared.take(home) {
+            job();
+            continue;
+        }
+        let mut s = shared.sig.lock().expect("pool signal lock");
+        loop {
+            if s.shutdown {
+                return;
+            }
+            if s.pending > 0 {
+                break;
+            }
+            s = shared.available.wait(s).expect("pool worker wait");
+        }
+    }
+}
+
+/// Parses a thread-count override ("1".."1024"); `None` falls through
+/// to hardware parallelism.
+fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, 1024))
+}
+
+/// The process-wide pool: `DRAMLESS_THREADS` (read once, at first use)
+/// or [`std::thread::available_parallelism`].
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let threads = parse_threads(std::env::var("DRAMLESS_THREADS").ok().as_deref())
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
+        Pool::new(threads)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed<T: Send + 'static>(
+        range: std::ops::Range<usize>,
+        f: impl Fn(usize) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<Task<T>> {
+        range
+            .map(|i| {
+                let f = f.clone();
+                Box::new(move || f(i)) as Task<T>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_task_list_returns_empty() {
+        let pool = Pool::new(4);
+        let out: Vec<u64> = pool.run(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_preserve_submission_order() {
+        let pool = Pool::new(4);
+        let out = pool.run(boxed(0..100, |i| i * i));
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_tasks_than_threads() {
+        let pool = Pool::new(2);
+        let out = pool.run(boxed(0..512, |i| i as u64 + 1));
+        assert_eq!(out.len(), 512);
+        assert_eq!(out.iter().sum::<u64>(), (1..=512u64).sum());
+    }
+
+    #[test]
+    fn single_thread_pool_is_serial() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.run(boxed(0..10, |i| i));
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let pool = Pool::new(3);
+        let mut tasks = boxed(0..8, |i| i);
+        tasks.insert(
+            4,
+            Box::new(|| -> usize { panic!("task exploded on purpose") }) as Task<usize>,
+        );
+        let r = catch_unwind(AssertUnwindSafe(|| pool.run(tasks)));
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("(non-str payload)");
+        assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+        // The pool survives a panicking batch.
+        let out = pool.run(boxed(0..4, |i| i));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_run_from_within_a_task_does_not_deadlock() {
+        let pool = Arc::new(Pool::new(2));
+        let outer: Vec<Task<u64>> = (0..4)
+            .map(|o| {
+                let pool = Arc::clone(&pool);
+                Box::new(move || {
+                    let inner = pool.run(
+                        (0..8)
+                            .map(|i| Box::new(move || (o * 8 + i) as u64) as Task<u64>)
+                            .collect(),
+                    );
+                    inner.iter().sum()
+                }) as Task<u64>
+            })
+            .collect();
+        let out = pool.run(outer);
+        assert_eq!(out.iter().sum::<u64>(), (0..32u64).sum());
+    }
+
+    #[test]
+    fn nested_run_on_global_pool() {
+        let outer: Vec<Task<usize>> = (0..3)
+            .map(|o| {
+                Box::new(move || {
+                    global()
+                        .run(
+                            (0..5usize)
+                                .map(|i| Box::new(move || o + i) as Task<usize>)
+                                .collect(),
+                        )
+                        .len()
+                }) as Task<usize>
+            })
+            .collect();
+        let out = global().run(outer);
+        assert_eq!(out, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads(Some("0")), Some(1)); // clamped
+        assert_eq!(parse_threads(Some("many")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn heavier_tasks_still_balance() {
+        // Mixed costs: the long task should not serialize the batch on
+        // a multi-thread pool (smoke check that stealing happens; exact
+        // timing is not asserted to keep CI stable).
+        let pool = Pool::new(4);
+        let out = pool.run(boxed(0..64, |i| {
+            let spins = if i == 0 { 200_000 } else { 1_000 };
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_add(std::hint::black_box(k));
+            }
+            acc
+        }));
+        assert_eq!(out.len(), 64);
+    }
+}

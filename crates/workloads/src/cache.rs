@@ -1,0 +1,100 @@
+//! Process-wide memoized trace cache.
+//!
+//! Building a workload is deterministic but not free: every trace op is
+//! produced by actually running the kernel under a
+//! [`TraceRecorder`](crate::recorder::TraceRecorder). The 15 bench
+//! targets, the CLI and the sweep engine all want the same
+//! `(kernel, size, agents)` builds, so [`Workload::build_cached`] hands
+//! out shared [`Arc<BuiltWorkload>`]s and guarantees each distinct build
+//! happens exactly once per process — even when several pool workers ask
+//! for the same workload concurrently, only one of them runs the kernel
+//! and the rest block on its [`OnceLock`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::suite::{BuiltWorkload, Workload};
+
+/// Everything that determines a build's output. `Scale` only influences
+/// builds through the `n`/`steps` it picks, so the concrete dimensions
+/// (not the scale factor) are the honest key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    kernel: crate::suite::Kernel,
+    n: usize,
+    steps: usize,
+    agents: usize,
+}
+
+type Slot = Arc<OnceLock<Arc<BuiltWorkload>>>;
+
+fn cache() -> &'static Mutex<HashMap<Key, Slot>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Slot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl Workload {
+    /// Like [`Workload::build`], but memoized for the whole process.
+    ///
+    /// The first caller for a given `(kernel, n, steps, agents)` runs the
+    /// kernel; everyone else (including concurrent callers racing with
+    /// the first) gets the same `Arc` back. The map lock is only held
+    /// long enough to find or insert the slot, so unrelated builds
+    /// proceed in parallel.
+    pub fn build_cached(&self, agents: usize) -> Arc<BuiltWorkload> {
+        let key = Key {
+            kernel: self.kernel,
+            n: self.n,
+            steps: self.steps,
+            agents,
+        };
+        let slot = {
+            let mut map = cache().lock().expect("workload cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| Arc::new(self.build(agents))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{Kernel, Scale};
+
+    #[test]
+    fn cached_builds_are_shared() {
+        let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+        let a = w.build_cached(3);
+        let b = w.build_cached(3);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one build");
+        // A different agent count is a different build.
+        let c = w.build_cached(4);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.traces.len(), 4);
+    }
+
+    #[test]
+    fn cached_build_matches_direct_build() {
+        let w = Workload::of(Kernel::Durbin, Scale(0.1));
+        let cached = w.build_cached(2);
+        let direct = w.build(2);
+        assert_eq!(cached.character, direct.character);
+        assert_eq!(cached.traces.len(), direct.traces.len());
+    }
+
+    #[test]
+    fn concurrent_callers_get_one_build() {
+        let w = Workload::of(Kernel::Floyd, Scale(0.1));
+        let arcs: Vec<_> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(move || w.build_cached(2)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a));
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! so a full 10-config × 15-workload sweep runs in seconds; the
 //! `DRAMLESS_SCALE`-aware [`suite::Scale`] type controls this.
 
+pub mod cache;
 pub mod kernels;
 pub mod recorder;
 pub mod suite;
