@@ -23,10 +23,10 @@ fn main() {
         for w in &suite {
             print!("{:<10}", w.kernel.label());
             for k in SystemKind::EVALUATED {
-                print!(
-                    " {:>8.2}x",
-                    r.normalized_bandwidth(k, SystemKind::Hetero, w.kernel)
-                );
+                let norm = r
+                    .normalized_bandwidth(k, SystemKind::Hetero, w.kernel)
+                    .unwrap_or(f64::NAN);
+                print!(" {norm:>8.2}x");
             }
             println!();
         }

@@ -4,17 +4,20 @@
 //! ```sh
 //! dramless-sim --system dram-less --kernel gemver
 //! dramless-sim --system hetero --kernel all --scale 1.5 --json results.json
-//! dramless-sim --list
+//! dramless-sim --spec my_config.json --kernel gemver
+//! dramless-sim --list-systems
 //! ```
 
-use dramless::{RunOutcome, SystemKind, SystemParams};
+use dramless::{RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec};
 use std::process::ExitCode;
+use util::json::FromJson;
 use workloads::{Kernel, Scale, Workload};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
 struct Options {
     systems: Vec<SystemKind>,
+    specs: Vec<SystemSpec>,
     kernels: Vec<Kernel>,
     scale: Scale,
     seed: u64,
@@ -26,20 +29,35 @@ fn usage() -> &'static str {
     "dramless-sim: simulate the DRAM-less accelerated systems\n\
      \n\
      USAGE:\n\
-       dramless-sim [--system <name>|all] [--kernel <name>|all]\n\
-                    [--scale <f>] [--seed <n>] [--agents <n>]\n\
-                    [--json <path>] [--list]\n\
+       dramless-sim [--system <name>|all] [--spec <file.json>]\n\
+                    [--kernel <name>|all] [--scale <f>] [--seed <n>]\n\
+                    [--agents <n>] [--json <path>] [--list] [--list-systems]\n\
      \n\
      OPTIONS:\n\
-       --system   a Table I system (e.g. dram-less, hetero, page-buffer),\n\
-                  or `all` for every evaluated design  [default: dram-less]\n\
-       --kernel   a Polybench kernel (e.g. gemver, doitg), or `all`\n\
-                  [default: gemver]\n\
-       --scale    workload scale factor                [default: 1.0]\n\
-       --seed     determinism seed                     [default: 42]\n\
-       --agents   agent PEs running the kernel         [default: 7]\n\
-       --json     also write the full SuiteResult as JSON\n\
-       --list     print the available systems and kernels, then exit"
+       --system        a Table I system (e.g. dram-less, hetero, page-buffer),\n\
+                       or `all` for every evaluated design  [default: dram-less]\n\
+       --spec          a SystemSpec JSON file composing a custom system\n\
+                       (medium x datapath x buffer x control); repeatable,\n\
+                       and combines with --system\n\
+       --kernel        a Polybench kernel (e.g. gemver, doitg), or `all`\n\
+                       [default: gemver]\n\
+       --scale         workload scale factor                [default: 1.0]\n\
+       --seed          determinism seed                     [default: 42]\n\
+       --agents        agent PEs running the kernel         [default: 7]\n\
+       --json          also write the full SuiteResult as JSON\n\
+       --list          print the available systems and kernels, then exit\n\
+       --list-systems  print each preset's spec axes, then exit\n\
+     \n\
+     EXAMPLES:\n\
+       # A configuration Table I never built: TLC flash over P2P DMA.\n\
+       cat > tlc.json <<'EOF'\n\
+       { \"name\": \"tlc-p2p\",\n\
+         \"medium\": { \"FlashSsd\": { \"cell\": \"Tlc\" } },\n\
+         \"datapath\": \"P2pDma\",\n\
+         \"buffer\": { \"DramPageCache\": { \"frames\": null } },\n\
+         \"control\": { \"HardwareAutomated\": { \"scheduler\": \"Final\" } } }\n\
+       EOF\n\
+       dramless-sim --spec tlc.json --system dram-less --kernel gemver"
 }
 
 fn parse_system(name: &str) -> Option<SystemKind> {
@@ -62,9 +80,37 @@ fn parse_kernel(name: &str) -> Option<Kernel> {
         .find(|k| k.label().eq_ignore_ascii_case(name))
 }
 
+fn load_spec(path: &str) -> Result<SystemSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    SystemSpec::from_json_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn list_systems() {
+    println!(
+        "{:<22} {:<21} {:<15} {:<12} control",
+        "preset", "medium", "datapath", "buffer"
+    );
+    let mut all = SystemKind::EVALUATED.to_vec();
+    all.push(SystemKind::Ideal);
+    for k in all {
+        let s = k.spec();
+        println!(
+            "{:<22} {:<21} {:<15} {:<12} {}",
+            k.label(),
+            s.medium.label(),
+            s.datapath.label(),
+            s.buffer.label(),
+            s.control.label()
+        );
+    }
+    println!("\nany other medium x datapath x buffer x control combination");
+    println!("can be composed as a JSON file and run with --spec <file>.");
+}
+
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
-        systems: vec![SystemKind::DramLess],
+        systems: Vec::new(),
+        specs: Vec::new(),
         kernels: vec![Kernel::Gemver],
         scale: Scale::paper(),
         seed: 42,
@@ -86,6 +132,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 } else {
                     vec![parse_system(&v).ok_or_else(|| format!("unknown system `{v}`"))?]
                 };
+            }
+            "--spec" => {
+                let v = value("--spec")?;
+                opts.specs.push(load_spec(&v)?);
             }
             "--kernel" => {
                 let v = value("--kernel")?;
@@ -128,6 +178,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 }
                 std::process::exit(0);
             }
+            "--list-systems" => {
+                list_systems();
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -135,13 +189,18 @@ fn parse(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
         }
     }
+    // Default: the proposed design — unless the user only asked for
+    // custom specs.
+    if opts.systems.is_empty() && opts.specs.is_empty() {
+        opts.systems.push(SystemKind::DramLess);
+    }
     Ok(opts)
 }
 
 fn print_row(out: &RunOutcome) {
     println!(
         "{:<22} {:<10} {:>12} {:>10.1} MB/s {:>12} {:>8.3} IPC",
-        out.system.label(),
+        out.system.name(),
         out.kernel.label(),
         format!("{}", out.total_time),
         out.bandwidth() / 1e6,
@@ -169,9 +228,27 @@ fn main() -> ExitCode {
         .iter()
         .map(|&k| Workload::of(k, opts.scale))
         .collect();
+    // Presets first, then custom specs, in command-line order.
+    let mut systems: Vec<(SystemId, SystemSpec)> = opts
+        .systems
+        .iter()
+        .map(|&k| (SystemId::Preset(k), k.spec()))
+        .collect();
+    systems.extend(
+        opts.specs
+            .iter()
+            .map(|s| (SystemId::Custom(s.display_name()), s.clone())),
+    );
     // The work-stealing engine returns outcomes in workload-major order
     // — exactly the order the old nested loop printed them in.
-    let (result, stats) = dramless::sweep::sweep_with_stats(&opts.systems, &workloads, &params);
+    let (result, stats) =
+        match dramless::sweep::sweep_systems_with_stats(&systems, &workloads, &params) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     println!(
         "{:<22} {:<10} {:>12} {:>15} {:>12} {:>12}",
         "system", "kernel", "total time", "bandwidth", "energy", "aggregate"
@@ -199,6 +276,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use util::json::ToJson;
 
     #[test]
     fn parses_defaults() {
@@ -206,6 +284,7 @@ mod tests {
         assert_eq!(o.systems, vec![SystemKind::DramLess]);
         assert_eq!(o.kernels, vec![Kernel::Gemver]);
         assert_eq!(o.seed, 42);
+        assert!(o.specs.is_empty());
     }
 
     #[test]
@@ -254,11 +333,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_spec_files() {
+        let spec = SystemSpec {
+            name: Some("cli-test".into()),
+            ..SystemKind::Heterodirect.spec()
+        };
+        let path = std::env::temp_dir().join("dramless-sim-cli-test-spec.json");
+        std::fs::write(&path, spec.to_json_pretty()).unwrap();
+        let args = vec!["--spec".to_string(), path.display().to_string()];
+        let o = parse(&args).unwrap();
+        // A lone --spec replaces the default preset.
+        assert!(o.systems.is_empty());
+        assert_eq!(o.specs, vec![spec]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&["--system".into(), "warp-drive".into()]).is_err());
         assert!(parse(&["--scale".into(), "-1".into()]).is_err());
         assert!(parse(&["--agents".into(), "9".into()]).is_err());
         assert!(parse(&["--frobnicate".into()]).is_err());
         assert!(parse(&["--seed".into()]).is_err());
+        assert!(parse(&["--spec".into(), "/no/such/file.json".into()]).is_err());
     }
 }

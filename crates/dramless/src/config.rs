@@ -134,6 +134,90 @@ impl fmt::Display for SystemKind {
     }
 }
 
+/// Identity of a simulated system in reports: either a Table I preset
+/// or a custom [`crate::spec::SystemSpec`] run under its display name.
+///
+/// Serializes exactly like [`SystemKind`] for presets (the variant-name
+/// string), so every report/bench JSON schema is unchanged; custom
+/// systems appear as their name string. Compares transparently against
+/// `SystemKind`, so `outcome.system == SystemKind::DramLess` keeps
+/// working.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SystemId {
+    /// One of the named Table I presets.
+    Preset(SystemKind),
+    /// A custom spec, identified by its display name.
+    Custom(String),
+}
+
+impl SystemId {
+    /// The display name (the preset's figure label, or the custom name).
+    pub fn name(&self) -> &str {
+        match self {
+            SystemId::Preset(k) => k.label(),
+            SystemId::Custom(s) => s,
+        }
+    }
+
+    /// The preset, if this identifies one.
+    pub fn preset(&self) -> Option<SystemKind> {
+        match self {
+            SystemId::Preset(k) => Some(*k),
+            SystemId::Custom(_) => None,
+        }
+    }
+}
+
+impl From<SystemKind> for SystemId {
+    fn from(kind: SystemKind) -> Self {
+        SystemId::Preset(kind)
+    }
+}
+
+impl PartialEq<SystemKind> for SystemId {
+    fn eq(&self, other: &SystemKind) -> bool {
+        matches!(self, SystemId::Preset(k) if k == other)
+    }
+}
+
+impl PartialEq<SystemId> for SystemKind {
+    fn eq(&self, other: &SystemId) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Display for SystemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl util::json::ToJson for SystemId {
+    fn to_json(&self) -> util::json::Json {
+        match self {
+            // Identical to SystemKind's layout: presets are byte-for-byte
+            // what the pre-spec reports serialized.
+            SystemId::Preset(k) => util::json::ToJson::to_json(k),
+            SystemId::Custom(s) => util::json::Json::Str(s.clone()),
+        }
+    }
+}
+
+impl util::json::FromJson for SystemId {
+    fn from_json(v: &util::json::Json) -> Result<Self, util::json::JsonError> {
+        if let Ok(kind) = <SystemKind as util::json::FromJson>::from_json(v) {
+            return Ok(SystemId::Preset(kind));
+        }
+        match v.as_str() {
+            Some(s) => Ok(SystemId::Custom(s.to_string())),
+            None => Err(util::json::JsonError::new(format!(
+                "expected system name string, got {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
 /// Tunable parameters shared by every configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
@@ -215,5 +299,31 @@ mod tests {
     fn page_scale_divisor() {
         let p = SystemParams::default();
         assert_eq!(p.page_scale_divisor(), 4); // 16 KB -> 4 KB
+    }
+
+    #[test]
+    fn system_id_serializes_like_system_kind() {
+        use util::json::{FromJson, ToJson};
+        let id = SystemId::Preset(SystemKind::DramLess);
+        assert_eq!(id.to_json_string(), SystemKind::DramLess.to_json_string());
+        assert_eq!(
+            SystemId::from_json_str("\"DramLess\"").unwrap(),
+            SystemId::Preset(SystemKind::DramLess)
+        );
+        assert_eq!(
+            SystemId::from_json_str("\"my-custom-rig\"").unwrap(),
+            SystemId::Custom("my-custom-rig".to_string())
+        );
+        assert!(SystemId::from_json_str("17").is_err());
+    }
+
+    #[test]
+    fn system_id_compares_against_kind() {
+        let id: SystemId = SystemKind::Hetero.into();
+        assert_eq!(id, SystemKind::Hetero);
+        assert_eq!(SystemKind::Hetero, id);
+        assert_ne!(SystemId::Custom("Hetero".into()), SystemKind::Hetero);
+        assert_eq!(id.name(), "Hetero");
+        assert_eq!(id.preset(), Some(SystemKind::Hetero));
     }
 }

@@ -8,15 +8,22 @@
 //! "ideal" reference points), runs the Polybench-derived workloads on
 //! them, and produces the measurements behind every figure:
 //!
-//! * [`config`] — [`SystemKind`] and tunable [`SystemParams`];
-//! * [`system`] — backend construction and the end-to-end [`simulate`]
-//!   runner (kernel offload → optional staging → execution → writeback);
+//! * [`config`] — [`SystemKind`] presets, [`SystemId`] report
+//!   identities and tunable [`SystemParams`];
+//! * [`spec`] — the declarative [`SystemSpec`] composition layer: any
+//!   medium × datapath × buffer × control point in the architecture
+//!   space, as serializable plain data ([`SystemKind::spec`] names the
+//!   twelve presets);
+//! * [`system`] — the [`system::build_system`] factory and the single
+//!   phase-driven runner every configuration goes through (kernel
+//!   offload → optional staging → execution → writeback);
 //! * [`report`] — [`RunOutcome`] with time decomposition, energy ledger
 //!   and derived metrics, plus suite-sweep helpers;
 //! * [`sweep`] — the work-stealing sweep engine: every
 //!   `config × workload` cell is an independent stealable task,
 //!   scheduled cost-descending on [`util::pool`], with byte-identical
-//!   output at any thread count (`DRAMLESS_THREADS`).
+//!   output at any thread count (`DRAMLESS_THREADS`). Custom specs get
+//!   the same engine via [`sweep::sweep_specs`].
 //!
 //! # Quick start
 //!
@@ -30,13 +37,37 @@
 //! let het = simulate(SystemKind::Hetero, &w, &SystemParams::default());
 //! assert!(dl.bandwidth() > het.bandwidth());
 //! ```
+//!
+//! # Composing a system the paper never built
+//!
+//! ```
+//! use dramless::{simulate_spec, Buffer, Datapath, SystemKind, SystemParams, SystemSpec};
+//! use workloads::{Kernel, Scale, Workload};
+//!
+//! // Table I's Hetero, but staged over peer-to-peer DMA with TLC flash.
+//! let spec = SystemSpec {
+//!     name: Some("tlc-p2p".into()),
+//!     datapath: Datapath::P2pDma,
+//!     medium: dramless::Medium::FlashSsd { cell: flash::CellKind::Tlc },
+//!     ..SystemKind::Hetero.spec()
+//! };
+//! let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+//! let out = simulate_spec(&spec, &w, &SystemParams::default()).unwrap();
+//! assert!(out.bandwidth() > 0.0);
+//! assert_eq!(out.system.name(), "tlc-p2p");
+//! ```
 
 pub mod config;
 pub mod report;
+pub mod spec;
 pub mod sweep;
 pub mod system;
 
-pub use config::{SystemKind, SystemParams};
+pub use config::{SystemId, SystemKind, SystemParams};
 pub use report::{Breakdown, RunOutcome, SuiteResult};
-pub use sweep::{sweep_with_stats, SweepStats};
-pub use system::{run_suite, simulate, simulate_dramless_scheduler};
+pub use spec::{Buffer, Control, Datapath, Medium, SpecError, SystemSpec};
+pub use sweep::{sweep_specs, sweep_with_stats, SweepStats};
+pub use system::{
+    build_system, run_suite, simulate, simulate_dramless_scheduler, simulate_spec,
+    simulate_spec_built, ComposedSystem,
+};

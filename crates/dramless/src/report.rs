@@ -1,6 +1,6 @@
 //! Run outcomes and derived metrics.
 
-use crate::config::SystemKind;
+use crate::config::{SystemId, SystemKind};
 use accel::exec::ExecReport;
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::time::Picos;
@@ -56,8 +56,8 @@ impl Breakdown {
 /// The complete result of simulating one workload on one configuration.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
-    /// Which system ran.
-    pub system: SystemKind,
+    /// Which system ran: a Table I preset, or a custom spec's name.
+    pub system: SystemId,
     /// Which kernel ran.
     pub kernel: Kernel,
     /// End-to-end wall-clock time (offload + staging + execution +
@@ -115,30 +115,33 @@ pub struct SuiteResult {
 util::json_struct!(SuiteResult { outcomes });
 
 impl SuiteResult {
-    /// Looks up an outcome.
+    /// Looks up a preset's outcome.
     pub fn get(&self, system: SystemKind, kernel: Kernel) -> Option<&RunOutcome> {
         self.outcomes
             .iter()
             .find(|o| o.system == system && o.kernel == kernel)
     }
 
+    /// Looks up any outcome — preset or custom — by its report name.
+    pub fn get_named(&self, system: &str, kernel: Kernel) -> Option<&RunOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.system.name() == system && o.kernel == kernel)
+    }
+
     /// Bandwidth of `(system, kernel)` normalized to `baseline` on the
-    /// same kernel — how Fig. 15 reports its bars.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either outcome is missing.
+    /// same kernel — how Fig. 15 reports its bars. `None` when either
+    /// outcome is missing from the suite (a partial sweep degrades
+    /// gracefully instead of aborting).
     pub fn normalized_bandwidth(
         &self,
         system: SystemKind,
         baseline: SystemKind,
         kernel: Kernel,
-    ) -> f64 {
-        let s = self.get(system, kernel).expect("system outcome missing");
-        let b = self
-            .get(baseline, kernel)
-            .expect("baseline outcome missing");
-        s.bandwidth() / b.bandwidth()
+    ) -> Option<f64> {
+        let s = self.get(system, kernel)?;
+        let b = self.get(baseline, kernel)?;
+        Some(s.bandwidth() / b.bandwidth())
     }
 
     /// Geometric mean of normalized bandwidth across every kernel present

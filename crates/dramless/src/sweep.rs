@@ -19,6 +19,10 @@
 //! sweep regardless of thread count or steal interleaving
 //! (`tests/sweep_determinism.rs` locks this in). Thread count follows
 //! the pool: `DRAMLESS_THREADS` if set, else available parallelism.
+//!
+//! The engine is spec-driven: Table I presets go through
+//! [`sweep`]/[`sweep_on`], and arbitrary [`SystemSpec`]s get the same
+//! work stealing + trace cache via [`sweep_specs`].
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,9 +31,11 @@ use util::pool::{global, Pool, Task};
 use workloads::suite::BuiltWorkload;
 use workloads::Workload;
 
-use crate::config::{SystemKind, SystemParams};
+use crate::config::{SystemId, SystemKind, SystemParams};
 use crate::report::{RunOutcome, SuiteResult};
-use crate::system::simulate_built;
+use crate::spec::{Control, Datapath, Medium, SpecError, SystemSpec};
+use crate::system::{build_system, simulate_spec_as};
+use flash::CellKind;
 
 /// Wall-clock accounting for one sweep.
 #[derive(Debug, Clone, Copy)]
@@ -54,20 +60,28 @@ impl SweepStats {
     }
 }
 
-/// Relative simulation cost of one cell on `kind`, from measured sweep
+/// Relative simulation cost of one cell on `spec`, from measured sweep
 /// profiles: heterogeneous staging and dense flash dominate; the
 /// load/store PRAM designs are cheap. Only the *ordering* matters —
 /// a wrong weight costs schedule quality, never correctness.
-fn kind_weight(kind: SystemKind) -> u64 {
-    match kind {
-        SystemKind::IntegratedTlc => 10,
-        SystemKind::Hetero | SystemKind::IntegratedMlc => 8,
-        SystemKind::Heterodirect | SystemKind::IntegratedSlc => 6,
-        SystemKind::NorIntf => 5,
-        SystemKind::HeteroPram | SystemKind::HeterodirectPram => 4,
-        SystemKind::PageBuffer | SystemKind::DramLessFirmware => 3,
-        SystemKind::DramLess => 2,
-        SystemKind::Ideal => 1,
+fn spec_weight(spec: &SystemSpec) -> u64 {
+    match (spec.medium, spec.datapath) {
+        (Medium::IntegratedFlash { cell }, _) => match cell {
+            CellKind::Tlc => 10,
+            CellKind::Mlc => 8,
+            CellKind::Slc => 6,
+        },
+        (Medium::FlashSsd { .. }, Datapath::HostMediated) => 8,
+        (Medium::FlashSsd { .. }, _) => 6,
+        (Medium::NorPram, _) => 5,
+        (Medium::PramSsd, _) => 4,
+        (Medium::Pram3x, Datapath::HostMediated | Datapath::P2pDma) => 4,
+        (Medium::Pram3x, Datapath::PageInterface) => 3,
+        (Medium::Pram3x, Datapath::DirectLoadStore) => match spec.control {
+            Control::Firmware { .. } => 3,
+            Control::HardwareAutomated { .. } => 2,
+        },
+        (Medium::Dram, _) => 1,
     }
 }
 
@@ -97,8 +111,82 @@ pub fn sweep_on(
     workloads: &[Workload],
     params: &SystemParams,
 ) -> (SuiteResult, SweepStats) {
+    let systems: Vec<(SystemId, SystemSpec)> = kinds
+        .iter()
+        .map(|&k| (SystemId::Preset(k), k.spec()))
+        .collect();
+    sweep_systems_on(pool, &systems, workloads, params).expect("every Table I preset composes")
+}
+
+/// Sweeps arbitrary specs × workloads on the global pool, reporting each
+/// spec under its display name.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] — before any cell runs — if a spec's axes are
+/// incompatible.
+pub fn sweep_specs(
+    specs: &[SystemSpec],
+    workloads: &[Workload],
+    params: &SystemParams,
+) -> Result<SuiteResult, SpecError> {
+    sweep_specs_on(global(), specs, workloads, params).map(|(r, _)| r)
+}
+
+/// Like [`sweep_specs`] on an explicit pool, with wall-clock stats.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if a spec's axes are incompatible.
+pub fn sweep_specs_on(
+    pool: &Pool,
+    specs: &[SystemSpec],
+    workloads: &[Workload],
+    params: &SystemParams,
+) -> Result<(SuiteResult, SweepStats), SpecError> {
+    let systems: Vec<(SystemId, SystemSpec)> = specs
+        .iter()
+        .map(|s| (SystemId::Custom(s.display_name()), s.clone()))
+        .collect();
+    sweep_systems_on(pool, &systems, workloads, params)
+}
+
+/// Mixes presets and custom specs in one grid on the global pool — what
+/// `dramless-sim` runs when given both `--system` and `--spec`.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if any spec's axes are incompatible.
+pub fn sweep_systems_with_stats(
+    systems: &[(SystemId, SystemSpec)],
+    workloads: &[Workload],
+    params: &SystemParams,
+) -> Result<(SuiteResult, SweepStats), SpecError> {
+    sweep_systems_on(global(), systems, workloads, params)
+}
+
+/// The general engine: any `(identity, spec)` list × workloads.
+///
+/// Every spec is validated with a probe [`build_system`] before any
+/// cell is submitted, so a malformed spec fails the whole call up front
+/// instead of panicking a worker mid-sweep.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if any spec's axes are incompatible.
+pub fn sweep_systems_on(
+    pool: &Pool,
+    systems: &[(SystemId, SystemSpec)],
+    workloads: &[Workload],
+    params: &SystemParams,
+) -> Result<(SuiteResult, SweepStats), SpecError> {
     let start = Instant::now();
     let agents = params.agents;
+
+    for (id, spec) in systems {
+        build_system(spec, params, params.page_bytes as u64)
+            .map_err(|e| SpecError::new(format!("{}: {}", id.name(), e.message())))?;
+    }
 
     // Phase 1: build every workload's traces in parallel, via the
     // process-wide cache so repeated sweeps (and the other bench
@@ -117,19 +205,21 @@ pub fn sweep_on(
     // the cell's position in the canonical workload-major output order.
     struct Cell {
         slot: usize,
-        kind: SystemKind,
+        id: SystemId,
+        spec: SystemSpec,
         built: Arc<BuiltWorkload>,
         cost: u64,
     }
-    let mut cells = Vec::with_capacity(workloads.len() * kinds.len());
+    let mut cells = Vec::with_capacity(workloads.len() * systems.len());
     for (wi, b) in built.iter().enumerate() {
         let ops = b.character.loads + b.character.stores + b.character.instructions / 64;
-        for (ki, &kind) in kinds.iter().enumerate() {
+        for (si, (id, spec)) in systems.iter().enumerate() {
             cells.push(Cell {
-                slot: wi * kinds.len() + ki,
-                kind,
+                slot: wi * systems.len() + si,
+                id: id.clone(),
+                spec: spec.clone(),
                 built: Arc::clone(b),
-                cost: kind_weight(kind) * ops.max(1),
+                cost: spec_weight(spec) * ops.max(1),
             });
         }
     }
@@ -140,7 +230,12 @@ pub fn sweep_on(
     let ran = pool.run(
         cells
             .into_iter()
-            .map(|c| Box::new(move || simulate_built(c.kind, &c.built, &p)) as Task<_>)
+            .map(|c| {
+                Box::new(move || {
+                    simulate_spec_as(c.id, &c.spec, &c.built, &p)
+                        .expect("spec validated before the sweep")
+                }) as Task<_>
+            })
             .collect(),
     );
 
@@ -160,13 +255,18 @@ pub fn sweep_on(
         elapsed: start.elapsed(),
         threads: pool.threads(),
     };
-    (result, stats)
+    Ok((result, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::simulate_built;
     use workloads::{Kernel, Scale};
+
+    fn kind_weight(kind: SystemKind) -> u64 {
+        spec_weight(&kind.spec())
+    }
 
     #[test]
     fn sweep_matches_serial_nested_loop() {
@@ -202,5 +302,33 @@ mod tests {
         assert!(kind_weight(SystemKind::Hetero) > kind_weight(SystemKind::DramLess));
         assert!(kind_weight(SystemKind::IntegratedTlc) > kind_weight(SystemKind::DramLess));
         assert!(kind_weight(SystemKind::DramLess) > kind_weight(SystemKind::Ideal));
+    }
+
+    #[test]
+    fn sweep_specs_reports_display_names() {
+        let spec = SystemSpec {
+            name: Some("my-rig".into()),
+            ..SystemKind::DramLess.spec()
+        };
+        let workloads = [Workload::of(Kernel::Trisolv, Scale(0.1))];
+        let params = SystemParams {
+            agents: 2,
+            ..Default::default()
+        };
+        let r = sweep_specs(&[spec], &workloads, &params).unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+        assert_eq!(r.outcomes[0].system, SystemId::Custom("my-rig".into()));
+        assert!(r.get_named("my-rig", Kernel::Trisolv).is_some());
+    }
+
+    #[test]
+    fn sweep_specs_rejects_malformed_specs_up_front() {
+        let bad = SystemSpec {
+            buffer: crate::spec::Buffer::None,
+            ..SystemKind::Hetero.spec()
+        };
+        let workloads = [Workload::of(Kernel::Trisolv, Scale(0.1))];
+        let err = sweep_specs(&[bad], &workloads, &SystemParams::default());
+        assert!(err.is_err());
     }
 }

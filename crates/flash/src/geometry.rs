@@ -39,6 +39,17 @@ impl FlashGeometry {
         }
     }
 
+    /// The in-accelerator geometry used by the system compositions:
+    /// 8 dies × 64 blocks × 64 pages at the simulated page size.
+    pub const fn accelerator(page_bytes: u32) -> Self {
+        FlashGeometry {
+            dies: 8,
+            blocks_per_die: 64,
+            pages_per_block: 64,
+            page_bytes,
+        }
+    }
+
     /// A small geometry for fast tests (8 MiB raw).
     pub const fn tiny() -> Self {
         FlashGeometry {

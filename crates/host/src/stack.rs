@@ -66,6 +66,17 @@ impl Default for HostStackParams {
     }
 }
 
+impl HostStackParams {
+    /// Default stack costs with an explicit I/O request size — how the
+    /// system composer sets demand-paging vs. bulk-staging granularity.
+    pub fn with_request_bytes(io_request_bytes: u64) -> Self {
+        HostStackParams {
+            io_request_bytes,
+            ..Default::default()
+        }
+    }
+}
+
 /// The host CPU executing storage-stack work, with occupancy + energy.
 #[derive(Debug, Clone)]
 pub struct HostStack {

@@ -162,6 +162,12 @@ pub struct PramController {
 }
 
 impl PramController {
+    /// Builds the paper configuration ([`SubsystemConfig::paper`]) with
+    /// an explicit scheduler — the common case for system composition.
+    pub fn paper(scheduler: SchedulerKind, seed: u64) -> Self {
+        Self::new(SubsystemConfig::paper(scheduler, seed))
+    }
+
     /// Builds the subsystem: channels, modules, PHY state.
     pub fn new(cfg: SubsystemConfig) -> Self {
         let mut channels: Vec<PramChannel> = (0..cfg.map.channels)

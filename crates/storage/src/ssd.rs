@@ -49,6 +49,20 @@ impl SsdParams {
         }
     }
 
+    /// The Table I external SSD scaled to the simulated page size: the
+    /// accelerator-class geometry, a 64-page buffer and NVMe-class
+    /// command processing. Pair with `FlashTiming::table1_scaled` so
+    /// per-byte bandwidth stays at the Table I level.
+    pub fn table1(kind: CellKind, page_bytes: u32) -> Self {
+        SsdParams {
+            kind,
+            geometry: FlashGeometry::accelerator(page_bytes),
+            buffer_pages: 64,
+            command_overhead: Picos::from_us(3),
+            queue_depth: 32,
+        }
+    }
+
     /// A small configuration for tests.
     pub fn tiny(kind: CellKind) -> Self {
         SsdParams {

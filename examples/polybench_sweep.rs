@@ -54,8 +54,10 @@ fn main() {
     for w in &suite {
         print!("{:<10}", w.kernel.label());
         for k in SystemKind::EVALUATED {
-            let norm = r.normalized_bandwidth(k, SystemKind::Hetero, w.kernel);
-            print!(" {:>8.2}x", norm);
+            let norm = r
+                .normalized_bandwidth(k, SystemKind::Hetero, w.kernel)
+                .unwrap_or(f64::NAN);
+            print!(" {norm:>8.2}x");
         }
         println!();
     }

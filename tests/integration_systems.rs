@@ -191,8 +191,14 @@ fn suite_sweep_and_json_serialization() {
     let r = dramless::run_suite(&kinds, &workloads, &params());
     assert_eq!(r.outcomes.len(), 4);
     assert!(r.get(SystemKind::DramLess, Kernel::Lu).is_some());
-    let norm = r.normalized_bandwidth(SystemKind::DramLess, SystemKind::Hetero, Kernel::Lu);
+    let norm = r
+        .normalized_bandwidth(SystemKind::DramLess, SystemKind::Hetero, Kernel::Lu)
+        .expect("both outcomes present");
     assert!(norm > 0.0);
+    // A missing pair degrades to None instead of panicking.
+    assert!(r
+        .normalized_bandwidth(SystemKind::Ideal, SystemKind::Hetero, Kernel::Lu)
+        .is_none());
     let json = r.to_json();
     assert!(json.contains("DramLess"));
     // Round-trips through the in-tree JSON layer.

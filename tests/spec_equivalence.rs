@@ -1,0 +1,128 @@
+//! Golden equivalence: the declarative spec layer reproduces every
+//! Table I preset bit-for-bit, specs round-trip through JSON, and the
+//! scheduler-ablation entry point shares the same runner.
+
+use dramless::system::{simulate_built, simulate_spec_as};
+use dramless::{
+    simulate_dramless_scheduler, Buffer, SystemId, SystemKind, SystemParams, SystemSpec,
+};
+use pram_ctrl::SchedulerKind;
+use util::json::{FromJson, ToJson};
+use workloads::{Kernel, Scale, Workload};
+
+fn params() -> SystemParams {
+    SystemParams::default()
+}
+
+fn all_kinds() -> Vec<SystemKind> {
+    let mut all = SystemKind::EVALUATED.to_vec();
+    all.push(SystemKind::Ideal);
+    all
+}
+
+#[test]
+fn all_presets_byte_identical_through_the_spec_runner() {
+    // `simulate_built` routes through SystemKind::spec(); running the
+    // same spec explicitly under the preset identity must serialize to
+    // byte-identical RunOutcome JSON — i.e. the spec carries everything
+    // the hand-wired builder used to know.
+    let w = Workload::of(Kernel::Gemver, Scale(0.25));
+    let built = w.build(params().agents);
+    for kind in all_kinds() {
+        let direct = simulate_built(kind, &built, &params());
+        let via_spec = simulate_spec_as(SystemId::Preset(kind), &kind.spec(), &built, &params())
+            .expect("preset composes");
+        assert_eq!(
+            direct.to_json_pretty(),
+            via_spec.to_json_pretty(),
+            "{kind}: spec runner diverged from preset runner"
+        );
+    }
+}
+
+#[test]
+fn preset_specs_round_trip_through_json() {
+    for kind in all_kinds() {
+        let spec = kind.spec();
+        let parsed = SystemSpec::from_json_str(&spec.to_json_pretty()).unwrap();
+        assert_eq!(parsed, spec, "{kind}");
+        // And the re-parsed spec still runs identically.
+        let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+        let built = w.build(2);
+        let p = SystemParams {
+            agents: 2,
+            ..Default::default()
+        };
+        let a = simulate_spec_as(SystemId::Preset(kind), &spec, &built, &p).unwrap();
+        let b = simulate_spec_as(SystemId::Preset(kind), &parsed, &built, &p).unwrap();
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty(), "{kind}");
+    }
+}
+
+#[test]
+fn scheduler_ablation_shares_the_preset_runner() {
+    // Fig. 13's Final point *is* the DRAM-less preset: one runner, not
+    // two near-duplicates.
+    let w = Workload::of(Kernel::Trisolv, Scale(0.25));
+    let built = w.build(params().agents);
+    let ablation = simulate_dramless_scheduler(SchedulerKind::Final, &built, &params());
+    let preset = simulate_built(SystemKind::DramLess, &built, &params());
+    assert_eq!(ablation.to_json_pretty(), preset.to_json_pretty());
+}
+
+#[test]
+fn staging_follows_the_spec_datapath_regression() {
+    // Regression for the phase-2/4 bug: initial staging used to be
+    // host-mediated for *every* heterogeneous system; Heterodirect must
+    // stage-in strictly faster than Hetero now that bulk staging
+    // follows the spec's datapath.
+    let w = Workload::of(Kernel::Gemver, Scale(0.8));
+    let built = w.build(params().agents);
+    let h = simulate_built(SystemKind::Hetero, &built, &params());
+    let hd = simulate_built(SystemKind::Heterodirect, &built, &params());
+    assert!(
+        hd.breakdown.staging_in < h.breakdown.staging_in,
+        "Heterodirect stage-in {} !< Hetero stage-in {}",
+        hd.breakdown.staging_in,
+        h.breakdown.staging_in
+    );
+    let hp = simulate_built(SystemKind::HeteroPram, &built, &params());
+    let hdp = simulate_built(SystemKind::HeterodirectPram, &built, &params());
+    assert!(hdp.breakdown.staging_in < hp.breakdown.staging_in);
+}
+
+#[test]
+fn malformed_specs_degrade_gracefully() {
+    // A spec the composition rules reject is a typed error end to end —
+    // no unreachable!(), no panicking sweep worker.
+    let bad = SystemSpec {
+        buffer: Buffer::None,
+        ..SystemKind::Hetero.spec()
+    };
+    let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+    let built = w.build(2);
+    let p = SystemParams {
+        agents: 2,
+        ..Default::default()
+    };
+    let err = dramless::simulate_spec_built(&bad, &built, &p).unwrap_err();
+    assert!(!err.message().is_empty());
+    assert!(dramless::build_system(&bad, &p, 1 << 20).is_err());
+    assert!(dramless::sweep_specs(&[bad], &[w], &p).is_err());
+}
+
+#[test]
+fn suite_json_schema_is_unchanged_for_presets() {
+    // The report key for a preset is still the bare SystemKind variant
+    // string — downstream JSON consumers see no schema change.
+    let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+    let p = SystemParams {
+        agents: 2,
+        ..Default::default()
+    };
+    let r = dramless::run_suite(&[SystemKind::DramLess], &[w], &p);
+    let json = r.to_json();
+    assert!(json.contains("\"system\": \"DramLess\""), "schema drifted");
+    let back: dramless::SuiteResult = FromJson::from_json_str(&json).unwrap();
+    assert_eq!(back.outcomes[0].system, SystemKind::DramLess);
+}
