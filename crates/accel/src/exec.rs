@@ -17,8 +17,10 @@ use crate::trace::{Trace, TraceOp};
 use crate::xbar::{Crossbar, XbarConfig};
 use sim_core::energy::EnergyBook;
 use sim_core::mem::MemoryBackend;
+use sim_core::probe::Probe;
 use sim_core::stats::TimeSeries;
 use sim_core::time::Picos;
+use util::telemetry::{MetricSet, Track};
 
 /// Accelerator construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,12 +150,29 @@ impl ExecReport {
         }
         (self.bytes_from_mem + self.bytes_to_mem) as f64 / self.total_time.as_secs_f64()
     }
+
+    /// Contributes the execution counters to a telemetry metric set
+    /// under the `pe.` prefix.
+    pub fn collect_metrics(&self, out: &mut MetricSet) {
+        out.add("pe.instructions", self.instructions);
+        out.add("pe.l1_hits", self.l1.hits);
+        out.add("pe.l1_misses", self.l1.misses);
+        out.add("pe.l2_hits", self.l2.hits);
+        out.add("pe.l2_misses", self.l2.misses);
+        out.add("pe.mem_requests", self.mem_requests);
+        out.add("pe.bytes_from_mem", self.bytes_from_mem);
+        out.add("pe.bytes_to_mem", self.bytes_to_mem);
+        out.add("pe.compute_ns", self.compute_time.as_ps() / 1_000);
+        out.add("pe.stall_ns", self.stall_time.as_ps() / 1_000);
+        out.gauge("pe.ipc", self.total_ipc());
+    }
 }
 
 /// The accelerator.
 #[derive(Debug, Clone)]
 pub struct Accelerator {
     config: AccelConfig,
+    probe: Probe,
 }
 
 /// The server MCU's posted-write queue: slots hold the completion time
@@ -210,7 +229,17 @@ impl Accelerator {
     /// at least one agent).
     pub fn new(config: AccelConfig) -> Self {
         assert!(config.pes >= 2, "need a server plus at least one agent");
-        Accelerator { config }
+        Accelerator {
+            config,
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Installs a telemetry probe; execution records one `pe/<n>` trace
+    /// lane per agent (PE numbering matches Fig. 9b: the server is PE 0,
+    /// agents are PEs 1..).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The configuration.
@@ -359,6 +388,12 @@ impl Accelerator {
                     energy.charge("pe.compute", e);
                     power_series.add(a.time - start, e.as_j());
                     ipc_series.add(a.time + dt - start, block.total() as f64);
+                    self.probe.span(
+                        Track::new("pe", idx as u32 + 1),
+                        "compute",
+                        a.time,
+                        a.time + dt,
+                    );
                     a.stats.instructions += block.total();
                     a.stats.compute_cycles += block.cycles();
                     a.stats.compute_time += dt;
@@ -421,6 +456,11 @@ impl Accelerator {
                     energy.charge("pe.stall", e);
                     power_series.add(t0 - start, e.as_j());
                     ipc_series.add(a.time - start, 1.0);
+                    if !dt.is_zero() {
+                        self.probe
+                            .span(Track::new("pe", idx as u32 + 1), "mem", t0, a.time);
+                        self.probe.latency("pe.mem_op", dt);
+                    }
                     a.stats.instructions += 1;
                     a.stats.stall_time += dt;
                     if is_store {

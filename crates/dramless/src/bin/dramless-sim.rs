@@ -10,7 +10,8 @@
 
 use dramless::{RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec};
 use std::process::ExitCode;
-use util::json::FromJson;
+use util::json::{FromJson, ToJson};
+use util::telemetry::MetricValue;
 use workloads::{Kernel, Scale, Workload};
 
 /// Parsed command-line options.
@@ -23,6 +24,8 @@ struct Options {
     seed: u64,
     agents: usize,
     json: Option<String>,
+    metrics: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -31,7 +34,8 @@ fn usage() -> &'static str {
      USAGE:\n\
        dramless-sim [--system <name>|all] [--spec <file.json>]\n\
                     [--kernel <name>|all] [--scale <f>] [--seed <n>]\n\
-                    [--agents <n>] [--json <path>] [--list] [--list-systems]\n\
+                    [--agents <n>] [--json <path>] [--metrics]\n\
+                    [--trace-out <path>] [--list] [--list-systems]\n\
      \n\
      OPTIONS:\n\
        --system        a Table I system (e.g. dram-less, hetero, page-buffer),\n\
@@ -45,6 +49,12 @@ fn usage() -> &'static str {
        --seed          determinism seed                     [default: 42]\n\
        --agents        agent PEs running the kernel         [default: 7]\n\
        --json          also write the full SuiteResult as JSON\n\
+       --metrics       switch on telemetry for every cell: per-component\n\
+                       counters and latency histograms, printed after the\n\
+                       table and embedded in --json output\n\
+       --trace-out     run ONE system x ONE kernel with event tracing and\n\
+                       write a Chrome trace-event JSON (load in Perfetto:\n\
+                       https://ui.perfetto.dev); implies --metrics\n\
        --list          print the available systems and kernels, then exit\n\
        --list-systems  print each preset's spec axes, then exit\n\
      \n\
@@ -116,6 +126,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         seed: 42,
         agents: 7,
         json: None,
+        metrics: false,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -166,6 +178,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.agents = n;
             }
             "--json" => opts.json = Some(value("--json")?),
+            "--metrics" => opts.metrics = true,
+            "--trace-out" => {
+                opts.trace_out = Some(value("--trace-out")?);
+                opts.metrics = true;
+            }
             "--list" => {
                 println!("systems:");
                 for k in SystemKind::EVALUATED {
@@ -195,6 +212,33 @@ fn parse(args: &[String]) -> Result<Options, String> {
         opts.systems.push(SystemKind::DramLess);
     }
     Ok(opts)
+}
+
+fn print_header() {
+    println!(
+        "{:<22} {:<10} {:>12} {:>15} {:>12} {:>12}",
+        "system", "kernel", "total time", "bandwidth", "energy", "aggregate"
+    );
+}
+
+fn print_metrics(metrics: &util::telemetry::MetricSet) {
+    if metrics.is_empty() {
+        return;
+    }
+    println!("\nmetrics:");
+    for (name, v) in metrics.iter() {
+        match v {
+            MetricValue::Counter(c) => println!("  {name:<28} {c}"),
+            MetricValue::Gauge(g) => println!("  {name:<28} {g:.3}"),
+            MetricValue::Histogram(h) => println!(
+                "  {name:<28} n={} p50={}ns p90={}ns p99={}ns",
+                h.count(),
+                h.quantile_ns(0.5),
+                h.quantile_ns(0.9),
+                h.quantile_ns(0.99)
+            ),
+        }
+    }
 }
 
 fn print_row(out: &RunOutcome) {
@@ -239,6 +283,53 @@ fn main() -> ExitCode {
             .iter()
             .map(|s| (SystemId::Custom(s.display_name()), s.clone())),
     );
+    if opts.metrics {
+        for (_, spec) in systems.iter_mut() {
+            spec.telemetry.get_or_insert_with(Default::default);
+        }
+    }
+    // A trace run is a single cell: one system, one kernel, with the
+    // full event trace kept and exported.
+    if let Some(path) = &opts.trace_out {
+        if systems.len() != 1 || workloads.len() != 1 {
+            eprintln!(
+                "error: --trace-out traces exactly one cell; pick one \
+                 system (or one --spec) and one kernel"
+            );
+            return ExitCode::FAILURE;
+        }
+        let (_, spec) = &systems[0];
+        let built = workloads[0].build(params.agents);
+        let (out, events) = match dramless::simulate_spec_traced(spec, &built, &params) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = util::telemetry::chrome_trace(&events);
+        if let Err(e) = std::fs::write(path, trace.to_json_pretty()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        print_header();
+        print_row(&out);
+        print_metrics(&out.metrics);
+        println!(
+            "\nwrote {} trace events to {path} (open in https://ui.perfetto.dev)",
+            events.len()
+        );
+        if let Some(json) = &opts.json {
+            let suite = dramless::SuiteResult {
+                outcomes: vec![out],
+            };
+            if let Err(e) = std::fs::write(json, suite.to_json()) {
+                eprintln!("error: writing {json}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
     // The work-stealing engine returns outcomes in workload-major order
     // — exactly the order the old nested loop printed them in.
     let (result, stats) =
@@ -249,10 +340,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-    println!(
-        "{:<22} {:<10} {:>12} {:>15} {:>12} {:>12}",
-        "system", "kernel", "total time", "bandwidth", "energy", "aggregate"
-    );
+    print_header();
     for out in &result.outcomes {
         print_row(out);
     }
@@ -263,6 +351,9 @@ fn main() -> ExitCode {
         stats.threads,
         stats.cells_per_sec()
     );
+    if opts.metrics {
+        print_metrics(&result.aggregate_metrics());
+    }
     if let Some(path) = &opts.json {
         if let Err(e) = std::fs::write(path, result.to_json()) {
             eprintln!("error: writing {path}: {e}");
@@ -346,6 +437,17 @@ mod tests {
         assert!(o.systems.is_empty());
         assert_eq!(o.specs, vec![spec]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let o = parse(&["--metrics".to_string()]).unwrap();
+        assert!(o.metrics);
+        assert!(o.trace_out.is_none());
+        let o = parse(&["--trace-out".to_string(), "/tmp/t.json".to_string()]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert!(o.metrics, "--trace-out implies --metrics");
+        assert!(parse(&["--trace-out".to_string()]).is_err());
     }
 
     #[test]

@@ -65,9 +65,9 @@ pub mod system;
 
 pub use config::{SystemId, SystemKind, SystemParams};
 pub use report::{Breakdown, RunOutcome, SuiteResult};
-pub use spec::{Buffer, Control, Datapath, Medium, SpecError, SystemSpec};
+pub use spec::{Buffer, Control, Datapath, Medium, SpecError, SystemSpec, TelemetrySpec};
 pub use sweep::{sweep_specs, sweep_with_stats, SweepStats};
 pub use system::{
     build_system, run_suite, simulate, simulate_dramless_scheduler, simulate_spec,
-    simulate_spec_built, ComposedSystem,
+    simulate_spec_built, simulate_spec_traced, ComposedSystem,
 };

@@ -4,6 +4,8 @@ use crate::config::{SystemId, SystemKind};
 use accel::exec::ExecReport;
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::time::Picos;
+use util::json::{field, FromJson, Json, JsonError, ToJson};
+use util::telemetry::MetricSet;
 use workloads::Kernel;
 
 /// Execution-time decomposition (the Fig. 16 stack).
@@ -71,17 +73,47 @@ pub struct RunOutcome {
     pub breakdown: Breakdown,
     /// Merged energy ledger across every component.
     pub energy: EnergyBook,
+    /// End-of-run telemetry metrics, keyed by component namespace
+    /// (`pram.*`, `pe.*`, `cache.*`, …). Empty — and absent from the
+    /// JSON report — unless the spec's telemetry knob was on.
+    pub metrics: MetricSet,
 }
 
-util::json_struct!(RunOutcome {
-    system,
-    kernel,
-    total_time,
-    data_bytes,
-    exec,
-    breakdown,
-    energy
-});
+// Hand-written (not `json_struct!`) so the `metrics` key is *omitted*
+// when empty: telemetry-off reports are byte-identical to reports from
+// before telemetry existed.
+impl ToJson for RunOutcome {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("system".to_string(), self.system.to_json()),
+            ("kernel".to_string(), self.kernel.to_json()),
+            ("total_time".to_string(), self.total_time.to_json()),
+            ("data_bytes".to_string(), self.data_bytes.to_json()),
+            ("exec".to_string(), self.exec.to_json()),
+            ("breakdown".to_string(), self.breakdown.to_json()),
+            ("energy".to_string(), self.energy.to_json()),
+        ];
+        if !self.metrics.is_empty() {
+            fields.push(("metrics".to_string(), self.metrics.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for RunOutcome {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RunOutcome {
+            system: field(v, "system")?,
+            kernel: field(v, "kernel")?,
+            total_time: field(v, "total_time")?,
+            data_bytes: field(v, "data_bytes")?,
+            exec: field(v, "exec")?,
+            breakdown: field(v, "breakdown")?,
+            energy: field(v, "energy")?,
+            metrics: field::<Option<MetricSet>>(v, "metrics")?.unwrap_or_default(),
+        })
+    }
+}
 
 impl RunOutcome {
     /// Data-processing bandwidth in bytes/second over the whole run —
@@ -112,7 +144,29 @@ pub struct SuiteResult {
     pub outcomes: Vec<RunOutcome>,
 }
 
-util::json_struct!(SuiteResult { outcomes });
+// Hand-written so the suite-level `metrics` aggregate is recomputed on
+// every serialize (sorted keys by `MetricSet` construction, so the text
+// is deterministic) and omitted when no cell recorded anything.
+impl ToJson for SuiteResult {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("outcomes".to_string(), self.outcomes.to_json())];
+        let agg = self.aggregate_metrics();
+        if !agg.is_empty() {
+            fields.push(("metrics".to_string(), agg.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for SuiteResult {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // The aggregate is derived, never parsed: a round trip re-derives
+        // it from the outcomes, keeping serialize(parse(text)) == text.
+        Ok(SuiteResult {
+            outcomes: field(v, "outcomes")?,
+        })
+    }
+}
 
 impl SuiteResult {
     /// Looks up a preset's outcome.
@@ -183,6 +237,17 @@ impl SuiteResult {
             "no overlapping kernels between {system} and {baseline}"
         );
         (acc / n as f64).exp()
+    }
+
+    /// Merges every outcome's telemetry metrics into one suite-wide set:
+    /// counters and latency histograms accumulate across cells, gauges
+    /// sum. Empty when telemetry was off everywhere.
+    pub fn aggregate_metrics(&self) -> MetricSet {
+        let mut agg = MetricSet::new();
+        for o in &self.outcomes {
+            agg.merge(&o.metrics);
+        }
+        agg
     }
 
     /// Serializes to pretty JSON for machine-readable experiment records.

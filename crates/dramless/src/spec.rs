@@ -97,6 +97,32 @@ pub enum Control {
     },
 }
 
+/// Telemetry knob of a spec: `Some` switches on event tracing and the
+/// per-component metric registry for every run of this spec.
+///
+/// Metrics land in [`crate::RunOutcome::metrics`]; the event trace is
+/// surfaced by the traced entry points
+/// ([`crate::system::simulate_spec_traced`]) and the `dramless-sim
+/// --trace-out` flag. Absent (`None`, the default everywhere), every
+/// probe stays disabled and reports are byte-identical to an
+/// uninstrumented build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Ring-buffer capacity of the event tracer: the trace keeps the
+    /// *last* `trace_events` events and counts the overflow.
+    pub trace_events: usize,
+}
+
+util::json_struct!(TelemetrySpec { trace_events });
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec {
+            trace_events: 65_536,
+        }
+    }
+}
+
 /// One point in the architecture space, as plain serializable data.
 ///
 /// # Examples
@@ -115,6 +141,7 @@ pub enum Control {
 ///     datapath: Datapath::P2pDma,
 ///     buffer: Buffer::DramPageCache { frames: None },
 ///     control: Control::HardwareAutomated { scheduler: SchedulerKind::Final },
+///     telemetry: None,
 /// };
 /// let text = util::json::ToJson::to_json_pretty(&spec);
 /// let back = <SystemSpec as util::json::FromJson>::from_json_str(&text).unwrap();
@@ -133,15 +160,43 @@ pub struct SystemSpec {
     pub buffer: Buffer,
     /// PRAM control logic.
     pub control: Control,
+    /// Observability: `Some` enables tracing + metrics for this spec's
+    /// runs. Serialized only when present, so existing spec files and
+    /// reports are unchanged.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
-util::json_struct!(SystemSpec {
-    name,
-    medium,
-    datapath,
-    buffer,
-    control
-});
+// Hand-written (not `json_struct!`) so the `telemetry` key is *omitted*
+// when `None`: telemetry-off specs serialize exactly as they did before
+// the knob existed.
+impl ToJson for SystemSpec {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_json()),
+            ("medium".to_string(), self.medium.to_json()),
+            ("datapath".to_string(), self.datapath.to_json()),
+            ("buffer".to_string(), self.buffer.to_json()),
+            ("control".to_string(), self.control.to_json()),
+        ];
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry".to_string(), t.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for SystemSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SystemSpec {
+            name: field(v, "name")?,
+            medium: field(v, "medium")?,
+            datapath: field(v, "datapath")?,
+            buffer: field(v, "buffer")?,
+            control: field(v, "control")?,
+            telemetry: field(v, "telemetry")?,
+        })
+    }
+}
 
 /// A spec that names a combination the composition rules cannot build
 /// (e.g. flash served over direct load/store).
@@ -460,6 +515,7 @@ impl SystemKind {
             datapath,
             buffer,
             control,
+            telemetry: None,
         }
     }
 }
@@ -516,6 +572,7 @@ mod tests {
             control: Control::HardwareAutomated {
                 scheduler: SchedulerKind::Interleaving,
             },
+            telemetry: None,
         };
         let back = SystemSpec::from_json_str(&spec.to_json_pretty()).unwrap();
         assert_eq!(back, spec);
@@ -531,6 +588,25 @@ mod tests {
         assert!(SystemSpec::from_json_str(r#"{"medium":"Warp"}"#).is_err());
         assert!(Medium::from_json_str(r#"{"FlashSsd":{"cell":"Qlc"}}"#).is_err());
         assert!(Control::from_json_str(r#""HardwareAutomated""#).is_err());
+    }
+
+    #[test]
+    fn telemetry_knob_is_omitted_when_off_and_round_trips_when_on() {
+        let off = SystemKind::DramLess.spec();
+        assert!(!off.to_json_string().contains("telemetry"));
+
+        let on = SystemSpec {
+            telemetry: Some(TelemetrySpec { trace_events: 1024 }),
+            ..off.clone()
+        };
+        let text = on.to_json_pretty();
+        assert!(text.contains("\"telemetry\""));
+        let back = SystemSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, on);
+
+        // A spec file written before the knob existed still parses.
+        let old = SystemSpec::from_json_str(&off.to_json_string()).unwrap();
+        assert_eq!(old, off);
     }
 
     #[test]

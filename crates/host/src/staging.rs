@@ -14,7 +14,9 @@ use crate::pcie::PcieLink;
 use crate::stack::HostStack;
 use sim_core::energy::EnergyBook;
 use sim_core::mem::MemoryBackend;
+use sim_core::probe::Probe;
 use sim_core::time::Picos;
+use util::telemetry::{MetricSet, Track};
 
 /// Which staging datapath a heterogeneous system uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +69,11 @@ pub struct Stager {
     /// Host/accelerator link.
     pub link_accel: PcieLink,
     path: StagingPath,
+    probe: Probe,
 }
+
+/// The staging datapath's single trace lane.
+const STAGING_TRACK: Track = Track::new("staging", 0);
 
 impl Stager {
     /// Creates a stager over `path` with default host parameters.
@@ -83,12 +89,24 @@ impl Stager {
             link_ssd: PcieLink::new(Default::default()),
             link_accel: PcieLink::new(Default::default()),
             path,
+            probe: Probe::disabled(),
         }
     }
 
     /// The configured path.
     pub fn path(&self) -> StagingPath {
         self.path
+    }
+
+    /// Installs a telemetry probe; each chunked I/O request becomes a
+    /// span on the `staging/0` lane.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// Contributes host-side metrics (CPU busy time) into `out`.
+    pub fn collect_metrics(&self, out: &mut MetricSet) {
+        out.add("host.cpu_busy_ns", self.stack.cpu_busy().as_ps() / 1_000);
     }
 
     /// Moves `bytes` from `ssd` (starting at `addr`) into the accelerator
@@ -129,6 +147,7 @@ impl Stager {
         let mut off = 0u64;
         while off < bytes {
             let n = chunk.min(bytes - off);
+            let chunk_start = t;
             match self.path {
                 StagingPath::HostMediated => {
                     // Submission path through the kernel.
@@ -164,6 +183,16 @@ impl Stager {
                     t = dma.end;
                 }
             }
+            self.probe.span_args(
+                STAGING_TRACK,
+                if inbound { "stage_in" } else { "stage_out" },
+                chunk_start,
+                t,
+                &[("bytes", n)],
+            );
+            self.probe.latency("staging.request", t - chunk_start);
+            self.probe.count("staging.requests", 1);
+            self.probe.count("staging.bytes", n);
             requests += 1;
             off += n;
         }

@@ -29,8 +29,10 @@ use pram::timing::{BurstLen, PramTiming};
 use pram::PramChannel;
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{Access, MemoryBackend};
+use sim_core::probe::Probe;
 use sim_core::time::Picos;
 use std::collections::{HashMap, HashSet};
+use util::telemetry::{MetricSet, Track};
 
 /// Per-word-operation FPGA logic energy (translator + command generator).
 const E_CTRL_OP: Joules = Joules::from_pj(200);
@@ -119,6 +121,12 @@ pub struct CtrlStats {
     pub preerase_misses: u64,
     /// Start-gap relocations performed.
     pub gap_moves: u64,
+    /// Word reads whose address phases overlapped an in-flight burst on
+    /// the same channel — the multi-resource interleaving win (Fig. 12).
+    pub overlap_wins: u64,
+    /// Word accesses that stalled behind the channel serialization
+    /// point because the scheduler does not interleave.
+    pub overlap_losses: u64,
     /// Sum of read latencies (issue → data).
     pub read_latency_sum: Picos,
     /// Sum of write latencies (issue → posted).
@@ -135,6 +143,8 @@ util::json_struct!(CtrlStats {
     preerase_hits,
     preerase_misses,
     gap_moves,
+    overlap_wins,
+    overlap_losses,
     read_latency_sum,
     write_latency_sum,
 });
@@ -159,6 +169,7 @@ pub struct PramController {
     wear: Option<Vec<Vec<StartGap>>>,
     stats: CtrlStats,
     ctrl_energy: EnergyBook,
+    probe: Probe,
 }
 
 impl PramController {
@@ -212,8 +223,18 @@ impl PramController {
             wear,
             stats: CtrlStats::default(),
             ctrl_energy: EnergyBook::new(),
+            probe: Probe::disabled(),
             cfg,
         }
+    }
+
+    /// Trace track for a module's row data buffer: one lane per module
+    /// across both channels.
+    fn rdb_track(&self, ch: usize, module: usize) -> Track {
+        Track::new(
+            "rdb",
+            (ch * self.cfg.map.modules_per_channel + module) as u32,
+        )
     }
 
     /// Applies the start-gap remap to a module byte address and, on
@@ -293,6 +314,7 @@ impl PramController {
         }
         self.stats.writes += 1;
         self.stats.write_latency_sum += end.saturating_sub(at);
+        self.probe.latency("pram.write", end.saturating_sub(at));
         Access { start, end }
     }
 
@@ -310,6 +332,7 @@ impl PramController {
         }
         self.stats.reads += 1;
         self.stats.read_latency_sum += end.saturating_sub(at);
+        self.probe.latency("pram.read", end.saturating_sub(at));
         (Access { start, end }, out)
     }
 
@@ -317,11 +340,18 @@ impl PramController {
     fn read_frag(&mut self, at: Picos, frag: &Fragment) -> (Access, Vec<u8>) {
         let interleaves = self.cfg.scheduler.interleaves();
         let ch_idx = frag.target.channel;
+        if !interleaves && self.channel_serial[ch_idx] > at {
+            // The word is ready to issue but the channel services one
+            // access at a time — an overlap the scheduler left on the
+            // table.
+            self.stats.overlap_losses += 1;
+        }
         let earliest = if interleaves {
             at
         } else {
             at.max(self.channel_serial[ch_idx])
         };
+        let rdb_track = self.rdb_track(ch_idx, frag.target.module);
         let sync = self.cfg.phy.sync_latency;
         let tck = self.cfg.timing.tck();
         let mapped_addr = self.wear_remap(earliest, frag, false);
@@ -348,16 +378,22 @@ impl PramController {
         // Command issue costs one interface clock per 20-bit packet; the
         // command bus runs well under 20% utilized even on streams, so it
         // is modeled as fixed latency rather than a contended resource.
+        let part_track = Track::new("partition", row.partition.0 as u32);
         if plan.skips_pre_active() {
             self.stats.pre_active_skips += 1;
+            self.probe.instant(part_track, "rab_hit", t);
         } else {
             let pre = module.pre_active(t + tck, ba, row.upper(lower_bits));
+            self.probe
+                .span(part_track, "pre_active", pre.start, pre.end);
             t = pre.end;
         }
         if plan.skips_activate() {
             self.stats.activate_skips += 1;
+            self.probe.instant(part_track, "rdb_hit", t);
         } else {
             let act = module.activate(t + tck, ba, row.lower(lower_bits));
+            self.probe.span(part_track, "activate", act.start, act.end);
             t = act.end;
         }
 
@@ -366,9 +402,22 @@ impl PramController {
         let col_off = (frag.global_addr % WORD_BYTES as u64) as u32;
         let bl = BurstLen::covering(col_off + frag.len);
         let bus_free = dq_bus.probe(Picos::ZERO);
+        if interleaves && bus_free > earliest {
+            // This word's address phases (tRCD work) ran while an
+            // earlier burst still held the channel's DQ bus — the
+            // overlap the multi-resource scheduler exists to create.
+            self.stats.overlap_wins += 1;
+        }
         let (rt, word) = module.read_burst(t + tck, bus_free, ba, 0, bl);
         let tburst = self.cfg.timing.tburst(bl);
         dq_bus.reserve(rt.end - tburst, tburst);
+        self.probe.span_args(
+            rdb_track,
+            "read",
+            rt.start,
+            rt.end,
+            &[("bytes", frag.len as u64)],
+        );
 
         self.stats.words_read += 1;
         self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
@@ -395,11 +444,15 @@ impl PramController {
         let md = frag.target.module;
         let interleaves = self.cfg.scheduler.interleaves();
         let selective = self.cfg.scheduler.selective_erase();
+        if !interleaves && self.channel_serial[ch_idx] > at {
+            self.stats.overlap_losses += 1;
+        }
         let earliest = if interleaves {
             at
         } else {
             at.max(self.channel_serial[ch_idx])
         };
+        let rdb_track = self.rdb_track(ch_idx, md);
         let sync = self.cfg.phy.sync_latency;
         let tck = self.cfg.timing.tck();
         let treset = self.cfg.timing.t_reset_extra + self.cfg.timing.twra;
@@ -432,6 +485,12 @@ impl PramController {
                     let pe = module.pre_erase(window_start, row);
                     debug_assert!(pe.end <= t0 + treset);
                     self.stats.preerase_hits += 1;
+                    self.probe.span(
+                        Track::new("partition", row.partition.0 as u32),
+                        "pre_erase",
+                        pe.start,
+                        pe.end,
+                    );
                 } else {
                     self.stats.preerase_misses += 1;
                 }
@@ -486,6 +545,15 @@ impl PramController {
         let exec_accepted = t + tck * 2;
         let prog = module.execute_program(exec_accepted);
         self.program_buffer_free[ch_idx][md] = prog.end;
+        self.probe.span_args(
+            rdb_track,
+            "write",
+            t0,
+            exec_accepted,
+            &[("bytes", frag.len as u64)],
+        );
+        self.probe
+            .span(rdb_track, "program", exec_accepted, prog.end);
 
         self.stats.words_written += 1;
         self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
@@ -520,6 +588,7 @@ impl MemoryBackend for PramController {
         }
         self.stats.writes += 1;
         self.stats.write_latency_sum += end.saturating_sub(at);
+        self.probe.latency("pram.write", end.saturating_sub(at));
         Access { start, end }
     }
 
@@ -549,6 +618,31 @@ impl MemoryBackend for PramController {
             SchedulerKind::SelectiveErasing => "pram-ctrl/selective-erasing",
             SchedulerKind::Final => "pram-ctrl/final",
         }
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    fn collect_metrics(&self, out: &mut MetricSet) {
+        let s = &self.stats;
+        out.add("pram.reads", s.reads);
+        out.add("pram.writes", s.writes);
+        out.add("pram.words_read", s.words_read);
+        out.add("pram.words_written", s.words_written);
+        out.add("pram.rab_hits", s.pre_active_skips);
+        out.add("pram.rdb_hits", s.activate_skips);
+        // Address phases actually driven over the wire — what the
+        // three-phase protocol's phase skipping saves.
+        out.add(
+            "pram.address_phases",
+            (s.words_read - s.pre_active_skips) + (s.words_read - s.activate_skips),
+        );
+        out.add("pram.preerase_hits", s.preerase_hits);
+        out.add("pram.preerase_misses", s.preerase_misses);
+        out.add("pram.overlap_wins", s.overlap_wins);
+        out.add("pram.overlap_losses", s.overlap_losses);
+        out.add("pram.gap_moves", s.gap_moves);
     }
 }
 
@@ -611,6 +705,66 @@ mod tests {
             inter.as_ps() * 2 < bare.as_ps(),
             "interleaving {inter} should be >2x faster than bare-metal {bare}"
         );
+    }
+
+    #[test]
+    fn overlap_counters_split_by_scheduler() {
+        // The same streaming read pattern: the interleaving scheduler
+        // overlaps address phases with in-flight bursts (wins), the
+        // bare-metal one stalls words behind the channel (losses).
+        let mut wins = Vec::new();
+        let mut losses = Vec::new();
+        for s in [SchedulerKind::BareMetal, SchedulerKind::Interleaving] {
+            let mut c = ctrl(s);
+            let mut t = Picos::ZERO;
+            for i in 0..64u64 {
+                let a = c.read(t, i * 512, 512);
+                t = a.end;
+            }
+            wins.push(c.stats().overlap_wins);
+            losses.push(c.stats().overlap_losses);
+        }
+        assert_eq!(wins[0], 0, "bare-metal never overlaps");
+        assert!(losses[0] > 0, "bare-metal should stall words");
+        assert!(wins[1] > 0, "interleaving should overlap tRCD with bursts");
+        assert_eq!(
+            losses[1], 0,
+            "interleaving never stalls on the serial point"
+        );
+    }
+
+    #[test]
+    fn controller_metrics_surface_scheduler_counters() {
+        let mut c = ctrl(SchedulerKind::Final);
+        let mut t = Picos::ZERO;
+        for i in 0..32u64 {
+            t = c.read(t, i * 512, 512).end;
+        }
+        let mut m = util::telemetry::MetricSet::new();
+        sim_core::mem::MemoryBackend::collect_metrics(&c, &mut m);
+        assert_eq!(m.counter("pram.words_read"), Some(32 * 16));
+        assert!(m.counter("pram.rab_hits").unwrap() > 0);
+        assert!(m.counter("pram.overlap_wins").unwrap() > 0);
+        assert_eq!(m.counter("pram.overlap_losses"), Some(0));
+    }
+
+    #[test]
+    fn probe_records_partition_and_rdb_spans() {
+        let hub = sim_core::Telemetry::new(4096);
+        let mut c = ctrl(SchedulerKind::Final);
+        c.set_probe(hub.probe());
+        let w = c.write(Picos::ZERO, 0, 64);
+        c.read(w.end + Picos::from_us(100), 0, 512);
+        let (events, metrics) = hub.finish();
+        assert!(events.iter().any(|e| e.track.group == "partition"));
+        assert!(events
+            .iter()
+            .any(|e| e.track.group == "rdb" && e.name == "read"));
+        assert!(events
+            .iter()
+            .any(|e| e.track.group == "rdb" && e.name == "program"));
+        assert_eq!(metrics.histogram("pram.read").unwrap().count(), 1);
+        assert_eq!(metrics.histogram("pram.write").unwrap().count(), 1);
     }
 
     #[test]

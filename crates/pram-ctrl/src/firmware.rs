@@ -16,8 +16,10 @@
 use crate::controller::PramController;
 use sim_core::energy::{EnergyBook, Watts};
 use sim_core::mem::{Access, MemoryBackend};
+use sim_core::probe::Probe;
 use sim_core::time::{Freq, Picos};
 use sim_core::timeline::TimelineBank;
+use util::telemetry::MetricSet;
 
 /// Firmware execution-cost parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,6 +149,15 @@ impl MemoryBackend for FirmwareController {
 
     fn label(&self) -> &'static str {
         "pram-ctrl/firmware"
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.inner.set_probe(probe);
+    }
+
+    fn collect_metrics(&self, out: &mut MetricSet) {
+        out.add("fw.requests", self.requests);
+        self.inner.collect_metrics(out);
     }
 }
 

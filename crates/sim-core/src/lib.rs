@@ -18,6 +18,9 @@
 //!   full event queue.
 //! * [`stats`] / [`energy`] — counters, time-series and per-component
 //!   energy accounting used to regenerate the paper's figures.
+//! * [`probe`] — the runtime-switchable telemetry facade ([`Probe`] /
+//!   [`Telemetry`]) over [`util::telemetry`]; disabled probes cost one
+//!   `Option` check per call site.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 pub mod energy;
 pub mod event;
 pub mod mem;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -41,6 +45,7 @@ pub mod timeline;
 pub use energy::{EnergyAccount, EnergyBook, Joules, Watts};
 pub use event::{Event, EventQueue};
 pub use mem::{Access, MemoryBackend};
+pub use probe::{Probe, Telemetry};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, TimeSeries};
 pub use time::Picos;

@@ -12,7 +12,9 @@
 //! processing-element performance model only consumes timing.
 
 use crate::energy::EnergyBook;
+use crate::probe::Probe;
 use crate::time::Picos;
+use util::telemetry::MetricSet;
 
 /// The completed timing of one memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +67,16 @@ pub trait MemoryBackend {
 
     /// A short human-readable backend name for reports.
     fn label(&self) -> &'static str;
+
+    /// Installs a telemetry probe. Backends without instrumentation
+    /// points ignore it; the default probe everywhere is disabled, so
+    /// uninstrumented backends simply record nothing.
+    fn set_probe(&mut self, _probe: Probe) {}
+
+    /// Contributes this backend's end-of-run metrics (hit/miss
+    /// counters, occupancy gauges) into `out`. Uninstrumented backends
+    /// contribute nothing.
+    fn collect_metrics(&self, _out: &mut MetricSet) {}
 }
 
 #[cfg(test)]

@@ -99,11 +99,13 @@ impl Timeline {
 
     /// Utilization over a window `[0, horizon]`, in `0.0..=1.0`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `horizon` is zero.
+    /// A zero-length window reports `0.0` (nothing can be busy over an
+    /// empty window) rather than dividing by zero — degenerate horizons
+    /// show up legitimately when a component never ran.
     pub fn utilization(&self, horizon: Picos) -> f64 {
-        assert!(!horizon.is_zero(), "utilization horizon must be non-zero");
+        if horizon.is_zero() {
+            return 0.0;
+        }
         (self.busy_total.as_ps() as f64 / horizon.as_ps() as f64).min(1.0)
     }
 }
@@ -245,6 +247,17 @@ mod tests {
         t.reserve(Picos::ZERO, Picos::from_ns(25));
         assert!((t.utilization(Picos::from_ns(100)) - 0.25).abs() < 1e-12);
         assert_eq!(t.utilization(Picos::from_ns(10)), 1.0); // clamped
+    }
+
+    #[test]
+    fn utilization_of_zero_horizon_is_zero() {
+        // Regression: a zero window used to be a division hazard; it
+        // must report 0.0 (finite), busy or not.
+        let mut t = Timeline::new();
+        assert_eq!(t.utilization(Picos::ZERO), 0.0);
+        t.reserve(Picos::ZERO, Picos::from_ns(25));
+        assert_eq!(t.utilization(Picos::ZERO), 0.0);
+        assert!(t.utilization(Picos::ZERO).is_finite());
     }
 
     #[test]

@@ -13,8 +13,10 @@
 use crate::dram::{DramModel, DramParams};
 use sim_core::energy::EnergyBook;
 use sim_core::mem::{Access, MemoryBackend};
+use sim_core::probe::Probe;
 use sim_core::time::Picos;
 use std::collections::HashMap;
+use util::telemetry::{MetricSet, Track};
 
 /// A page-addressed backing store (flash device, PRAM page adapter …).
 pub trait PageStore {
@@ -32,6 +34,13 @@ pub trait PageStore {
 
     /// Diagnostic label.
     fn store_label(&self) -> &'static str;
+
+    /// Installs a telemetry probe; stores without instrumentation
+    /// points ignore it.
+    fn set_probe(&mut self, _probe: Probe) {}
+
+    /// Contributes this store's end-of-run metrics into `out`.
+    fn collect_metrics(&self, _out: &mut MetricSet) {}
 }
 
 /// Cache statistics.
@@ -71,7 +80,11 @@ pub struct CachedStore<P> {
     resident: HashMap<u64, (bool, u64)>,
     clock: u64,
     stats: CacheStats,
+    probe: Probe,
 }
+
+/// The internal-DRAM buffer cache's single trace lane.
+const CACHE_TRACK: Track = Track::new("dram-cache", 0);
 
 impl<P: PageStore> CachedStore<P> {
     /// Creates a cache of `capacity_pages` pages over `store`.
@@ -88,6 +101,7 @@ impl<P: PageStore> CachedStore<P> {
             resident: HashMap::new(),
             clock: 0,
             stats: CacheStats::default(),
+            probe: Probe::disabled(),
         }
     }
 
@@ -140,11 +154,14 @@ impl<P: PageStore> CachedStore<P> {
                 // the victim page overlaps the store's program time, so
                 // only the store cost is on the critical path.
                 let a = self.store.store_page(t, victim);
+                self.probe.span(CACHE_TRACK, "page_wb", a.start, a.end);
                 self.stats.writebacks += 1;
                 t = a.end;
             }
         }
         let a = self.store.fetch_page(t, page);
+        self.probe.span(CACHE_TRACK, "page_fetch", a.start, a.end);
+        self.probe.latency("cache.fetch", a.end.saturating_sub(t));
         // Landing the page in DRAM.
         let d = self.dram.write(a.end, 0, self.store.page_bytes());
         self.touch(page, dirty);
@@ -213,6 +230,18 @@ impl<P: PageStore> MemoryBackend for CachedStore<P> {
 
     fn label(&self) -> &'static str {
         self.store.store_label()
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.store.set_probe(probe.clone());
+        self.probe = probe;
+    }
+
+    fn collect_metrics(&self, out: &mut MetricSet) {
+        out.add("cache.hits", self.stats.hits);
+        out.add("cache.misses", self.stats.misses);
+        out.add("cache.writebacks", self.stats.writebacks);
+        self.store.collect_metrics(out);
     }
 }
 

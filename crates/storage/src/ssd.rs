@@ -11,8 +11,10 @@ use crate::dram::DramParams;
 use flash::{CellKind, FlashDevice, FlashGeometry, FlashTiming};
 use sim_core::energy::{EnergyBook, Watts};
 use sim_core::mem::{Access, MemoryBackend};
+use sim_core::probe::Probe;
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
+use util::telemetry::{MetricSet, Track};
 
 /// SSD construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,7 +99,11 @@ pub struct FlashSsd {
     contexts: TimelineBank,
     ctrl_energy: EnergyBook,
     requests: u64,
+    probe: Probe,
 }
+
+/// The SSD datapath's single trace lane.
+const SSD_TRACK: Track = Track::new("ssd", 0);
 
 impl FlashSsd {
     /// Builds the SSD with Table I flash timing.
@@ -114,6 +120,7 @@ impl FlashSsd {
             params,
             ctrl_energy: EnergyBook::new(),
             requests: 0,
+            probe: Probe::disabled(),
         }
     }
 
@@ -154,6 +161,9 @@ impl MemoryBackend for FlashSsd {
     fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access {
         let t = self.admit(at);
         let a = self.cache.read(t, addr, len);
+        self.probe
+            .span_args(SSD_TRACK, "read", at, a.end, &[("bytes", len as u64)]);
+        self.probe.latency("ssd.read", a.end.saturating_sub(at));
         Access {
             start: at,
             end: a.end,
@@ -163,6 +173,9 @@ impl MemoryBackend for FlashSsd {
     fn write(&mut self, at: Picos, addr: u64, len: u32) -> Access {
         let t = self.admit(at);
         let a = self.cache.write(t, addr, len);
+        self.probe
+            .span_args(SSD_TRACK, "write", at, a.end, &[("bytes", len as u64)]);
+        self.probe.latency("ssd.write", a.end.saturating_sub(at));
         Access {
             start: at,
             end: a.end,
@@ -181,6 +194,20 @@ impl MemoryBackend for FlashSsd {
             CellKind::Mlc => "ssd-mlc",
             CellKind::Tlc => "ssd-tlc",
         }
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    fn collect_metrics(&self, out: &mut MetricSet) {
+        // The internal buffer cache reports under `ssd.` so it never
+        // collides with an accelerator-side page cache in the same
+        // system.
+        out.add("ssd.requests", self.requests);
+        out.add("ssd.buffer_hits", self.cache.stats().hits);
+        out.add("ssd.buffer_misses", self.cache.stats().misses);
+        out.add("ssd.buffer_writebacks", self.cache.stats().writebacks);
     }
 }
 

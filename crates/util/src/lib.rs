@@ -22,6 +22,9 @@
 //! * [`pool`] — a work-stealing thread pool with deterministic result
 //!   ordering and panic propagation (replaces `rayon`); sized by the
 //!   `DRAMLESS_THREADS` environment variable.
+//! * [`telemetry`] — trace events, a bounded ring-buffer tracer, a
+//!   sorted metric registry and a Chrome trace-event exporter (the
+//!   unit-agnostic core under `sim_core::probe`).
 
 pub mod bench;
 pub mod bytes;
@@ -29,3 +32,4 @@ pub mod cases;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod telemetry;

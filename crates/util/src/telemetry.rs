@@ -1,0 +1,672 @@
+//! Zero-dependency telemetry primitives: trace events, a bounded
+//! ring-buffer tracer, a per-component metric registry, and a Chrome
+//! trace-event exporter.
+//!
+//! This module is deliberately unit-agnostic — timestamps are raw `u64`
+//! picosecond counts so that `util` stays free of `sim-core` types. The
+//! typed, `Picos`-aware facade lives in `sim_core::probe`; simulation
+//! code never constructs [`TraceEvent`]s directly.
+//!
+//! Three pieces:
+//!
+//! * [`EventTracer`] — a bounded ring buffer of [`TraceEvent`]s
+//!   (spans and instants on named [`Track`]s). When full, the oldest
+//!   events are overwritten and counted in
+//!   [`dropped`](EventTracer::dropped), so a runaway workload can never
+//!   exhaust memory.
+//! * [`MetricSet`] — a sorted registry of named [`MetricValue`]s:
+//!   monotonic counters, `f64` gauges, and log2-bucket latency
+//!   histograms ([`LatencyHistogram`]) with derived p50/p90/p99.
+//!   Serialization is key-sorted and byte-stable across runs and
+//!   thread counts.
+//! * [`chrome_trace`] — renders a slice of events as Chrome
+//!   trace-event JSON loadable in Perfetto / `chrome://tracing`, one
+//!   named thread per [`Track`].
+
+use std::collections::BTreeMap;
+
+use crate::json::{FromJson, Json, JsonError, ToJson};
+
+/// A named horizontal lane in the exported trace — e.g. PRAM partition
+/// 3 of channel 0, PE 7, or the staging datapath.
+///
+/// Tracks are cheap value types (`&'static str` group + index) so
+/// recording an event never allocates for the track identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Component family, e.g. `"pe"`, `"partition"`, `"rdb"`.
+    pub group: &'static str,
+    /// Instance within the family (PE index, partition number, …).
+    pub index: u32,
+}
+
+impl Track {
+    /// A track for instance `index` of component family `group`.
+    pub const fn new(group: &'static str, index: u32) -> Self {
+        Track { group, index }
+    }
+
+    /// Human-readable lane name, `"group/index"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.group, self.index)
+    }
+}
+
+/// One recorded event: a span when `dur_ps > 0`, an instant otherwise.
+///
+/// Timestamps are picoseconds from simulation time zero. `args` carries
+/// small typed payloads (byte counts, row numbers) without allocation
+/// for the names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start time in picoseconds.
+    pub ts_ps: u64,
+    /// Duration in picoseconds; `0` marks an instant event.
+    pub dur_ps: u64,
+    /// Lane the event belongs to.
+    pub track: Track,
+    /// Event name, e.g. `"read_burst"`.
+    pub name: &'static str,
+    /// Small numeric payload, e.g. `[("bytes", 64)]`.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s.
+///
+/// `record` is O(1) and never grows past the configured capacity; once
+/// full, the oldest event is overwritten and [`dropped`](Self::dropped)
+/// incremented.
+#[derive(Debug)]
+pub struct EventTracer {
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    cursor: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl EventTracer {
+    /// A tracer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventTracer {
+            capacity,
+            events: Vec::new(),
+            cursor: 0,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, overwriting the oldest if the buffer is full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.recorded += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else if self.capacity == 0 {
+            self.dropped += 1;
+        } else {
+            self.events[self.cursor] = ev;
+            self.cursor = (self.cursor + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever offered to [`record`](Self::record).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events overwritten because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the tracer, returning the surviving events in a
+    /// deterministic order (by time, then track, then name).
+    pub fn finish(self) -> Vec<TraceEvent> {
+        let mut events = self.events;
+        events.sort_by(|a, b| {
+            (a.ts_ps, a.track, a.name, a.dur_ps).cmp(&(b.ts_ps, b.track, b.name, b.dur_ps))
+        });
+        events
+    }
+}
+
+/// Number of log2(ns) latency buckets — covers 1 ns up to ~18 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram over nanoseconds.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` ns; quantiles report
+/// the conservative (upper) bound of the containing bucket, so they are
+/// a pure function of the bucket counts and byte-stable under
+/// serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample given in picoseconds (sub-ns samples
+    /// land in the first bucket).
+    pub fn record_ps(&mut self, ps: u64) {
+        let ns = (ps / 1_000).max(1);
+        let idx = (63 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper-bound estimate (in ns) of the `q`-quantile, `q` in
+    /// `0.0..=1.0`. Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << HISTOGRAM_BUCKETS
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Non-zero buckets as `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+impl ToJson for LatencyHistogram {
+    fn to_json(&self) -> Json {
+        let buckets = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(i, c)| Json::Arr(vec![Json::U64(i as u64), Json::U64(c)]))
+            .collect();
+        Json::Obj(vec![
+            ("count".into(), Json::U64(self.count)),
+            ("buckets".into(), Json::Arr(buckets)),
+            ("p50_ns".into(), Json::U64(self.quantile_ns(0.50))),
+            ("p90_ns".into(), Json::U64(self.quantile_ns(0.90))),
+            ("p99_ns".into(), Json::U64(self.quantile_ns(0.99))),
+        ])
+    }
+}
+
+impl FromJson for LatencyHistogram {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // p50/p90/p99 are derived values: ignored on parse, re-derived
+        // on serialize, so round trips stay byte-stable.
+        let mut h = LatencyHistogram::new();
+        h.count = crate::json::field(v, "count")?;
+        let buckets = v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::new("histogram missing buckets array"))?;
+        for pair in buckets {
+            let pair = pair
+                .as_arr()
+                .ok_or_else(|| JsonError::new("histogram bucket is not a pair"))?;
+            let (i, c) = match pair {
+                [i, c] => (
+                    i.as_u64()
+                        .ok_or_else(|| JsonError::new("bucket index not a u64"))?,
+                    c.as_u64()
+                        .ok_or_else(|| JsonError::new("bucket count not a u64"))?,
+                ),
+                _ => return Err(JsonError::new("histogram bucket is not a pair")),
+            };
+            if i as usize >= HISTOGRAM_BUCKETS {
+                return Err(JsonError::new("bucket index out of range"));
+            }
+            h.buckets[i as usize] = c;
+        }
+        Ok(h)
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-written scalar (e.g. IPC, utilization).
+    Gauge(f64),
+    /// Log2-bucket latency distribution (boxed: the bucket array is two
+    /// orders of magnitude larger than the scalar variants).
+    Histogram(Box<LatencyHistogram>),
+}
+
+impl ToJson for MetricValue {
+    fn to_json(&self) -> Json {
+        match self {
+            MetricValue::Counter(c) => Json::U64(*c),
+            MetricValue::Gauge(g) => Json::F64(*g),
+            MetricValue::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+impl FromJson for MetricValue {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::U64(c) => Ok(MetricValue::Counter(*c)),
+            Json::I64(c) => Ok(MetricValue::Counter(*c as u64)),
+            Json::F64(g) => Ok(MetricValue::Gauge(*g)),
+            Json::Obj(_) => Ok(MetricValue::Histogram(Box::new(
+                LatencyHistogram::from_json(v)?,
+            ))),
+            other => Err(JsonError::new(format!(
+                "expected metric value, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// A sorted name → [`MetricValue`] registry.
+///
+/// Names are dotted paths, `component.metric` (e.g.
+/// `"pram.rdb_hits"`, `"pe.ipc"`). The backing map is a `BTreeMap`, so
+/// iteration — and therefore JSON output — is always key-sorted and
+/// byte-stable regardless of registration order or thread count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricSet {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a non-counter.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name` to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.entries.insert(name.to_string(), MetricValue::Gauge(v));
+    }
+
+    /// Records a latency sample (picoseconds) into histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a non-histogram.
+    pub fn record_latency_ps(&mut self, name: &str, ps: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(Box::new(LatencyHistogram::new())))
+        {
+            MetricValue::Histogram(h) => h.record_ps(ps),
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Counter value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if `name` is a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Histogram, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        match self.entries.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Key-sorted iteration over all metrics.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into `self`: counters and histograms accumulate,
+    /// gauges sum (a sweep-aggregate gauge is a total, not an average).
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (name, value) in &other.entries {
+            match (self.entries.get_mut(name), value) {
+                (None, v) => {
+                    self.entries.insert(name.clone(), v.clone());
+                }
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a += b,
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (Some(a), b) => panic!("metric {name} kind mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+impl ToJson for MetricSet {
+    fn to_json(&self) -> Json {
+        // BTreeMap iteration is key-sorted, so the object is
+        // deterministic by construction.
+        Json::Obj(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for MetricSet {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let Json::Obj(pairs) = v else {
+            return Err(JsonError::new(format!(
+                "expected metrics object, got {}",
+                v.kind()
+            )));
+        };
+        let mut set = MetricSet::new();
+        for (name, value) in pairs {
+            set.entries.insert(
+                name.clone(),
+                MetricValue::from_json(value).map_err(|e| e.context(name))?,
+            );
+        }
+        Ok(set)
+    }
+}
+
+/// Renders events as a Chrome trace-event JSON array (the format
+/// Perfetto and `chrome://tracing` load).
+///
+/// Every distinct [`Track`] becomes one named thread (a `"M"`
+/// `thread_name` metadata record), spans become `"X"` complete events
+/// and zero-duration events become `"i"` instants, all under a single
+/// process. Timestamps are microseconds (the format's native unit),
+/// emitted in nondecreasing order.
+pub fn chrome_trace(events: &[TraceEvent]) -> Json {
+    const PID: u64 = 1;
+    let us = |ps: u64| Json::F64(ps as f64 / 1_000_000.0);
+
+    let mut tracks: Vec<Track> = events.iter().map(|e| e.track).collect();
+    tracks.sort();
+    tracks.dedup();
+    let tid_of =
+        |t: Track| -> u64 { tracks.binary_search(&t).expect("track was collected") as u64 + 1 };
+
+    let mut out = Vec::with_capacity(events.len() + tracks.len() + 1);
+    out.push(Json::Obj(vec![
+        ("ph".into(), Json::Str("M".into())),
+        ("pid".into(), Json::U64(PID)),
+        ("tid".into(), Json::U64(0)),
+        ("name".into(), Json::Str("process_name".into())),
+        (
+            "args".into(),
+            Json::Obj(vec![("name".into(), Json::Str("dramless-sim".into()))]),
+        ),
+    ]));
+    for &t in &tracks {
+        out.push(Json::Obj(vec![
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::U64(PID)),
+            ("tid".into(), Json::U64(tid_of(t))),
+            ("name".into(), Json::Str("thread_name".into())),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::Str(t.label()))]),
+            ),
+        ]));
+    }
+
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by(|a, b| {
+        (a.ts_ps, a.track, a.name, a.dur_ps).cmp(&(b.ts_ps, b.track, b.name, b.dur_ps))
+    });
+    for e in ordered {
+        let mut fields = vec![
+            ("name".into(), Json::Str(e.name.into())),
+            (
+                "ph".into(),
+                Json::Str(if e.dur_ps > 0 { "X" } else { "i" }.into()),
+            ),
+            ("ts".into(), us(e.ts_ps)),
+        ];
+        if e.dur_ps > 0 {
+            fields.push(("dur".into(), us(e.dur_ps)));
+        } else {
+            fields.push(("s".into(), Json::Str("t".into())));
+        }
+        fields.push(("pid".into(), Json::U64(PID)));
+        fields.push(("tid".into(), Json::U64(tid_of(e.track))));
+        if !e.args.is_empty() {
+            fields.push((
+                "args".into(),
+                Json::Obj(
+                    e.args
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), Json::U64(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        out.push(Json::Obj(fields));
+    }
+    Json::Arr(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, dur: u64, track: Track, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts_ps: ts,
+            dur_ps: dur,
+            track,
+            name,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_oldest_and_counts_drops() {
+        let t0 = Track::new("t", 0);
+        let mut tr = EventTracer::new(3);
+        for i in 0..5 {
+            tr.record(ev(i, 1, t0, "e"));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.recorded(), 5);
+        assert_eq!(tr.dropped(), 2);
+        let kept: Vec<u64> = tr.finish().iter().map(|e| e.ts_ps).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_tracer_drops_everything() {
+        let mut tr = EventTracer::new(0);
+        tr.record(ev(0, 1, Track::new("t", 0), "e"));
+        assert_eq!(tr.len(), 0);
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_ps(1_500); // 1 ns bucket [1, 2)
+        }
+        for _ in 0..10 {
+            h.record_ps(1_000_000); // 1000 ns -> bucket [512, 1024)
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_ns(0.50), 2);
+        assert_eq!(h.quantile_ns(0.90), 2);
+        assert_eq!(h.quantile_ns(0.99), 1024);
+        // Empty histogram reports zero.
+        assert_eq!(LatencyHistogram::new().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_round_trips_byte_stable() {
+        let mut h = LatencyHistogram::new();
+        h.record_ps(2_500);
+        h.record_ps(40_000);
+        h.record_ps(7_000_000);
+        let json = h.to_json_pretty();
+        let back = LatencyHistogram::from_json_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.to_json_pretty(), json);
+    }
+
+    #[test]
+    fn metric_set_is_key_sorted_and_merges() {
+        let mut a = MetricSet::new();
+        a.add("z.last", 1);
+        a.add("a.first", 2);
+        a.gauge("m.gauge", 1.5);
+        a.record_latency_ps("m.lat", 3_000);
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a.first", "m.gauge", "m.lat", "z.last"]);
+
+        let mut b = MetricSet::new();
+        b.add("a.first", 5);
+        b.gauge("m.gauge", 0.5);
+        b.record_latency_ps("m.lat", 3_000);
+        a.merge(&b);
+        assert_eq!(a.counter("a.first"), Some(7));
+        assert_eq!(a.gauge_value("m.gauge"), Some(2.0));
+        assert_eq!(a.histogram("m.lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn metric_set_round_trips_byte_stable() {
+        let mut m = MetricSet::new();
+        m.add("pram.rdb_hits", 42);
+        m.gauge("pe.ipc", 0.75);
+        m.record_latency_ps("pram.read_ns", 120_000);
+        let json = m.to_json_pretty();
+        let back = MetricSet::from_json_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_json_pretty(), json);
+    }
+
+    #[test]
+    fn chrome_trace_shape_is_valid() {
+        let p0 = Track::new("partition", 0);
+        let pe = Track::new("pe", 3);
+        let events = vec![
+            ev(2_000_000, 1_000_000, pe, "compute"),
+            ev(1_000_000, 500_000, p0, "activate"),
+            ev(1_500_000, 0, p0, "rdb_hit"),
+        ];
+        let trace = chrome_trace(&events);
+        let arr = trace.as_arr().expect("array of events");
+        // 1 process_name + 2 thread_name + 3 events.
+        assert_eq!(arr.len(), 6);
+        let metas: Vec<&Json> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 3);
+        // Non-metadata events are ts-ordered and complete/instant.
+        let mut last_ts = f64::MIN;
+        for e in arr.iter().skip(metas.len()) {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
+            let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+            assert!(ts >= last_ts, "ts regressed");
+            last_ts = ts;
+            if ph == "X" {
+                assert!(e.get("dur").and_then(Json::as_f64).unwrap() > 0.0);
+            }
+        }
+        // Thread names carry the track labels.
+        let names: Vec<&str> = metas
+            .iter()
+            .filter_map(|m| {
+                m.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(names.contains(&"partition/0"));
+        assert!(names.contains(&"pe/3"));
+    }
+}

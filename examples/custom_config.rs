@@ -34,6 +34,7 @@ fn main() {
         control: Control::HardwareAutomated {
             scheduler: SchedulerKind::Final,
         },
+        telemetry: None,
     };
 
     // Off-table point 2: a PALP-style staged PRAM — the 3x-nm sample as
@@ -46,6 +47,7 @@ fn main() {
         control: Control::HardwareAutomated {
             scheduler: SchedulerKind::Interleaving,
         },
+        telemetry: None,
     };
 
     // Specs are plain data: serialize, reparse, and the reparsed spec

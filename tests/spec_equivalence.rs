@@ -5,6 +5,7 @@
 use dramless::system::{simulate_built, simulate_spec_as};
 use dramless::{
     simulate_dramless_scheduler, Buffer, SystemId, SystemKind, SystemParams, SystemSpec,
+    TelemetrySpec,
 };
 use pram_ctrl::SchedulerKind;
 use util::json::{FromJson, ToJson};
@@ -109,6 +110,44 @@ fn malformed_specs_degrade_gracefully() {
     assert!(!err.message().is_empty());
     assert!(dramless::build_system(&bad, &p, 1 << 20).is_err());
     assert!(dramless::sweep_specs(&[bad], &[w], &p).is_err());
+}
+
+#[test]
+fn telemetry_changes_nothing_but_the_metrics_key() {
+    // Observation must not perturb the simulation: a telemetry-on run
+    // differs from the telemetry-off run of the same cell *only* by the
+    // appended `metrics` key. Checked on a load/store, a staged and a
+    // page-interface design so every probe site is covered.
+    let w = Workload::of(Kernel::Trisolv, Scale(0.25));
+    let built = w.build(params().agents);
+    for kind in [
+        SystemKind::DramLess,
+        SystemKind::Hetero,
+        SystemKind::IntegratedMlc,
+    ] {
+        let off = simulate_spec_as(SystemId::Preset(kind), &kind.spec(), &built, &params())
+            .expect("preset composes");
+        let off_json = off.to_json_pretty();
+        assert!(
+            !off_json.contains("\"metrics\""),
+            "{kind}: metrics key present with telemetry off"
+        );
+
+        let spec_on = SystemSpec {
+            telemetry: Some(TelemetrySpec::default()),
+            ..kind.spec()
+        };
+        let mut on = simulate_spec_as(SystemId::Preset(kind), &spec_on, &built, &params())
+            .expect("preset composes with telemetry");
+        assert!(!on.metrics.is_empty(), "{kind}: telemetry on, no metrics");
+        assert!(on.to_json_pretty().contains("\"metrics\""));
+        on.metrics = util::telemetry::MetricSet::new();
+        assert_eq!(
+            on.to_json_pretty(),
+            off_json,
+            "{kind}: probes perturbed the simulation"
+        );
+    }
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! (the `DRAMLESS_THREADS=1` configuration) and a wide parallel sweep
 //! over the same grid must serialize to byte-identical JSON.
 
-use dramless::sweep::sweep_on;
-use dramless::{SystemKind, SystemParams};
+use dramless::sweep::{sweep_on, sweep_specs_on};
+use dramless::{SystemKind, SystemParams, SystemSpec, TelemetrySpec};
 use util::pool::Pool;
 use workloads::{Kernel, Scale, Workload};
 
@@ -48,6 +48,41 @@ fn parallel_sweep_is_byte_identical_to_single_threaded() {
     // back the same builds; simulation is seeded and deterministic).
     let (again, _) = sweep_on(&parallel_pool, &kinds, &workloads, &params);
     assert_eq!(parallel.to_json(), again.to_json());
+}
+
+#[test]
+fn traced_sweep_is_byte_identical_across_thread_counts() {
+    // Telemetry hubs are per-cell, so enabling tracing + metrics must
+    // not reintroduce thread-count sensitivity: the serialized suite —
+    // including every metric set — is identical at 1 and 4 workers.
+    let specs: Vec<SystemSpec> = [SystemKind::Hetero, SystemKind::DramLess]
+        .iter()
+        .map(|k| SystemSpec {
+            telemetry: Some(TelemetrySpec::default()),
+            ..k.spec()
+        })
+        .collect();
+    let workloads: Vec<Workload> = [Kernel::Trisolv, Kernel::Gemver]
+        .iter()
+        .map(|&k| Workload::of(k, Scale(0.2)))
+        .collect();
+    let params = SystemParams {
+        agents: 3,
+        ..Default::default()
+    };
+
+    let (serial, _) = sweep_specs_on(&Pool::new(1), &specs, &workloads, &params).unwrap();
+    let (parallel, _) = sweep_specs_on(&Pool::new(4), &specs, &workloads, &params).unwrap();
+    assert!(
+        serial.outcomes.iter().all(|o| !o.metrics.is_empty()),
+        "traced cells recorded no metrics"
+    );
+    assert!(serial.to_json().contains("\"metrics\""));
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "traced sweep output diverged across thread counts"
+    );
 }
 
 #[test]

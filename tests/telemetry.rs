@@ -1,0 +1,183 @@
+//! End-to-end telemetry: a traced run emits a well-formed Chrome
+//! trace-event JSON with per-partition / per-RDB / per-PE lanes, the
+//! scheduler counters behind the Fig. 13 ablation surface in
+//! [`RunOutcome`] metrics, and suite JSON with metrics round-trips
+//! byte-stably.
+
+use dramless::{
+    simulate_spec_built, simulate_spec_traced, Buffer, Control, Datapath, Medium, SuiteResult,
+    SystemKind, SystemParams, SystemSpec, TelemetrySpec,
+};
+use pram_ctrl::SchedulerKind;
+use util::json::{FromJson, Json};
+use util::telemetry::chrome_trace;
+use workloads::{Kernel, Scale, Workload};
+
+/// A staged-PRAM point Table I never built (PALP-style): PRAM behind
+/// P2P DMA with an Interleaving scheduler. It exercises partitions,
+/// RDBs, PEs, the DRAM page cache, the staging path *and* the PRAM
+/// datapath in one run — the richest trace any single spec produces.
+fn palp_style() -> SystemSpec {
+    SystemSpec {
+        name: Some("palp-style".into()),
+        medium: Medium::Pram3x,
+        datapath: Datapath::P2pDma,
+        buffer: Buffer::DramPageCache { frames: None },
+        control: Control::HardwareAutomated {
+            scheduler: SchedulerKind::Interleaving,
+        },
+        telemetry: None,
+    }
+}
+
+fn params() -> SystemParams {
+    SystemParams {
+        agents: 3,
+        ..Default::default()
+    }
+}
+
+fn get<'j>(fields: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+    fields.iter().find(|(n, _)| n == key).map(|(_, v)| v)
+}
+
+#[test]
+fn traced_run_emits_a_well_formed_chrome_trace() {
+    let w = Workload::of(Kernel::Gemver, Scale(0.25));
+    let built = w.build(params().agents);
+    let (out, events) = simulate_spec_traced(&palp_style(), &built, &params()).unwrap();
+    assert!(!events.is_empty(), "traced run recorded no events");
+    assert!(!out.metrics.is_empty(), "traced run recorded no metrics");
+
+    let trace = chrome_trace(&events);
+    let Json::Arr(items) = &trace else {
+        panic!("chrome trace must be a JSON array of event records");
+    };
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut lanes: Vec<String> = Vec::new();
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    for item in items {
+        let Json::Obj(fields) = item else {
+            panic!("every trace record is an object");
+        };
+        let Some(Json::Str(ph)) = get(fields, "ph") else {
+            panic!("every record carries a ph");
+        };
+        assert!(get(fields, "pid").is_some(), "record lacks pid");
+        assert!(get(fields, "tid").is_some(), "record lacks tid");
+        match ph.as_str() {
+            "M" => {
+                if let Some(Json::Obj(args)) = get(fields, "args") {
+                    if let Some(Json::Str(n)) = get(args, "name") {
+                        lanes.push(n.clone());
+                    }
+                }
+            }
+            "X" | "i" => {
+                let Some(Json::F64(ts)) = get(fields, "ts") else {
+                    panic!("event lacks a numeric ts");
+                };
+                assert!(
+                    *ts >= last_ts,
+                    "timestamps must be nondecreasing: {ts} after {last_ts}"
+                );
+                assert!(*ts >= 0.0);
+                last_ts = *ts;
+                if ph == "X" {
+                    let Some(Json::F64(dur)) = get(fields, "dur") else {
+                        panic!("complete event lacks dur");
+                    };
+                    assert!(*dur > 0.0);
+                    spans += 1;
+                } else {
+                    instants += 1;
+                }
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(spans > 0, "no complete events in the trace");
+    assert!(instants > 0, "no instants (RAB/RDB hits) in the trace");
+    // One named lane per component instance: PRAM partitions, RDBs and
+    // PEs each get their own thread track.
+    for prefix in ["partition/", "rdb/", "pe/"] {
+        assert!(
+            lanes.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix} lane among {lanes:?}"
+        );
+    }
+    // Several PEs ran, each on its own lane.
+    assert!(lanes.iter().filter(|n| n.starts_with("pe/")).count() >= 2);
+}
+
+#[test]
+fn scheduler_counters_surface_in_outcome_metrics() {
+    // The DRAM-less preset runs the Final scheduler = interleaving +
+    // selective erasing: both counter families must be live in the
+    // outcome's metric set.
+    let spec = SystemSpec {
+        telemetry: Some(TelemetrySpec::default()),
+        ..SystemKind::DramLess.spec()
+    };
+    let w = Workload::of(Kernel::Gemver, Scale(0.5));
+    let built = w.build(params().agents);
+    let out = simulate_spec_built(&spec, &built, &params()).unwrap();
+    let m = &out.metrics;
+
+    assert!(m.counter("pram.reads").unwrap_or(0) > 0);
+    assert!(m.counter("pram.writes").unwrap_or(0) > 0);
+    // Interleaving: address phases of one word overlapped another
+    // word's data burst at least once on a multi-agent run.
+    assert!(
+        m.counter("pram.overlap_wins").unwrap_or(0) > 0,
+        "interleave-overlap counter dead: {m:?}"
+    );
+    // Selective erasing: the pre-RESET pipeline observed writes
+    // (hits when a speculative pre-RESET paid off, misses otherwise).
+    let preerase = m.counter("pram.preerase_hits").unwrap_or(0)
+        + m.counter("pram.preerase_misses").unwrap_or(0);
+    assert!(preerase > 0, "selective-erase counters dead: {m:?}");
+    // PE-side metrics ride along, including the latency histogram.
+    assert!(m.counter("pe.instructions").unwrap_or(0) > 0);
+    assert!(m.gauge_value("pe.ipc").unwrap_or(0.0) > 0.0);
+    assert!(m.histogram("pram.read").is_some_and(|h| h.count() > 0));
+    // Trace bookkeeping is attached even though the trace was dropped.
+    assert!(m.counter("trace.events_recorded").unwrap_or(0) > 0);
+}
+
+#[test]
+fn suite_json_with_metrics_round_trips_byte_stable() {
+    let specs = [
+        SystemSpec {
+            telemetry: Some(TelemetrySpec::default()),
+            ..SystemKind::DramLess.spec()
+        },
+        SystemSpec {
+            telemetry: Some(TelemetrySpec::default()),
+            ..SystemKind::Hetero.spec()
+        },
+    ];
+    let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+    let p = SystemParams {
+        agents: 2,
+        ..Default::default()
+    };
+    let suite = dramless::sweep_specs(&specs, &[w], &p).unwrap();
+    let text = suite.to_json();
+    assert!(text.contains("\"metrics\""));
+
+    // parse → serialize reproduces the exact bytes: per-outcome metric
+    // sets are key-sorted, and the suite-level aggregate is re-derived.
+    let back: SuiteResult = FromJson::from_json_str(&text).unwrap();
+    assert_eq!(back.to_json(), text, "suite JSON not byte-stable");
+
+    // The aggregate is the merge of the outcome sets.
+    let agg = suite.aggregate_metrics();
+    let per_cell: u64 = suite
+        .outcomes
+        .iter()
+        .map(|o| o.metrics.counter("pe.instructions").unwrap_or(0))
+        .sum();
+    assert_eq!(agg.counter("pe.instructions"), Some(per_cell));
+}
