@@ -8,7 +8,7 @@
 //! dramless-sim --list-systems
 //! ```
 
-use dramless::{RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec};
+use dramless::{FaultPlan, RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec};
 use std::process::ExitCode;
 use util::json::{FromJson, ToJson};
 use util::telemetry::MetricValue;
@@ -26,6 +26,7 @@ struct Options {
     json: Option<String>,
     metrics: bool,
     trace_out: Option<String>,
+    faults: Option<FaultPlan>,
 }
 
 fn usage() -> &'static str {
@@ -35,7 +36,8 @@ fn usage() -> &'static str {
        dramless-sim [--system <name>|all] [--spec <file.json>]\n\
                     [--kernel <name>|all] [--scale <f>] [--seed <n>]\n\
                     [--agents <n>] [--json <path>] [--metrics]\n\
-                    [--trace-out <path>] [--list] [--list-systems]\n\
+                    [--faults <file.json>] [--trace-out <path>]\n\
+                    [--list] [--list-systems]\n\
      \n\
      OPTIONS:\n\
        --system        a Table I system (e.g. dram-less, hetero, page-buffer),\n\
@@ -52,6 +54,10 @@ fn usage() -> &'static str {
        --metrics       switch on telemetry for every cell: per-component\n\
                        counters and latency histograms, printed after the\n\
                        table and embedded in --json output\n\
+       --faults        a FaultPlan JSON file: arm seeded, deterministic\n\
+                       fault injection (PRAM drift/disturb/wear, SSD\n\
+                       transients) plus ECC/retry/retirement for every\n\
+                       cell; reports gain a `degraded` section\n\
        --trace-out     run ONE system x ONE kernel with event tracing and\n\
                        write a Chrome trace-event JSON (load in Perfetto:\n\
                        https://ui.perfetto.dev); implies --metrics\n\
@@ -95,6 +101,11 @@ fn load_spec(path: &str) -> Result<SystemSpec, String> {
     SystemSpec::from_json_str(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+fn load_faults(path: &str) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    FaultPlan::from_json_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
 fn list_systems() {
     println!(
         "{:<22} {:<21} {:<15} {:<12} control",
@@ -128,6 +139,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         json: None,
         metrics: false,
         trace_out: None,
+        faults: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -179,6 +191,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--json" => opts.json = Some(value("--json")?),
             "--metrics" => opts.metrics = true,
+            "--faults" => {
+                let v = value("--faults")?;
+                opts.faults = Some(load_faults(&v)?);
+            }
             "--trace-out" => {
                 opts.trace_out = Some(value("--trace-out")?);
                 opts.metrics = true;
@@ -286,6 +302,11 @@ fn main() -> ExitCode {
     if opts.metrics {
         for (_, spec) in systems.iter_mut() {
             spec.telemetry.get_or_insert_with(Default::default);
+        }
+    }
+    if let Some(plan) = &opts.faults {
+        for (_, spec) in systems.iter_mut() {
+            spec.faults = Some(plan.clone());
         }
     }
     // A trace run is a single cell: one system, one kernel, with the
@@ -448,6 +469,18 @@ mod tests {
         assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.json"));
         assert!(o.metrics, "--trace-out implies --metrics");
         assert!(parse(&["--trace-out".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parses_fault_plan_files() {
+        let plan = FaultPlan::seeded(11);
+        let path = std::env::temp_dir().join("dramless-sim-cli-test-faults.json");
+        std::fs::write(&path, plan.to_json_pretty()).unwrap();
+        let o = parse(&["--faults".to_string(), path.display().to_string()]).unwrap();
+        assert_eq!(o.faults, Some(plan));
+        std::fs::remove_file(&path).ok();
+        assert!(parse(&["--faults".to_string()]).is_err());
+        assert!(parse(&["--faults".into(), "/no/such/plan.json".into()]).is_err());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod system;
 
 pub use config::{SystemId, SystemKind, SystemParams};
 pub use report::{Breakdown, RunOutcome, SuiteResult};
+pub use sim_core::fault::{FaultCounters, FaultPlan};
 pub use spec::{Buffer, Control, Datapath, Medium, SpecError, SystemSpec, TelemetrySpec};
 pub use sweep::{sweep_specs, sweep_with_stats, SweepStats};
 pub use system::{

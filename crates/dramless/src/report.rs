@@ -3,6 +3,7 @@
 use crate::config::{SystemId, SystemKind};
 use accel::exec::ExecReport;
 use sim_core::energy::{EnergyBook, Joules};
+use sim_core::fault::FaultCounters;
 use sim_core::time::Picos;
 use util::json::{field, FromJson, Json, JsonError, ToJson};
 use util::telemetry::MetricSet;
@@ -77,11 +78,18 @@ pub struct RunOutcome {
     /// (`pram.*`, `pe.*`, `cache.*`, …). Empty — and absent from the
     /// JSON report — unless the spec's telemetry knob was on.
     pub metrics: MetricSet,
+    /// Fault-injection degradation ledger: what the spec's
+    /// [`FaultPlan`](sim_core::fault::FaultPlan) injected and how the
+    /// resilience machinery absorbed it. `None` — and absent from the
+    /// JSON report — unless the spec carried a fault plan; all-zero
+    /// counters under an inert plan still serialize, recording that
+    /// injection was armed.
+    pub degraded: Option<FaultCounters>,
 }
 
 // Hand-written (not `json_struct!`) so the `metrics` key is *omitted*
-// when empty: telemetry-off reports are byte-identical to reports from
-// before telemetry existed.
+// when empty and `degraded` when `None`: fault-free, telemetry-off
+// reports are byte-identical to reports from before either existed.
 impl ToJson for RunOutcome {
     fn to_json(&self) -> Json {
         let mut fields = vec![
@@ -95,6 +103,9 @@ impl ToJson for RunOutcome {
         ];
         if !self.metrics.is_empty() {
             fields.push(("metrics".to_string(), self.metrics.to_json()));
+        }
+        if let Some(d) = &self.degraded {
+            fields.push(("degraded".to_string(), d.to_json()));
         }
         Json::Obj(fields)
     }
@@ -111,6 +122,7 @@ impl FromJson for RunOutcome {
             breakdown: field(v, "breakdown")?,
             energy: field(v, "energy")?,
             metrics: field::<Option<MetricSet>>(v, "metrics")?.unwrap_or_default(),
+            degraded: field(v, "degraded")?,
         })
     }
 }
@@ -144,15 +156,19 @@ pub struct SuiteResult {
     pub outcomes: Vec<RunOutcome>,
 }
 
-// Hand-written so the suite-level `metrics` aggregate is recomputed on
-// every serialize (sorted keys by `MetricSet` construction, so the text
-// is deterministic) and omitted when no cell recorded anything.
+// Hand-written so the suite-level `metrics` and `degraded` aggregates
+// are recomputed on every serialize (sorted keys by `MetricSet`
+// construction, so the text is deterministic) and omitted when no cell
+// recorded anything.
 impl ToJson for SuiteResult {
     fn to_json(&self) -> Json {
         let mut fields = vec![("outcomes".to_string(), self.outcomes.to_json())];
         let agg = self.aggregate_metrics();
         if !agg.is_empty() {
             fields.push(("metrics".to_string(), agg.to_json()));
+        }
+        if let Some(d) = self.aggregate_degraded() {
+            fields.push(("degraded".to_string(), d.to_json()));
         }
         Json::Obj(fields)
     }
@@ -246,6 +262,18 @@ impl SuiteResult {
         let mut agg = MetricSet::new();
         for o in &self.outcomes {
             agg.merge(&o.metrics);
+        }
+        agg
+    }
+
+    /// Sums every outcome's degradation ledger. `None` when fault
+    /// injection was armed in no cell.
+    pub fn aggregate_degraded(&self) -> Option<FaultCounters> {
+        let mut agg: Option<FaultCounters> = None;
+        for o in &self.outcomes {
+            if let Some(d) = &o.degraded {
+                agg.get_or_insert_with(FaultCounters::default).merge(d);
+            }
         }
         agg
     }

@@ -17,6 +17,7 @@
 use crate::config::SystemKind;
 use flash::CellKind;
 use pram_ctrl::{FirmwareParams, SchedulerKind};
+use sim_core::fault::FaultPlan;
 use std::fmt;
 use util::json::{field, FromJson, Json, JsonError, ToJson};
 
@@ -142,6 +143,7 @@ impl Default for TelemetrySpec {
 ///     buffer: Buffer::DramPageCache { frames: None },
 ///     control: Control::HardwareAutomated { scheduler: SchedulerKind::Final },
 ///     telemetry: None,
+///     faults: None,
 /// };
 /// let text = util::json::ToJson::to_json_pretty(&spec);
 /// let back = <SystemSpec as util::json::FromJson>::from_json_str(&text).unwrap();
@@ -164,11 +166,17 @@ pub struct SystemSpec {
     /// runs. Serialized only when present, so existing spec files and
     /// reports are unchanged.
     pub telemetry: Option<TelemetrySpec>,
+    /// Fault injection: `Some` threads a seeded [`FaultPlan`] through
+    /// every backend this spec builds (PRAM error model, ECC/retry,
+    /// SSD transients) and adds a `degraded` section to reports. Like
+    /// `telemetry`, the key is serialized only when present, so
+    /// fault-free specs and reports are byte-identical to before.
+    pub faults: Option<FaultPlan>,
 }
 
-// Hand-written (not `json_struct!`) so the `telemetry` key is *omitted*
-// when `None`: telemetry-off specs serialize exactly as they did before
-// the knob existed.
+// Hand-written (not `json_struct!`) so the `telemetry` and `faults`
+// keys are *omitted* when `None`: specs with those knobs off serialize
+// exactly as they did before the knobs existed.
 impl ToJson for SystemSpec {
     fn to_json(&self) -> Json {
         let mut fields = vec![
@@ -180,6 +188,9 @@ impl ToJson for SystemSpec {
         ];
         if let Some(t) = &self.telemetry {
             fields.push(("telemetry".to_string(), t.to_json()));
+        }
+        if let Some(f) = &self.faults {
+            fields.push(("faults".to_string(), f.to_json()));
         }
         Json::Obj(fields)
     }
@@ -194,6 +205,7 @@ impl FromJson for SystemSpec {
             buffer: field(v, "buffer")?,
             control: field(v, "control")?,
             telemetry: field(v, "telemetry")?,
+            faults: field(v, "faults")?,
         })
     }
 }
@@ -516,6 +528,7 @@ impl SystemKind {
             buffer,
             control,
             telemetry: None,
+            faults: None,
         }
     }
 }
@@ -573,6 +586,7 @@ mod tests {
                 scheduler: SchedulerKind::Interleaving,
             },
             telemetry: None,
+            faults: None,
         };
         let back = SystemSpec::from_json_str(&spec.to_json_pretty()).unwrap();
         assert_eq!(back, spec);
@@ -601,6 +615,25 @@ mod tests {
         };
         let text = on.to_json_pretty();
         assert!(text.contains("\"telemetry\""));
+        let back = SystemSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, on);
+
+        // A spec file written before the knob existed still parses.
+        let old = SystemSpec::from_json_str(&off.to_json_string()).unwrap();
+        assert_eq!(old, off);
+    }
+
+    #[test]
+    fn faults_knob_is_omitted_when_off_and_round_trips_when_on() {
+        let off = SystemKind::DramLess.spec();
+        assert!(!off.to_json_string().contains("faults"));
+
+        let on = SystemSpec {
+            faults: Some(FaultPlan::seeded(7)),
+            ..off.clone()
+        };
+        let text = on.to_json_pretty();
+        assert!(text.contains("\"faults\""));
         let back = SystemSpec::from_json_str(&text).unwrap();
         assert_eq!(back, on);
 

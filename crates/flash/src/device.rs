@@ -1,6 +1,6 @@
 //! The flash device: FTL + die timelines + channel bus + functional store.
 
-use crate::ftl::{Ftl, FtlOp};
+use crate::ftl::{Ftl, FtlError, FtlOp};
 use crate::geometry::FlashGeometry;
 use crate::timing::{CellKind, FlashTiming};
 use sim_core::energy::{EnergyBook, Watts};
@@ -136,8 +136,22 @@ impl FlashDevice {
     ///
     /// # Panics
     ///
-    /// Panics if `data` is not exactly one page.
+    /// Panics if `data` is not exactly one page, or on an FTL request
+    /// failure ([`Self::try_write_page`] propagates it instead).
     pub fn write_page(&mut self, at: Picos, lpn: u64, data: &[u8]) -> Access {
+        self.try_write_page(at, lpn, data)
+            .unwrap_or_else(|e| panic!("flash write of lpn {lpn} failed: {e}"))
+    }
+
+    /// [`Self::write_page`] with FTL request failures surfaced as typed
+    /// errors instead of panics. Timing already charged (bus transfer,
+    /// completed FTL ops) stays charged — a rejected request still
+    /// occupied the channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FtlError`] from the mapping layer.
+    pub fn try_write_page(&mut self, at: Picos, lpn: u64, data: &[u8]) -> Result<Access, FtlError> {
         assert_eq!(
             data.len(),
             self.page_bytes() as usize,
@@ -148,7 +162,7 @@ impl FlashDevice {
         let (start, in_reg) = self.bus.reserve_span(at, xfer);
         self.energy.charge("flash.bus", P_BUS * xfer);
 
-        let ops = self.ftl.write(lpn);
+        let ops = self.ftl.write(lpn)?;
         let mut end = in_reg;
         let mut gc_reads = 0u64;
         for op in ops {
@@ -186,15 +200,22 @@ impl FlashDevice {
         }
         self.stats.gc_moves += gc_reads;
         self.data.insert(lpn, data.to_vec());
-        Access { start, end }
+        Ok(Access { start, end })
     }
 
     /// Preloads data functionally without charging simulated time (models
     /// the pre-evaluation initialization: "we initialize the data and
     /// place it in the persistent storages").
+    ///
+    /// # Panics
+    ///
+    /// Panics on an FTL request failure (preloads address valid pages by
+    /// construction).
     pub fn preload(&mut self, lpn: u64, data: &[u8]) {
         assert_eq!(data.len(), self.page_bytes() as usize);
-        self.ftl.write(lpn);
+        self.ftl
+            .write(lpn)
+            .unwrap_or_else(|e| panic!("flash preload of lpn {lpn} failed: {e}"));
         self.data.insert(lpn, data.to_vec());
     }
 }

@@ -14,6 +14,48 @@
 use crate::geometry::FlashGeometry;
 use std::collections::HashMap;
 
+/// Typed FTL request failures.
+///
+/// These used to be panics; fault injection (and hostile workloads)
+/// can reach the write path, so they are surfaced as values the device
+/// layer can propagate or contextualize instead of crashing the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// The host addressed a logical page beyond the exported capacity.
+    OvercapacityWrite {
+        /// The offending logical page number.
+        lpn: u64,
+        /// First invalid logical page (exported capacity in pages).
+        limit: u64,
+    },
+    /// A die ran out of free blocks — GC failed to keep headroom.
+    NoFreeBlock {
+        /// The die that has no free block left.
+        die: usize,
+    },
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FtlError::OvercapacityWrite { lpn, limit } => {
+                write!(
+                    f,
+                    "logical page {lpn} beyond exported capacity ({limit} pages)"
+                )
+            }
+            FtlError::NoFreeBlock { die } => {
+                write!(
+                    f,
+                    "die {die} has no free block — GC failed to keep headroom"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
 /// A physical page location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PhysPage {
@@ -225,23 +267,23 @@ impl Ftl {
         self.blocks[die].iter().filter(|b| b.is_free()).count() as u32
     }
 
-    fn take_open_block(&mut self, die: usize) -> u32 {
+    fn take_open_block(&mut self, die: usize) -> Result<u32, FtlError> {
         if let Some(b) = self.dies[die].open_block {
             if !self.blocks[die][b as usize].is_full(self.geometry.pages_per_block) {
-                return b;
+                return Ok(b);
             }
             self.dies[die].open_block = None;
         }
         let b = self.blocks[die]
             .iter()
             .position(|b| b.is_free())
-            .expect("die has no free block — GC failed to keep headroom") as u32;
+            .ok_or(FtlError::NoFreeBlock { die })? as u32;
         self.dies[die].open_block = Some(b);
-        b
+        Ok(b)
     }
 
-    fn program_into(&mut self, die: usize, lpn: u64) -> PhysPage {
-        let block = self.take_open_block(die);
+    fn program_into(&mut self, die: usize, lpn: u64) -> Result<PhysPage, FtlError> {
+        let block = self.take_open_block(die)?;
         let blk = &mut self.blocks[die][block as usize];
         let page = blk.write_ptr;
         blk.write_ptr += 1;
@@ -253,22 +295,28 @@ impl Ftl {
             ob.owners[old.page as usize] = None;
             ob.valid -= 1;
         }
-        loc
+        Ok(loc)
     }
 
     /// Records a host write of logical page `lpn`, returning the physical
     /// operations (program + any GC work) the device must execute, in
     /// order.
-    pub fn write(&mut self, lpn: u64) -> Vec<FtlOp> {
-        assert!(
-            lpn < self.geometry.logical_pages(10),
-            "logical page {lpn} beyond exported capacity"
-        );
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OvercapacityWrite`] for a logical page beyond the
+    /// exported capacity; [`FtlError::NoFreeBlock`] if GC cannot keep
+    /// headroom on the target die.
+    pub fn write(&mut self, lpn: u64) -> Result<Vec<FtlOp>, FtlError> {
+        let limit = self.geometry.logical_pages(10);
+        if lpn >= limit {
+            return Err(FtlError::OvercapacityWrite { lpn, limit });
+        }
         let die = self.next_die;
         self.next_die = (self.next_die + 1) % self.geometry.dies;
 
         let mut ops = Vec::new();
-        let loc = self.program_into(die, lpn);
+        let loc = self.program_into(die, lpn)?;
         self.stats.host_programs += 1;
         ops.push(FtlOp::Program(loc));
 
@@ -289,7 +337,7 @@ impl Ftl {
                     block: victim,
                     page,
                 }));
-                let dst = self.program_into(die, l);
+                let dst = self.program_into(die, l)?;
                 self.stats.gc_programs += 1;
                 ops.push(FtlOp::Program(dst));
             }
@@ -298,7 +346,7 @@ impl Ftl {
             self.stats.erases += 1;
             ops.push(FtlOp::Erase { die, block: victim });
         }
-        ops
+        Ok(ops)
     }
 
     /// Victim = full, non-open block with the fewest valid pages.
@@ -324,7 +372,7 @@ mod tests {
     #[test]
     fn first_write_maps_page() {
         let mut f = ftl();
-        let ops = f.write(0);
+        let ops = f.write(0).unwrap();
         assert_eq!(ops.len(), 1);
         assert!(matches!(ops[0], FtlOp::Program(_)));
         assert!(f.translate(0).is_some());
@@ -334,9 +382,9 @@ mod tests {
     #[test]
     fn rewrite_moves_and_invalidates() {
         let mut f = ftl();
-        f.write(7);
+        f.write(7).unwrap();
         let first = f.translate(7).unwrap();
-        f.write(7);
+        f.write(7).unwrap();
         let second = f.translate(7).unwrap();
         assert_ne!(first, second, "no in-place overwrite on flash");
     }
@@ -346,7 +394,7 @@ mod tests {
         let mut f = ftl();
         let mut dies = std::collections::HashSet::new();
         for lpn in 0..8 {
-            f.write(lpn);
+            f.write(lpn).unwrap();
             dies.insert(f.translate(lpn).unwrap().die);
         }
         assert_eq!(dies.len(), f.geometry().dies);
@@ -359,7 +407,7 @@ mod tests {
         let logical = 8u64;
         for round in 0..200 {
             for lpn in 0..logical {
-                f.write(lpn);
+                f.write(lpn).unwrap();
             }
             let _ = round;
         }
@@ -378,11 +426,11 @@ mod tests {
         // Fill a good portion of the device once (these stay valid) …
         let keep = 48u64;
         for lpn in 0..keep {
-            f.write(lpn);
+            f.write(lpn).unwrap();
         }
         // …then churn one hot page to force GC around the cold data.
         for _ in 0..2_000 {
-            f.write(keep);
+            f.write(keep).unwrap();
         }
         for lpn in 0..=keep {
             assert!(f.translate(lpn).is_some(), "lost mapping for {lpn}");
@@ -397,17 +445,21 @@ mod tests {
     fn write_amplification_grows_with_churn() {
         let mut f = ftl();
         for _ in 0..3_000 {
-            f.write(3);
+            f.write(3).unwrap();
         }
         assert!(f.stats().write_amplification() >= 1.0);
         assert!(f.stats().erases > 10);
     }
 
     #[test]
-    #[should_panic(expected = "beyond exported capacity")]
-    fn overcapacity_write_rejected() {
+    fn overcapacity_write_rejected_with_typed_error() {
         let mut f = ftl();
-        let too_big = f.geometry().logical_pages(10);
-        f.write(too_big);
+        let limit = f.geometry().logical_pages(10);
+        let err = f.write(limit).unwrap_err();
+        assert_eq!(err, FtlError::OvercapacityWrite { lpn: limit, limit });
+        assert!(err.to_string().contains("beyond exported capacity"));
+        // The failed request mutated nothing.
+        assert_eq!(f.mapped_pages(), 0);
+        assert_eq!(f.stats().host_programs, 0);
     }
 }

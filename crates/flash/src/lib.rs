@@ -26,6 +26,6 @@ pub mod geometry;
 pub mod timing;
 
 pub use device::{FlashDevice, FlashStats};
-pub use ftl::{Ftl, PhysPage};
+pub use ftl::{Ftl, FtlError, PhysPage};
 pub use geometry::FlashGeometry;
 pub use timing::{CellKind, FlashTiming};

@@ -21,6 +21,7 @@
 use crate::addr::{AddressMap, Fragment};
 use crate::cmdgen::plan_read;
 use crate::phy::PhyParams;
+use crate::resilience::{EccModel, EccOutcome, RetireMap, RetryPolicy};
 use crate::sched::SchedulerKind;
 use crate::wear::StartGap;
 use pram::cell::WORD_BYTES;
@@ -28,10 +29,12 @@ use pram::overlay::regs;
 use pram::timing::{BurstLen, PramTiming};
 use pram::PramChannel;
 use sim_core::energy::{EnergyBook, Joules};
+use sim_core::fault::{domain, FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
 use sim_core::time::Picos;
 use std::collections::{HashMap, HashSet};
+use util::rng::stream_unit;
 use util::telemetry::{MetricSet, Track};
 
 /// Per-word-operation FPGA logic energy (translator + command generator).
@@ -149,6 +152,41 @@ util::json_struct!(CtrlStats {
     write_latency_sum,
 });
 
+/// Per-line fault bookkeeping: draw indices (incremented unconditionally
+/// so fault decisions stay independent of the configured rates) plus the
+/// accumulated error budget.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineFaultState {
+    reads: u64,
+    writes: u64,
+    reads_since_write: u64,
+    errors: u32,
+}
+
+/// Runtime fault-injection + resilience state for one controller.
+///
+/// Every fault decision is a stateless hash of
+/// `(plan.seed, domain, channel, module, line, access index, attempt)`
+/// through [`stream_unit`], so the same access draws the same outcome no
+/// matter when — or on which sweep worker — it is simulated, and raising
+/// a rate turns a superset of the same trials into faults (exact
+/// monotonic degradation).
+#[derive(Debug, Clone)]
+struct FaultState {
+    plan: FaultPlan,
+    ecc: EccModel,
+    retry: RetryPolicy,
+    /// Per channel × module retirement maps over logical word lines.
+    retire: Vec<Vec<RetireMap>>,
+    /// Per channel × module per-logical-line bookkeeping.
+    lines: Vec<Vec<HashMap<u64, LineFaultState>>>,
+    /// Per channel × module program counts per *physical* slot — after
+    /// start-gap rotation, so wear leveling genuinely delays stuck-at
+    /// onset.
+    slot_writes: Vec<Vec<HashMap<u64, u64>>>,
+    counters: FaultCounters,
+}
+
 /// The FPGA PRAM controller: translator + command generator + datapath
 /// over two channels of PRAM modules.
 #[derive(Debug, Clone)]
@@ -167,6 +205,8 @@ pub struct PramController {
     /// Per-channel, per-module start-gap state (when wear leveling is
     /// enabled).
     wear: Option<Vec<Vec<StartGap>>>,
+    /// Fault injection + resilience (when a plan is attached).
+    faults: Option<Box<FaultState>>,
     stats: CtrlStats,
     ctrl_energy: EnergyBook,
     probe: Probe,
@@ -221,11 +261,71 @@ impl PramController {
             announced: HashSet::new(),
             last_touch: HashMap::new(),
             wear,
+            faults: None,
             stats: CtrlStats::default(),
             ctrl_energy: EnergyBook::new(),
             probe: Probe::disabled(),
             cfg,
         }
+    }
+
+    /// Attaches a seeded fault-injection plan. Injected bit errors never
+    /// corrupt returned data: correctable ones are absorbed by ECC,
+    /// uncorrectable ones pay a bounded retry latency, and lines that
+    /// exhaust their error budget are retired onto reserved spares.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        let words = self.channels[0].module(0).geometry().module_bytes() / self.cfg.map.word_bytes;
+        // With wear leveling the top line is the start-gap spare slot,
+        // so the retirement line space stops one short of it.
+        let usable = if self.wear.is_some() {
+            words - 1
+        } else {
+            words
+        };
+        let retire = self
+            .channels
+            .iter()
+            .map(|ch| {
+                (0..ch.module_count())
+                    .map(|_| RetireMap::new(usable, plan.resilience.spare_lines))
+                    .collect()
+            })
+            .collect();
+        let lines = self
+            .channels
+            .iter()
+            .map(|ch| vec![HashMap::new(); ch.module_count()])
+            .collect();
+        let slot_writes = self
+            .channels
+            .iter()
+            .map(|ch| vec![HashMap::new(); ch.module_count()])
+            .collect();
+        self.faults = Some(Box::new(FaultState {
+            ecc: EccModel::new(plan.resilience.ecc_strength),
+            retry: RetryPolicy::new(plan.resilience.max_retries, plan.resilience.retry_backoff),
+            plan: plan.clone(),
+            retire,
+            lines,
+            slot_writes,
+            counters: FaultCounters::default(),
+        }));
+        self
+    }
+
+    /// The fault ledger, when a plan is attached.
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_ref().map(|f| &f.counters)
+    }
+
+    /// Retirement-map resolution of a module byte address: failing lines
+    /// are redirected to their spare before start-gap leveling applies.
+    fn retire_resolve(&self, ch: usize, md: usize, module_addr: u64) -> u64 {
+        let Some(fs) = self.faults.as_ref() else {
+            return module_addr;
+        };
+        let wb = self.cfg.map.word_bytes;
+        fs.retire[ch][md].resolve(module_addr / wb) * wb + module_addr % wb
     }
 
     /// Trace track for a module's row data buffer: one lane per module
@@ -237,16 +337,17 @@ impl PramController {
         )
     }
 
-    /// Applies the start-gap remap to a module byte address and, on
-    /// writes, advances the gap (performing the relocation copy).
-    fn wear_remap(&mut self, at: Picos, frag: &Fragment, is_write: bool) -> u64 {
+    /// Applies the start-gap remap to a (retirement-resolved) module byte
+    /// address and, on writes, advances the gap (performing the
+    /// relocation copy).
+    fn wear_remap(&mut self, at: Picos, frag: &Fragment, module_addr: u64, is_write: bool) -> u64 {
         let Some(wear) = self.wear.as_mut() else {
-            return frag.target.module_addr;
+            return module_addr;
         };
         let wb = self.cfg.map.word_bytes;
         let sg = &mut wear[frag.target.channel][frag.target.module];
-        let word = frag.target.module_addr / wb;
-        let offset = frag.target.module_addr % wb;
+        let word = module_addr / wb;
+        let offset = module_addr % wb;
         let mapped = sg.map(word) * wb + offset;
         if is_write {
             if let Some(mv) = sg.on_write() {
@@ -351,10 +452,15 @@ impl PramController {
         } else {
             at.max(self.channel_serial[ch_idx])
         };
-        let rdb_track = self.rdb_track(ch_idx, frag.target.module);
+        let md = frag.target.module;
+        let rdb_track = self.rdb_track(ch_idx, md);
         let sync = self.cfg.phy.sync_latency;
         let tck = self.cfg.timing.tck();
-        let mapped_addr = self.wear_remap(earliest, frag, false);
+        let wb = self.cfg.map.word_bytes;
+        let line = frag.target.module_addr / wb;
+        let resolved = self.retire_resolve(ch_idx, md, frag.target.module_addr);
+        let mapped_addr = self.wear_remap(earliest, frag, resolved, false);
+        let phys_slot = mapped_addr / wb;
         let lower_bits;
         let row;
         {
@@ -419,20 +525,134 @@ impl PramController {
             &[("bytes", frag.len as u64)],
         );
 
+        // Fault injection + resilience: ECC classification, bounded
+        // retry-with-backoff, retirement of lines over their error
+        // budget. Faults only cost time — the returned word is never
+        // corrupted (correctable flips are fixed in place, uncorrectable
+        // reads re-sense until the data lands).
+        let mut data_ready = rt.end;
+        if let Some(fs) = self.faults.as_mut() {
+            let st = fs.lines[ch_idx][md].entry(line).or_default();
+            st.reads += 1;
+            let read_idx = st.reads;
+            let rsw = st.reads_since_write;
+            st.reads_since_write += 1;
+
+            let pf = &fs.plan.pram;
+            let seed = fs.plan.seed;
+            let ecc = fs.ecc;
+            let retry = fs.retry;
+            let budget = fs.plan.resilience.line_error_budget;
+            let pmul = pf.partition_multiplier(row.partition.0 as usize);
+            let p_drift = (pf.drift_rate * pmul).min(1.0);
+            let ramp = if pf.disturb_window == 0 {
+                1.0
+            } else {
+                rsw.min(pf.disturb_window) as f64 / pf.disturb_window as f64
+            };
+            let p_disturb = (pf.read_disturb_rate * pmul * ramp).min(1.0);
+            let p_rdb = pf.rdb_corruption_rate.min(1.0);
+            let stuck = pf.stuck_at_threshold > 0
+                && fs.slot_writes[ch_idx][md]
+                    .get(&phys_slot)
+                    .copied()
+                    .unwrap_or(0)
+                    >= pf.stuck_at_threshold;
+            let (chn, mdn) = (ch_idx as u64, md as u64);
+            let draw_flips = |attempt: u64| -> u32 {
+                let mut flips = 0u32;
+                if p_drift > 0.0 {
+                    for trial in 0..u64::from(ecc.strength) + 2 {
+                        let labels = [domain::DRIFT, chn, mdn, line, read_idx, attempt, trial];
+                        if stream_unit(seed, &labels) < p_drift {
+                            flips += 1;
+                        }
+                    }
+                }
+                let labels = [domain::DISTURB, chn, mdn, line, read_idx, attempt];
+                if p_disturb > 0.0 && stream_unit(seed, &labels) < p_disturb {
+                    flips += 1;
+                }
+                flips
+            };
+            let rdb_corrupt = |attempt: u64| -> bool {
+                let labels = [domain::RDB, chn, mdn, line, read_idx, attempt];
+                p_rdb > 0.0 && stream_unit(seed, &labels) < p_rdb
+            };
+
+            let flips = draw_flips(0);
+            let corrupt = rdb_corrupt(0);
+            fs.counters.injected += u64::from(flips) + u64::from(corrupt) + u64::from(stuck);
+            let failed =
+                stuck || corrupt || matches!(ecc.classify(flips), EccOutcome::Uncorrectable(_));
+            if !failed {
+                if let EccOutcome::Corrected(_) = ecc.classify(flips) {
+                    fs.counters.ecc_corrected += 1;
+                }
+            } else {
+                fs.counters.ecc_uncorrectable += 1;
+                let service = rt.end - rt.start;
+                let mut recovered = false;
+                for attempt in 0..retry.max_retries {
+                    fs.counters.retries += 1;
+                    data_ready = data_ready + retry.backoff_for(attempt) + service;
+                    self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
+                    if stuck {
+                        continue; // a worn-out line fails every re-sense
+                    }
+                    let a = u64::from(attempt) + 1;
+                    let corrupt2 = rdb_corrupt(a);
+                    let flips2 = draw_flips(a);
+                    fs.counters.injected += u64::from(flips2) + u64::from(corrupt2);
+                    if corrupt2 || matches!(ecc.classify(flips2), EccOutcome::Uncorrectable(_)) {
+                        fs.counters.ecc_uncorrectable += 1;
+                        continue;
+                    }
+                    if let EccOutcome::Corrected(_) = ecc.classify(flips2) {
+                        fs.counters.ecc_corrected += 1;
+                    }
+                    recovered = true;
+                    break;
+                }
+                if !recovered {
+                    // The line burned its retry budget: charge its error
+                    // budget and retire it onto a spare once exceeded.
+                    let st = fs.lines[ch_idx][md].entry(line).or_default();
+                    st.errors += 1;
+                    if st.errors >= budget {
+                        st.errors = 0;
+                        if let Some(spare) = fs.retire[ch_idx][md].retire(line) {
+                            fs.counters.retired_lines += 1;
+                            let spare_slot = match self.wear.as_ref() {
+                                Some(w) => w[ch_idx][md].map(spare),
+                                None => spare,
+                            };
+                            let to = module.geometry().decode(spare_slot * wb).0;
+                            let rel = module.relocate(data_ready, row, to);
+                            data_ready = rel.end;
+                        }
+                    }
+                    // Deep recovery (a stronger sense pulse) still lands
+                    // the data: faults cost time, never bytes.
+                    data_ready += service;
+                }
+            }
+        }
+
         self.stats.words_read += 1;
         self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
         if !interleaves {
-            self.channel_serial[ch_idx] = rt.end;
+            self.channel_serial[ch_idx] = data_ready;
         }
         let wi = self.cfg.map.word_index(frag.global_addr);
-        self.last_touch.insert(wi, rt.end);
+        self.last_touch.insert(wi, data_ready);
 
         let lo = col_off as usize;
         let hi = lo + frag.len as usize;
         (
             Access {
                 start: earliest,
-                end: rt.end,
+                end: data_ready,
             },
             word[lo..hi].to_vec(),
         )
@@ -462,7 +682,11 @@ impl PramController {
         let pb_free = self.program_buffer_free[ch_idx][md];
         let t0 = earliest.max(pb_free) + sync;
 
-        let mapped_addr = self.wear_remap(t0, frag, true);
+        let wb = self.cfg.map.word_bytes;
+        let line = frag.target.module_addr / wb;
+        let resolved = self.retire_resolve(ch_idx, md, frag.target.module_addr);
+        let mapped_addr = self.wear_remap(t0, frag, resolved, true);
+        let phys_slot = mapped_addr / wb;
         let word_addr = mapped_addr & !(WORD_BYTES as u64 - 1);
         let row = {
             let module = self.channels[ch_idx].module(md);
@@ -544,7 +768,72 @@ impl PramController {
         // the background; the program buffer frees when it completes.
         let exec_accepted = t + tck * 2;
         let prog = module.execute_program(exec_accepted);
-        self.program_buffer_free[ch_idx][md] = prog.end;
+
+        // Fault injection: SET/RESET program failures and stuck-at wear.
+        // Writes are posted, so a failing program costs *background* time
+        // (the program buffer stays busy through the re-pulses), not
+        // requester latency — until buffer pressure surfaces it.
+        let mut prog_end = prog.end;
+        if let Some(fs) = self.faults.as_mut() {
+            let st = fs.lines[ch_idx][md].entry(line).or_default();
+            st.writes += 1;
+            st.reads_since_write = 0;
+            let write_idx = st.writes;
+            let slot_w = fs.slot_writes[ch_idx][md].entry(phys_slot).or_insert(0);
+            *slot_w += 1;
+            let threshold = fs.plan.pram.stuck_at_threshold;
+            let stuck = threshold > 0 && *slot_w >= threshold;
+            let p_fail = fs.plan.pram.program_failure_rate.min(1.0);
+            let seed = fs.plan.seed;
+            let retry = fs.retry;
+            let budget = fs.plan.resilience.line_error_budget;
+            let service = prog.end - prog.start;
+            let (chn, mdn) = (ch_idx as u64, md as u64);
+            let fails = |attempt: u64| -> bool {
+                if stuck {
+                    return true; // worn-out cells reject every pulse
+                }
+                let labels = [domain::PROGRAM, chn, mdn, line, write_idx, attempt];
+                p_fail > 0.0 && stream_unit(seed, &labels) < p_fail
+            };
+            if fails(0) {
+                fs.counters.injected += 1;
+                let mut recovered = false;
+                for attempt in 0..retry.max_retries {
+                    fs.counters.retries += 1;
+                    prog_end = prog_end + retry.backoff_for(attempt) + service;
+                    self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
+                    if !fails(u64::from(attempt) + 1) {
+                        recovered = true;
+                        break;
+                    }
+                    fs.counters.injected += 1;
+                }
+                if !recovered {
+                    let st = fs.lines[ch_idx][md].entry(line).or_default();
+                    st.errors += 1;
+                    if st.errors >= budget {
+                        st.errors = 0;
+                        if let Some(spare) = fs.retire[ch_idx][md].retire(line) {
+                            fs.counters.retired_lines += 1;
+                            let spare_slot = match self.wear.as_ref() {
+                                Some(w) => w[ch_idx][md].map(spare),
+                                None => spare,
+                            };
+                            let to = module.geometry().decode(spare_slot * wb).0;
+                            // Copy the just-programmed line onto its
+                            // spare so later reads round-trip.
+                            let rel = module.relocate(prog_end, row, to);
+                            prog_end = rel.end;
+                        }
+                    }
+                    // The final margin-boosted pulse always lands.
+                    prog_end += service;
+                }
+            }
+        }
+
+        self.program_buffer_free[ch_idx][md] = prog_end;
         self.probe.span_args(
             rdb_track,
             "write",
@@ -553,14 +842,14 @@ impl PramController {
             &[("bytes", frag.len as u64)],
         );
         self.probe
-            .span(rdb_track, "program", exec_accepted, prog.end);
+            .span(rdb_track, "program", exec_accepted, prog_end);
 
         self.stats.words_written += 1;
         self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
         if !interleaves {
             self.channel_serial[ch_idx] = exec_accepted;
         }
-        self.last_touch.insert(wi, prog.end);
+        self.last_touch.insert(wi, prog_end);
 
         // Posted write: the requester resumes at execute-accept.
         Access {
@@ -643,6 +932,20 @@ impl MemoryBackend for PramController {
         out.add("pram.overlap_wins", s.overlap_wins);
         out.add("pram.overlap_losses", s.overlap_losses);
         out.add("pram.gap_moves", s.gap_moves);
+        if let Some(fs) = &self.faults {
+            let f = &fs.counters;
+            out.add("fault.injected", f.injected);
+            out.add("pram.ecc_corrected", f.ecc_corrected);
+            out.add("pram.ecc_uncorrectable", f.ecc_uncorrectable);
+            out.add("pram.retries", f.retries);
+            out.add("pram.retired_lines", f.retired_lines);
+        }
+    }
+
+    fn collect_faults(&self, out: &mut FaultCounters) {
+        if let Some(fs) = &self.faults {
+            out.merge(&fs.counters);
+        }
     }
 }
 
@@ -962,6 +1265,130 @@ mod extension_tests {
             paused < queued / 2,
             "pausing should cut read latency under write pressure: {paused} vs {queued}"
         );
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_no_timing() {
+        let drive = |c: &mut PramController| {
+            let mut t = Picos::ZERO;
+            for i in 0..32u64 {
+                t = c.write(t, i * 64, 64).end;
+            }
+            for i in 0..32u64 {
+                t = c.read(t + Picos::from_us(20), i * 64, 64).end;
+            }
+            t
+        };
+        let cfg = SubsystemConfig::small(SchedulerKind::Final, 9);
+        let mut plain = PramController::new(cfg);
+        let mut inert =
+            PramController::new(cfg).with_faults(&sim_core::fault::FaultPlan::default());
+        assert_eq!(drive(&mut plain), drive(&mut inert));
+        let f = inert.fault_counters().unwrap();
+        assert!(f.is_zero(), "inert plan must inject nothing: {f:?}");
+    }
+
+    #[test]
+    fn seeded_faults_round_trip_and_count() {
+        let plan = sim_core::fault::FaultPlan {
+            pram: sim_core::fault::PramFaults {
+                drift_rate: 0.05,
+                read_disturb_rate: 0.02,
+                program_failure_rate: 0.02,
+                rdb_corruption_rate: 0.01,
+                ..Default::default()
+            },
+            ..sim_core::fault::FaultPlan::seeded(3)
+        };
+        let mut c =
+            PramController::new(SubsystemConfig::small(SchedulerKind::Final, 3)).with_faults(&plan);
+        let data: Vec<u8> = (0..2048).map(|i| (i % 249 + 1) as u8).collect();
+        let mut t = Picos::ZERO;
+        t = c.write_bytes(t, 0, &data).end + Picos::from_us(100);
+        // Re-read several times so disturb ramps and drift gets trials.
+        for _ in 0..8 {
+            let (a, back) = c.read_bytes(t, 0, 2048);
+            assert_eq!(back, data, "injected faults must never corrupt data");
+            t = a.end + Picos::from_us(10);
+        }
+        let f = *c.fault_counters().unwrap();
+        assert!(f.injected > 0, "rates this high must inject: {f:?}");
+        assert!(f.ecc_corrected > 0, "single flips should be corrected");
+        let mut m = util::telemetry::MetricSet::new();
+        sim_core::mem::MemoryBackend::collect_metrics(&c, &mut m);
+        assert_eq!(m.counter("fault.injected"), Some(f.injected));
+        assert_eq!(m.counter("pram.retries"), Some(f.retries));
+        let mut ledger = sim_core::fault::FaultCounters::default();
+        sim_core::mem::MemoryBackend::collect_faults(&c, &mut ledger);
+        assert_eq!(ledger, f);
+    }
+
+    #[test]
+    fn stuck_lines_retire_and_still_round_trip() {
+        // Threshold 6 over 8 writes: the hot line wears out and retires
+        // mid-hammer while its spare stays comfortably below threshold.
+        let plan = sim_core::fault::FaultPlan {
+            pram: sim_core::fault::PramFaults {
+                stuck_at_threshold: 6,
+                ..Default::default()
+            },
+            resilience: sim_core::fault::ResiliencePolicy {
+                line_error_budget: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut c =
+            PramController::new(SubsystemConfig::small(SchedulerKind::Final, 5)).with_faults(&plan);
+        // Hammer one word past the wear threshold, then read it back.
+        let mut t = Picos::ZERO;
+        for round in 0..8u8 {
+            t = c.write_bytes(t, 0, &[round + 1; 32]).end + Picos::from_us(30);
+        }
+        let (_, back) = c.read_bytes(t, 0, 32);
+        assert_eq!(back, vec![8u8; 32], "retired line must serve latest data");
+        let f = c.fault_counters().unwrap();
+        assert!(f.retired_lines > 0, "worn line should have retired: {f:?}");
+        assert!(f.retries > 0);
+        // After retirement the spare is healthy: a fresh write+read pays
+        // no further retries.
+        let before = f.retries;
+        let w = c.write_bytes(t + Picos::from_ms(1), 0, &[0x5A; 32]).end;
+        let (_, back) = c.read_bytes(w + Picos::from_us(30), 0, 32);
+        assert_eq!(back, vec![0x5A; 32]);
+        assert_eq!(c.fault_counters().unwrap().retries, before);
+    }
+
+    #[test]
+    fn retirement_composes_with_wear_leveling() {
+        let plan = sim_core::fault::FaultPlan {
+            pram: sim_core::fault::PramFaults {
+                stuck_at_threshold: 6,
+                ..Default::default()
+            },
+            resilience: sim_core::fault::ResiliencePolicy {
+                line_error_budget: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let cfg = SubsystemConfig {
+            wear_leveling: Some(4),
+            ..SubsystemConfig::small(SchedulerKind::Final, 13)
+        };
+        let mut c = PramController::new(cfg).with_faults(&plan);
+        let mut t = Picos::ZERO;
+        for round in 0..10u8 {
+            for w in 0..8u64 {
+                let data = vec![round.wrapping_add(w as u8).max(1); 32];
+                t = c.write_bytes(t, w * 32, &data).end + Picos::from_us(25);
+            }
+        }
+        for w in 0..8u64 {
+            let (_, back) = c.read_bytes(t, w * 32, 32);
+            assert_eq!(back, vec![9u8.wrapping_add(w as u8).max(1); 32], "word {w}");
+        }
+        assert!(c.stats().gap_moves > 0, "leveling should be active");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::controller::PramController;
 use sim_core::energy::{EnergyBook, Watts};
+use sim_core::fault::FaultCounters;
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
 use sim_core::time::{Freq, Picos};
@@ -158,6 +159,10 @@ impl MemoryBackend for FirmwareController {
     fn collect_metrics(&self, out: &mut MetricSet) {
         out.add("fw.requests", self.requests);
         self.inner.collect_metrics(out);
+    }
+
+    fn collect_faults(&self, out: &mut FaultCounters) {
+        self.inner.collect_faults(out);
     }
 }
 

@@ -45,6 +45,7 @@ pub mod controller;
 pub mod datapath;
 pub mod firmware;
 pub mod phy;
+pub mod resilience;
 pub mod sched;
 pub mod wear;
 
@@ -54,5 +55,6 @@ pub use controller::{CtrlStats, PramController, SubsystemConfig};
 pub use datapath::{McuPort, Mode};
 pub use firmware::{FirmwareController, FirmwareParams};
 pub use phy::{InitReport, Phy, PhyParams};
+pub use resilience::{EccModel, EccOutcome, RetireMap, RetryPolicy};
 pub use sched::SchedulerKind;
 pub use wear::StartGap;

@@ -42,6 +42,38 @@ pub mod energy {
     pub const ERASE: Joules = Joules::from_nj(1_000_000);
 }
 
+/// Typed LPDDR2-NVM protocol violations.
+///
+/// The hardware controller's command generator upholds these invariants
+/// by construction ([`crate::PramChannel`] callers plan phases before
+/// issuing them), so on that request path they are unreachable; the
+/// fallible `try_*` module methods surface them as values for callers —
+/// fault-injection harnesses, fuzzers, alternative controllers — that
+/// cannot offer the same guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Activate issued against a RAB that was never latched.
+    EmptyRab(BufferId),
+    /// Read burst issued against an RDB holding no sensed row.
+    EmptyRdb(BufferId),
+    /// Execute register written with no staged program command.
+    NothingStaged,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ProtocolError::EmptyRab(ba) => write!(f, "activate on {ba} with empty RAB"),
+            ProtocolError::EmptyRdb(ba) => write!(f, "read burst on {ba} with empty RDB"),
+            ProtocolError::NothingStaged => {
+                write!(f, "execute register written with no staged command")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 /// Start/end instants of one executed protocol phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseTiming {
@@ -244,13 +276,29 @@ impl PramModule {
     ///
     /// # Panics
     ///
-    /// Panics if RAB `ba` was never latched (protocol violation).
+    /// Panics if RAB `ba` was never latched (protocol violation);
+    /// [`Self::try_activate`] surfaces that as a typed error instead.
     pub fn activate(&mut self, at: Picos, ba: BufferId, lower: LowerRow) -> PhaseTiming {
+        self.try_activate(at, ba, lower)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::activate`] with protocol violations surfaced as values.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::EmptyRab`] if RAB `ba` was never latched.
+    pub fn try_activate(
+        &mut self,
+        at: Picos,
+        ba: BufferId,
+        lower: LowerRow,
+    ) -> Result<PhaseTiming, ProtocolError> {
         let upper = self
             .buffers
             .get(ba)
             .rab
-            .unwrap_or_else(|| panic!("activate on {ba} with empty RAB"));
+            .ok_or(ProtocolError::EmptyRab(ba))?;
         let row = RowId::from_parts(upper, lower, self.geometry.lower_row_bits);
         let p = row.partition.0 as usize;
         // Write pausing: if an in-flight program owns the partition,
@@ -276,7 +324,7 @@ impl PramModule {
                     self.buffers.fill_rdb(ba, row, data);
                     self.stats.activates += 1;
                     self.energy.charge("pram.sense", energy::ACTIVATE_SENSE);
-                    return PhaseTiming { start, end };
+                    return Ok(PhaseTiming { start, end });
                 }
             }
         }
@@ -287,7 +335,7 @@ impl PramModule {
         self.buffers.fill_rdb(ba, row, data);
         self.stats.activates += 1;
         self.energy.charge("pram.sense", energy::ACTIVATE_SENSE);
-        PhaseTiming { start, end }
+        Ok(PhaseTiming { start, end })
     }
 
     /// Executes a read phase: bursts `bl` bytes from RDB `ba` starting at
@@ -302,8 +350,9 @@ impl PramModule {
     ///
     /// # Panics
     ///
-    /// Panics if RDB `ba` holds no sensed row, or the burst overruns the
-    /// 32 B word.
+    /// Panics if RDB `ba` holds no sensed row (protocol violation;
+    /// [`Self::try_read_burst`] surfaces that as a typed error), or the
+    /// burst overruns the 32 B word.
     pub fn read_burst(
         &mut self,
         cmd_at: Picos,
@@ -312,10 +361,32 @@ impl PramModule {
         col: u8,
         bl: BurstLen,
     ) -> (PhaseTiming, Vec<u8>) {
+        self.try_read_burst(cmd_at, bus_free, ba, col, bl)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::read_burst`] with protocol violations surfaced as values.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::EmptyRdb`] if RDB `ba` holds no sensed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst overruns the 32 B word (an address-math bug in
+    /// the caller, not a runtime protocol state).
+    pub fn try_read_burst(
+        &mut self,
+        cmd_at: Picos,
+        bus_free: Picos,
+        ba: BufferId,
+        col: u8,
+        bl: BurstLen,
+    ) -> Result<(PhaseTiming, Vec<u8>), ProtocolError> {
         let (_, data) = self
             .buffers
             .rdb_data(ba)
-            .unwrap_or_else(|| panic!("read burst on {ba} with empty RDB"));
+            .ok_or(ProtocolError::EmptyRdb(ba))?;
         let lo = col as usize;
         let hi = lo + bl.bytes() as usize;
         assert!(
@@ -328,7 +399,7 @@ impl PramModule {
         self.stats.read_bursts += 1;
         self.energy
             .charge("pram.bus", energy::BURST_PER_BYTE.scaled(bl.bytes() as u64));
-        (PhaseTiming { start: cmd_at, end }, data[lo..hi].to_vec())
+        Ok((PhaseTiming { start: cmd_at, end }, data[lo..hi].to_vec()))
     }
 
     /// Executes a write phase towards the overlay window: a register write
@@ -371,13 +442,23 @@ impl PramModule {
     ///
     /// # Panics
     ///
-    /// Panics if no program was staged (protocol violation).
+    /// Panics if no program was staged (protocol violation;
+    /// [`Self::try_execute_program`] surfaces that as a typed error).
     pub fn execute_program(&mut self, at: Picos) -> PhaseTiming {
-        let staged = self
-            .overlay
-            .execute()
-            .expect("execute register written with no staged command");
-        self.apply_program(at, staged)
+        self.try_execute_program(at)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::execute_program`] with protocol violations surfaced as
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NothingStaged`] if no program was staged in the
+    /// overlay window.
+    pub fn try_execute_program(&mut self, at: Picos) -> Result<PhaseTiming, ProtocolError> {
+        let staged = self.overlay.execute().ok_or(ProtocolError::NothingStaged)?;
+        Ok(self.apply_program(at, staged))
     }
 
     fn apply_program(&mut self, at: Picos, staged: StagedProgram) -> PhaseTiming {
@@ -696,6 +777,36 @@ mod tests {
     fn read_without_activate_panics() {
         let mut m = module();
         m.read_burst(Picos::ZERO, Picos::ZERO, BufferId::B0, 0, BurstLen::Bl16);
+    }
+
+    #[test]
+    fn try_variants_surface_protocol_errors_as_values() {
+        let mut m = module();
+        assert_eq!(
+            m.try_activate(Picos::ZERO, BufferId::B1, LowerRow(0)).err(),
+            Some(ProtocolError::EmptyRab(BufferId::B1))
+        );
+        assert_eq!(
+            m.try_read_burst(Picos::ZERO, Picos::ZERO, BufferId::B2, 0, BurstLen::Bl16)
+                .err(),
+            Some(ProtocolError::EmptyRdb(BufferId::B2))
+        );
+        assert_eq!(
+            m.try_execute_program(Picos::ZERO).err(),
+            Some(ProtocolError::NothingStaged)
+        );
+        // Errors mutate nothing: the module still services a clean read.
+        assert_eq!(m.stats().activates, 0);
+        let row = RowId::new(0, 0);
+        let g = m.geometry().lower_row_bits;
+        let pre = m.pre_active(Picos::ZERO, BufferId::B1, row.upper(g));
+        assert!(m.try_activate(pre.end, BufferId::B1, row.lower(g)).is_ok());
+        assert!(m
+            .try_read_burst(Picos::ZERO, Picos::ZERO, BufferId::B2, 0, BurstLen::Bl16)
+            .is_err());
+        assert!(m
+            .try_read_burst(Picos::ZERO, Picos::ZERO, BufferId::B1, 0, BurstLen::Bl16)
+            .is_ok());
     }
 }
 

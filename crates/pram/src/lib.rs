@@ -59,7 +59,7 @@ pub mod timing;
 
 pub use buffers::BufferId;
 pub use channel::PramChannel;
-pub use device::{PhaseTiming, PramModule};
+pub use device::{PhaseTiming, PramModule, ProtocolError};
 pub use geometry::{PartitionId, PramGeometry, RowId};
 pub use overlay::OverlayWindow;
 pub use protocol::{Command, SignalPacket};

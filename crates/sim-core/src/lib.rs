@@ -35,6 +35,7 @@
 
 pub mod energy;
 pub mod event;
+pub mod fault;
 pub mod mem;
 pub mod probe;
 pub mod rng;
@@ -44,6 +45,7 @@ pub mod timeline;
 
 pub use energy::{EnergyAccount, EnergyBook, Joules, Watts};
 pub use event::{Event, EventQueue};
+pub use fault::{FaultCounters, FaultPlan, PramFaults, ResiliencePolicy, SsdFaults};
 pub use mem::{Access, MemoryBackend};
 pub use probe::{Probe, Telemetry};
 pub use rng::SimRng;

@@ -12,6 +12,7 @@
 //! processing-element performance model only consumes timing.
 
 use crate::energy::EnergyBook;
+use crate::fault::FaultCounters;
 use crate::probe::Probe;
 use crate::time::Picos;
 use util::telemetry::MetricSet;
@@ -77,6 +78,11 @@ pub trait MemoryBackend {
     /// counters, occupancy gauges) into `out`. Uninstrumented backends
     /// contribute nothing.
     fn collect_metrics(&self, _out: &mut MetricSet) {}
+
+    /// Contributes this backend's fault-injection ledger into `out`.
+    /// Backends without fault modeling (or with no plan attached)
+    /// contribute nothing.
+    fn collect_faults(&self, _out: &mut FaultCounters) {}
 }
 
 #[cfg(test)]

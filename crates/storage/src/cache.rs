@@ -12,6 +12,7 @@
 
 use crate::dram::{DramModel, DramParams};
 use sim_core::energy::EnergyBook;
+use sim_core::fault::FaultCounters;
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
 use sim_core::time::Picos;
@@ -41,6 +42,9 @@ pub trait PageStore {
 
     /// Contributes this store's end-of-run metrics into `out`.
     fn collect_metrics(&self, _out: &mut MetricSet) {}
+
+    /// Contributes this store's fault-injection ledger into `out`.
+    fn collect_faults(&self, _out: &mut FaultCounters) {}
 }
 
 /// Cache statistics.
@@ -242,6 +246,10 @@ impl<P: PageStore> MemoryBackend for CachedStore<P> {
         out.add("cache.misses", self.stats.misses);
         out.add("cache.writebacks", self.stats.writebacks);
         self.store.collect_metrics(out);
+    }
+
+    fn collect_faults(&self, out: &mut FaultCounters) {
+        self.store.collect_faults(out);
     }
 }
 

@@ -10,10 +10,12 @@ use crate::cache::{CacheStats, CachedStore};
 use crate::dram::DramParams;
 use flash::{CellKind, FlashDevice, FlashGeometry, FlashTiming};
 use sim_core::energy::{EnergyBook, Watts};
+use sim_core::fault::{domain, FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
+use util::rng::stream_unit;
 use util::telemetry::{MetricSet, Track};
 
 /// SSD construction parameters.
@@ -99,7 +101,20 @@ pub struct FlashSsd {
     contexts: TimelineBank,
     ctrl_energy: EnergyBook,
     requests: u64,
+    /// Transient-read fault injection (when a plan is attached).
+    faults: Option<SsdFaultState>,
     probe: Probe,
+}
+
+/// Runtime fault state: draws are stateless hashes of
+/// `(seed, SSD_READ, request index, attempt)`, so outcomes are
+/// independent of simulation order and monotone in the configured rate.
+#[derive(Debug, Clone)]
+struct SsdFaultState {
+    seed: u64,
+    rate: f64,
+    max_replays: u32,
+    counters: FaultCounters,
 }
 
 /// The SSD datapath's single trace lane.
@@ -120,8 +135,27 @@ impl FlashSsd {
             params,
             ctrl_energy: EnergyBook::new(),
             requests: 0,
+            faults: None,
             probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches a fault-injection plan. Transient read failures are
+    /// replayed by the controller (bounded by the plan's retry budget)
+    /// and cost time only — data is never lost.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        self.faults = Some(SsdFaultState {
+            seed: plan.seed,
+            rate: plan.ssd.transient_read_rate.min(1.0),
+            max_replays: plan.resilience.max_retries.max(1),
+            counters: FaultCounters::default(),
+        });
+        self
+    }
+
+    /// The fault ledger, when a plan is attached.
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_ref().map(|f| &f.counters)
     }
 
     /// The parameters.
@@ -161,13 +195,32 @@ impl MemoryBackend for FlashSsd {
     fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access {
         let t = self.admit(at);
         let a = self.cache.read(t, addr, len);
-        self.probe
-            .span_args(SSD_TRACK, "read", at, a.end, &[("bytes", len as u64)]);
-        self.probe.latency("ssd.read", a.end.saturating_sub(at));
-        Access {
-            start: at,
-            end: a.end,
+        // Transient read failures: the controller replays the request
+        // (command overhead + media time again) until a replay draw
+        // comes back clean or the replay budget runs out, after which
+        // the recovered data is returned anyway — never a wrong result.
+        let mut end = a.end;
+        if let Some(fs) = self.faults.as_mut() {
+            let req = self.requests;
+            if fs.rate > 0.0 && stream_unit(fs.seed, &[domain::SSD_READ, req, 0]) < fs.rate {
+                fs.counters.injected += 1;
+                fs.counters.ssd_transient_faults += 1;
+                let media = a.end.saturating_sub(t);
+                for attempt in 1..=u64::from(fs.max_replays) {
+                    fs.counters.ssd_retries += 1;
+                    end = end + self.params.command_overhead + media;
+                    if stream_unit(fs.seed, &[domain::SSD_READ, req, attempt]) >= fs.rate {
+                        break;
+                    }
+                    fs.counters.injected += 1;
+                    fs.counters.ssd_transient_faults += 1;
+                }
+            }
         }
+        self.probe
+            .span_args(SSD_TRACK, "read", at, end, &[("bytes", len as u64)]);
+        self.probe.latency("ssd.read", end.saturating_sub(at));
+        Access { start: at, end }
     }
 
     fn write(&mut self, at: Picos, addr: u64, len: u32) -> Access {
@@ -208,6 +261,17 @@ impl MemoryBackend for FlashSsd {
         out.add("ssd.buffer_hits", self.cache.stats().hits);
         out.add("ssd.buffer_misses", self.cache.stats().misses);
         out.add("ssd.buffer_writebacks", self.cache.stats().writebacks);
+        if let Some(fs) = &self.faults {
+            out.add("fault.injected", fs.counters.injected);
+            out.add("ssd.transient_faults", fs.counters.ssd_transient_faults);
+            out.add("ssd.retries", fs.counters.ssd_retries);
+        }
+    }
+
+    fn collect_faults(&self, out: &mut FaultCounters) {
+        if let Some(fs) = &self.faults {
+            out.merge(&fs.counters);
+        }
     }
 }
 
@@ -243,6 +307,37 @@ mod tests {
         // Absorbs into the buffer after one page fetch (RMW).
         let b = ssd.write(a.end, 0, 4096);
         assert!(b.end - a.end < Picos::from_us(10), "{:?}", b.end - a.end);
+    }
+
+    #[test]
+    fn transient_read_faults_cost_time_only() {
+        let plan = FaultPlan {
+            ssd: sim_core::fault::SsdFaults {
+                transient_read_rate: 0.5,
+            },
+            ..Default::default()
+        };
+        let mut clean = FlashSsd::new(SsdParams::tiny(CellKind::Mlc));
+        let mut faulty = FlashSsd::new(SsdParams::tiny(CellKind::Mlc)).with_faults(&plan);
+        let mut inert =
+            FlashSsd::new(SsdParams::tiny(CellKind::Mlc)).with_faults(&FaultPlan::default());
+        let (mut tc, mut tf, mut ti) = (Picos::ZERO, Picos::ZERO, Picos::ZERO);
+        for i in 0..16u64 {
+            tc = clean.read(tc, i * 512, 512).end;
+            tf = faulty.read(tf, i * 512, 512).end;
+            ti = inert.read(ti, i * 512, 512).end;
+        }
+        assert!(tf > tc, "replays must cost time: {tf} vs {tc}");
+        assert_eq!(ti, tc, "an inert plan must not change timing");
+        assert!(inert.fault_counters().unwrap().is_zero());
+        let f = *faulty.fault_counters().unwrap();
+        assert!(f.ssd_transient_faults > 0 && f.ssd_retries > 0, "{f:?}");
+        let mut m = MetricSet::new();
+        faulty.collect_metrics(&mut m);
+        assert_eq!(m.counter("ssd.retries"), Some(f.ssd_retries));
+        let mut ledger = FaultCounters::default();
+        faulty.collect_faults(&mut ledger);
+        assert_eq!(ledger, f);
     }
 
     #[test]

@@ -29,6 +29,44 @@ pub fn split_mix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Collapses a seed plus an ordered label path into one well-mixed
+/// 64-bit stream seed.
+///
+/// This is the stateless counterpart of [`Rng64::fork`]: instead of
+/// advancing a shared generator (whose draw order would then depend on
+/// simulation event order), callers hash `(seed, labels...)` and get
+/// the same value no matter when — or on which thread — they ask.
+/// Distinct label paths give decorrelated streams; the same path always
+/// gives the same stream.
+///
+/// # Examples
+///
+/// ```
+/// use util::rng::stream_seed;
+///
+/// let a = stream_seed(42, &[1, 2, 3]);
+/// assert_eq!(a, stream_seed(42, &[1, 2, 3]));
+/// assert_ne!(a, stream_seed(42, &[3, 2, 1])); // order matters
+/// assert_ne!(a, stream_seed(43, &[1, 2, 3])); // seed matters
+/// ```
+pub fn stream_seed(seed: u64, labels: &[u64]) -> u64 {
+    let mut state = seed;
+    let mut h = split_mix64(&mut state);
+    for &label in labels {
+        state = h ^ label;
+        h = split_mix64(&mut state);
+    }
+    h
+}
+
+/// A single uniform `f64` in `[0, 1)` drawn statelessly from a seed and
+/// a label path (see [`stream_seed`]). Same precision as
+/// [`Rng64::unit_f64`].
+#[inline]
+pub fn stream_unit(seed: u64, labels: &[u64]) -> f64 {
+    (stream_seed(seed, labels) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// A xoshiro256++ generator with convenience range/float helpers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng64 {
@@ -200,6 +238,31 @@ mod tests {
         let mut r = Rng64::seed(4);
         assert!(!(0..100).any(|_| r.chance(0.0)));
         assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn stream_seed_is_deterministic_and_label_sensitive() {
+        let a = stream_seed(7, &[10, 20]);
+        assert_eq!(a, stream_seed(7, &[10, 20]));
+        assert_ne!(a, stream_seed(7, &[20, 10]), "label order must matter");
+        assert_ne!(a, stream_seed(7, &[10, 21]));
+        assert_ne!(a, stream_seed(8, &[10, 20]));
+        assert_ne!(a, stream_seed(7, &[10, 20, 0]), "path length must matter");
+    }
+
+    #[test]
+    fn stream_unit_is_uniform_enough() {
+        // Crude decorrelation check: neighbouring label paths should
+        // not produce clustered values.
+        let mut sum = 0.0;
+        let n = 10_000;
+        for i in 0..n {
+            let v = stream_unit(42, &[1, i, 3]);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean drifted: {mean}");
     }
 
     #[test]

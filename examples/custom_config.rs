@@ -35,6 +35,7 @@ fn main() {
             scheduler: SchedulerKind::Final,
         },
         telemetry: None,
+        faults: None,
     };
 
     // Off-table point 2: a PALP-style staged PRAM — the 3x-nm sample as
@@ -48,6 +49,7 @@ fn main() {
             scheduler: SchedulerKind::Interleaving,
         },
         telemetry: None,
+        faults: None,
     };
 
     // Specs are plain data: serialize, reparse, and the reparsed spec

@@ -1,0 +1,161 @@
+//! The fault subsystem's core guarantees, end to end:
+//!
+//! 1. **Thread-count invariance** — a seeded `FaultPlan` produces
+//!    byte-identical sweep reports at 1 and 4 workers, because every
+//!    fault decision is a stateless hash of stable labels, never a
+//!    draw from a shared generator.
+//! 2. **Zero-cost when off** — a spec without a fault plan serializes
+//!    and runs exactly as before the subsystem existed: no `degraded`
+//!    key, identical bytes.
+//! 3. **Armed-but-inert is visible** — attaching `FaultPlan::default()`
+//!    (all rates zero) changes *only* the report's `degraded` section,
+//!    which reads all zeros: timing and results are untouched.
+
+use dramless::sweep::sweep_specs_on;
+use dramless::{
+    simulate_spec_built, FaultPlan, SystemKind, SystemParams, SystemSpec, TelemetrySpec,
+};
+use util::json::ToJson;
+use util::pool::Pool;
+use workloads::{Kernel, Scale, Workload};
+
+fn params() -> SystemParams {
+    SystemParams {
+        agents: 3,
+        ..Default::default()
+    }
+}
+
+fn chaos_grid() -> (Vec<SystemSpec>, Vec<Workload>) {
+    // One load/store PRAM design and one staged-SSD design, so both the
+    // PRAM error model and the SSD transient path are exercised.
+    let plan = FaultPlan::seeded(7);
+    let specs = [SystemKind::DramLess, SystemKind::Hetero]
+        .iter()
+        .map(|k| SystemSpec {
+            faults: Some(plan.clone()),
+            ..k.spec()
+        })
+        .collect();
+    let workloads = [Kernel::Trisolv, Kernel::Gemver]
+        .iter()
+        .map(|&k| Workload::of(k, Scale(0.25)))
+        .collect();
+    (specs, workloads)
+}
+
+#[test]
+fn seeded_faults_are_byte_identical_across_thread_counts() {
+    let (specs, workloads) = chaos_grid();
+    let p = params();
+
+    let (serial, _) = sweep_specs_on(&Pool::new(1), &specs, &workloads, &p).unwrap();
+    let (parallel, _) = sweep_specs_on(&Pool::new(4), &specs, &workloads, &p).unwrap();
+
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "fault-injected sweep output diverged across thread counts"
+    );
+
+    // Every cell carries a degraded section, and faults actually fired
+    // somewhere: the plan was not a no-op.
+    assert!(serial.outcomes.iter().all(|o| o.degraded.is_some()));
+    let agg = serial.aggregate_degraded().expect("plans were armed");
+    assert!(agg.injected > 0, "seeded plan injected nothing");
+    assert!(agg.ecc_corrected > 0, "ECC never corrected anything");
+    assert!(serial.to_json().contains("\"degraded\""));
+}
+
+#[test]
+fn fault_metrics_surface_through_telemetry() {
+    // With telemetry *and* faults armed, the metric registry carries the
+    // resilience counters and they agree with the degraded ledger.
+    let (mut specs, workloads) = chaos_grid();
+    for s in &mut specs {
+        s.telemetry = Some(TelemetrySpec::default());
+    }
+    let p = params();
+    let (r, _) = sweep_specs_on(&Pool::new(2), &specs, &workloads, &p).unwrap();
+
+    let dramless_cells: Vec<_> = r
+        .outcomes
+        .iter()
+        .filter(|o| o.system.name() == "DRAM-less")
+        .collect();
+    assert!(!dramless_cells.is_empty());
+    for o in dramless_cells {
+        let d = o.degraded.expect("armed cell has a ledger");
+        assert_eq!(o.metrics.counter("fault.injected"), Some(d.injected));
+        assert_eq!(
+            o.metrics.counter("pram.ecc_corrected"),
+            Some(d.ecc_corrected)
+        );
+        assert_eq!(o.metrics.counter("pram.retries"), Some(d.retries));
+        assert_eq!(
+            o.metrics.counter("pram.retired_lines"),
+            Some(d.retired_lines)
+        );
+    }
+}
+
+#[test]
+fn no_plan_means_no_degraded_key_and_identical_bytes() {
+    let w = Workload::of(Kernel::Trisolv, Scale(0.25));
+    let built = w.build(params().agents);
+    for kind in [
+        SystemKind::DramLess,
+        SystemKind::Hetero,
+        SystemKind::IntegratedMlc,
+    ] {
+        let out = simulate_spec_built(&kind.spec(), &built, &params()).unwrap();
+        assert!(out.degraded.is_none(), "{kind}: ledger without a plan");
+        assert!(
+            !out.to_json_pretty().contains("\"degraded\""),
+            "{kind}: degraded key with faults off"
+        );
+    }
+}
+
+#[test]
+fn inert_plan_changes_only_the_degraded_section() {
+    // `FaultPlan::default()` has every rate at zero: arming it must not
+    // move a single picosecond — the report differs from the plan-free
+    // run only by an all-zero `degraded` object.
+    let w = Workload::of(Kernel::Gemver, Scale(0.25));
+    let built = w.build(params().agents);
+    for kind in [SystemKind::DramLess, SystemKind::Hetero] {
+        let off = simulate_spec_built(&kind.spec(), &built, &params()).unwrap();
+        let spec_inert = SystemSpec {
+            faults: Some(FaultPlan::default()),
+            ..kind.spec()
+        };
+        let mut inert = simulate_spec_built(&spec_inert, &built, &params()).unwrap();
+        let d = inert.degraded.take().expect("armed cell has a ledger");
+        assert!(d.is_zero(), "{kind}: inert plan injected something: {d:?}");
+        assert_eq!(
+            inert.to_json_pretty(),
+            off.to_json_pretty(),
+            "{kind}: an inert plan perturbed the simulation"
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_report_and_different_seeds_diverge() {
+    let w = Workload::of(Kernel::Gemver, Scale(0.25));
+    let built = w.build(params().agents);
+    let spec_at = |seed| SystemSpec {
+        faults: Some(FaultPlan::seeded(seed)),
+        ..SystemKind::DramLess.spec()
+    };
+    let a = simulate_spec_built(&spec_at(7), &built, &params()).unwrap();
+    let b = simulate_spec_built(&spec_at(7), &built, &params()).unwrap();
+    assert_eq!(a.to_json_pretty(), b.to_json_pretty(), "same seed diverged");
+
+    let c = simulate_spec_built(&spec_at(8), &built, &params()).unwrap();
+    assert_ne!(
+        a.degraded, c.degraded,
+        "different seeds drew identical fault patterns"
+    );
+}

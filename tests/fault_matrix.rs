@@ -1,0 +1,141 @@
+//! Fault-matrix integration: sweep one workload across escalating error
+//! rates and assert *exact* monotonic degradation.
+//!
+//! This is stronger than a statistical claim because fault draws are
+//! stateless: every (access, attempt, trial) hashes the same labels at
+//! every rate, and an event fires iff its fixed uniform value falls
+//! below the configured rate. Raising the rate therefore turns a
+//! *superset* of the same trials into faults — injections and retries
+//! are non-decreasing, recovered latency is non-decreasing, and
+//! bandwidth is non-increasing, cell by cell rather than on average.
+
+use dramless::{simulate_spec_built, FaultPlan, SystemKind, SystemParams, SystemSpec};
+use workloads::{Kernel, Scale, Workload};
+
+fn params() -> SystemParams {
+    SystemParams {
+        agents: 3,
+        ..Default::default()
+    }
+}
+
+fn plan_at(drift: f64) -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed: 7,
+        ..Default::default()
+    };
+    plan.pram.drift_rate = drift;
+    plan
+}
+
+#[test]
+fn escalating_drift_degrades_monotonically() {
+    let w = Workload::of(Kernel::Gemver, Scale(0.25));
+    let built = w.build(params().agents);
+
+    let rates = [0.0, 1e-3, 5e-3, 2e-2, 0.1];
+    let outcomes: Vec<_> = rates
+        .iter()
+        .map(|&r| {
+            let spec = SystemSpec {
+                faults: Some(plan_at(r)),
+                ..SystemKind::DramLess.spec()
+            };
+            simulate_spec_built(&spec, &built, &params()).unwrap()
+        })
+        .collect();
+
+    // The zero-rate cell is the clean baseline: armed, nothing fired.
+    let base = outcomes[0].degraded.unwrap();
+    assert_eq!(base.injected, 0);
+    assert_eq!(base.retries, 0);
+
+    // The top-rate cell visibly degrades.
+    let worst = outcomes.last().unwrap().degraded.unwrap();
+    assert!(worst.injected > 0, "peak rate injected nothing");
+
+    for pair in outcomes.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        let (dl, dh) = (lo.degraded.unwrap(), hi.degraded.unwrap());
+        assert!(
+            dh.injected >= dl.injected,
+            "injections fell when the rate rose: {} -> {}",
+            dl.injected,
+            dh.injected
+        );
+        assert!(
+            dh.retries >= dl.retries,
+            "retries fell when the rate rose: {} -> {}",
+            dl.retries,
+            dh.retries
+        );
+        assert!(
+            hi.total_time >= lo.total_time,
+            "total time fell when the rate rose: {} -> {}",
+            lo.total_time,
+            hi.total_time
+        );
+        assert!(
+            hi.bandwidth() <= lo.bandwidth(),
+            "bandwidth rose when the rate rose: {:.1} -> {:.1} MB/s",
+            lo.bandwidth() / 1e6,
+            hi.bandwidth() / 1e6
+        );
+    }
+}
+
+#[test]
+fn escalating_ssd_transients_slow_staged_reads_monotonically() {
+    let w = Workload::of(Kernel::Gemver, Scale(0.25));
+    let built = w.build(params().agents);
+
+    let rates = [0.0, 1e-2, 5e-2, 0.25];
+    let outcomes: Vec<_> = rates
+        .iter()
+        .map(|&r| {
+            let mut plan = FaultPlan {
+                seed: 11,
+                ..Default::default()
+            };
+            plan.ssd.transient_read_rate = r;
+            let spec = SystemSpec {
+                faults: Some(plan),
+                ..SystemKind::Hetero.spec()
+            };
+            simulate_spec_built(&spec, &built, &params()).unwrap()
+        })
+        .collect();
+
+    assert!(outcomes.last().unwrap().degraded.unwrap().ssd_retries > 0);
+    for pair in outcomes.windows(2) {
+        let (dl, dh) = (pair[0].degraded.unwrap(), pair[1].degraded.unwrap());
+        assert!(dh.ssd_transient_faults >= dl.ssd_transient_faults);
+        assert!(dh.ssd_retries >= dl.ssd_retries);
+        assert!(pair[1].total_time >= pair[0].total_time);
+    }
+}
+
+#[test]
+fn no_fault_escapes_as_a_wrong_result() {
+    // The resilience contract: injected faults cost time (retries,
+    // backoff, retirement copies), never correctness. Every cell in the
+    // matrix must report exactly the work the clean run reports — same
+    // instruction count, same data volume — while its ledger shows the
+    // faults were absorbed, not ignored.
+    let w = Workload::of(Kernel::Trisolv, Scale(0.25));
+    let built = w.build(params().agents);
+    let clean = simulate_spec_built(&SystemKind::DramLess.spec(), &built, &params()).unwrap();
+
+    let spec = SystemSpec {
+        faults: Some(FaultPlan::seeded(3)),
+        ..SystemKind::DramLess.spec()
+    };
+    let chaotic = simulate_spec_built(&spec, &built, &params()).unwrap();
+    let d = chaotic.degraded.unwrap();
+    assert!(d.injected > 0, "chaos cell injected nothing");
+    assert_eq!(chaotic.exec.instructions, clean.exec.instructions);
+    assert_eq!(chaotic.data_bytes, clean.data_bytes);
+    // Absorbed = every uncorrectable event was retried/retired, and the
+    // run still completed the same work later than the clean run.
+    assert!(chaotic.total_time >= clean.total_time);
+}

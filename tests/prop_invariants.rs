@@ -7,7 +7,9 @@ use pram::cell::{CellArray, WORD_BYTES};
 use pram::geometry::{PramGeometry, RowId};
 use pram_ctrl::addr::AddressMap;
 use pram_ctrl::wear::StartGap;
-use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
+use pram_ctrl::{
+    EccModel, EccOutcome, PramController, RetireMap, RetryPolicy, SchedulerKind, SubsystemConfig,
+};
 use sim_core::stats::TimeSeries;
 use sim_core::{Picos, Timeline};
 use std::collections::HashSet;
@@ -130,6 +132,100 @@ fn start_gap_remains_bijective() {
             let p = sg.map(l);
             assert!(p < sg.slots());
             assert!(seen.insert(p), "two lines mapped to slot {p}");
+        }
+    });
+}
+
+/// ECC never "corrects" more bit flips than its symbol strength: the
+/// classification is exact, not optimistic, for every (strength, flips)
+/// combination.
+#[test]
+fn ecc_correction_never_exceeds_strength() {
+    for_each_case!(64, |rng| {
+        let strength = rng.range_u64(0, 8) as u32;
+        let flips = rng.range_u64(0, 12) as u32;
+        match EccModel::new(strength).classify(flips) {
+            EccOutcome::Clean => assert_eq!(flips, 0),
+            EccOutcome::Corrected(n) => {
+                assert_eq!(n, flips);
+                assert!(
+                    n >= 1 && n <= strength,
+                    "corrected {n} > strength {strength}"
+                );
+            }
+            EccOutcome::Uncorrectable(n) => {
+                assert_eq!(n, flips);
+                assert!(n > strength, "uncorrectable {n} within strength {strength}");
+            }
+        }
+    });
+}
+
+/// Retirement composed with start-gap rotation stays a bijection while
+/// lines are actively being retired and the gap keeps moving: no two
+/// live logical lines ever share a physical slot.
+#[test]
+fn retirement_plus_start_gap_stays_bijective() {
+    for_each_case!(64, |rng| {
+        let lines = rng.range_u64(8, 127);
+        let spares = rng.range_u64(1, 15).min(lines - 1);
+        let interval = rng.range_u64(1, 15);
+        let mut sg = StartGap::new(lines, interval);
+        let mut retire = RetireMap::new(lines, spares);
+        let logical = lines - spares; // addressable (non-spare) lines
+        for _ in 0..rng.range_usize(1, 39) {
+            // Interleave gap movement with retirements of random lines.
+            for _ in 0..rng.range_u64(0, 29) {
+                sg.on_write();
+            }
+            let victim = rng.range_u64(0, logical.max(1) - 1);
+            let _ = retire.retire(victim); // None once spares run out — fine
+            let mut seen = HashSet::new();
+            for l in 0..logical {
+                let resolved = retire.resolve(l);
+                assert!(resolved < lines, "resolve escaped the line space");
+                let slot = sg.map(resolved);
+                assert!(slot < sg.slots());
+                assert!(
+                    seen.insert(slot),
+                    "lines collided on physical slot {slot} after {} retirements",
+                    retire.retired()
+                );
+            }
+        }
+    });
+}
+
+/// Retry-with-backoff always terminates within its configured bound:
+/// the attempt count is capped, each attempt's backoff is capped, and
+/// the summed wait never exceeds `total_backoff_bound`.
+#[test]
+fn retry_backoff_terminates_within_bound() {
+    for_each_case!(64, |rng| {
+        let policy = RetryPolicy {
+            max_retries: rng.range_u64(0, 12) as u32,
+            backoff: Picos::from_ns(rng.range_u64(0, 9_999)),
+        };
+        // Worst case: every attempt fails. The loop structure used by
+        // the controller is `for attempt in 0..max_retries`, so it
+        // terminates after exactly max_retries waits.
+        let mut attempts = 0u32;
+        let mut waited = Picos::ZERO;
+        for attempt in 0..policy.max_retries {
+            attempts += 1;
+            waited += policy.backoff_for(attempt);
+        }
+        assert_eq!(attempts, policy.max_retries);
+        assert!(
+            waited <= policy.total_backoff_bound(),
+            "waited {waited} > bound {}",
+            policy.total_backoff_bound()
+        );
+        // The exponential ramp saturates: no attempt ever waits longer
+        // than the 8-doubling cap, so the bound is finite even for
+        // absurd retry budgets.
+        for attempt in 0..64 {
+            assert!(policy.backoff_for(attempt) <= policy.backoff_for(8));
         }
     });
 }

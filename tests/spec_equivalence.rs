@@ -132,6 +132,10 @@ fn telemetry_changes_nothing_but_the_metrics_key() {
             !off_json.contains("\"metrics\""),
             "{kind}: metrics key present with telemetry off"
         );
+        assert!(
+            !off_json.contains("\"degraded\""),
+            "{kind}: degraded key present with faults off"
+        );
 
         let spec_on = SystemSpec {
             telemetry: Some(TelemetrySpec::default()),
@@ -146,6 +150,32 @@ fn telemetry_changes_nothing_but_the_metrics_key() {
             on.to_json_pretty(),
             off_json,
             "{kind}: probes perturbed the simulation"
+        );
+    }
+}
+
+#[test]
+fn fault_free_presets_serialize_without_fault_keys() {
+    // Schema pin for the fault knob: every preset's spec JSON still has
+    // no `faults` key, and a run of it produces a report with no
+    // `degraded` key — files written before fault injection existed
+    // stay byte-compatible in both directions.
+    let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+    let built = w.build(2);
+    let p = SystemParams {
+        agents: 2,
+        ..Default::default()
+    };
+    for kind in all_kinds() {
+        let spec = kind.spec();
+        assert!(
+            !spec.to_json_pretty().contains("\"faults\""),
+            "{kind}: preset spec grew a faults key"
+        );
+        let out = simulate_spec_as(SystemId::Preset(kind), &spec, &built, &p).unwrap();
+        assert!(
+            !out.to_json_pretty().contains("\"degraded\""),
+            "{kind}: fault-free report grew a degraded key"
         );
     }
 }

@@ -27,6 +27,7 @@ fn palp_style() -> SystemSpec {
             scheduler: SchedulerKind::Interleaving,
         },
         telemetry: None,
+        faults: None,
     }
 }
 
