@@ -13,7 +13,7 @@
 use crate::cache::{Cache, CacheConfig, CacheLevelStats};
 use crate::pe::{PeConfig, PeStats};
 use crate::psc::{PowerSleepController, PscParams};
-use crate::trace::{Trace, TraceOp};
+use crate::trace::{Trace, TraceIter, TraceOp};
 use crate::xbar::{Crossbar, XbarConfig};
 use sim_core::energy::EnergyBook;
 use sim_core::mem::MemoryBackend;
@@ -209,10 +209,10 @@ impl WriteQueue {
     }
 }
 
-/// Per-agent execution state during a run.
+/// Per-agent execution state during a run. Ops decode straight off the
+/// packed trace stream — nothing materializes a `Vec<TraceOp>`.
 struct AgentRun<'t> {
-    trace: &'t Trace,
-    next_op: usize,
+    ops: TraceIter<'t>,
     time: Picos,
     l1: Cache,
     l2: Cache,
@@ -307,8 +307,7 @@ impl Accelerator {
                     }
                 }
                 AgentRun {
-                    trace,
-                    next_op: 0,
+                    ops: trace.iter(),
                     time: ready,
                     l1: Cache::new(cfg.l1),
                     l2: Cache::new(cfg.l2),
@@ -336,140 +335,168 @@ impl Accelerator {
             }
         };
 
-        // Advance the globally-earliest agent one op at a time so backend
-        // arbitration sees requests in time order.
-        while let Some(idx) = agents
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| !a.done)
-            .min_by_key(|(_, a)| a.time)
-            .map(|(i, _)| i)
-        {
+        // Advance the globally-earliest agent so backend arbitration sees
+        // requests in time order. The scheduler keeps the agent clocks in
+        // a flat array (structure-of-arrays: one cache-line scan instead
+        // of striding over the fat per-agent structs) and finds the
+        // earliest agent *and the runner-up* in a single pass — the
+        // chosen agent can then batch-advance ops locally for as long as
+        // it stays strictly ahead of the runner-up, which is exactly the
+        // set of steps a rescan-per-op loop would have given it.
+        let n = agents.len();
+        let mut times: Vec<Picos> = agents.iter().map(|a| a.time).collect();
+        let mut parked: Vec<bool> = vec![false; n];
+        loop {
+            let mut best = usize::MAX;
+            let mut second = usize::MAX;
+            for i in 0..n {
+                if parked[i] {
+                    continue;
+                }
+                if best == usize::MAX || times[i] < times[best] {
+                    second = best;
+                    best = i;
+                } else if second == usize::MAX || times[i] < times[second] {
+                    second = i;
+                }
+            }
+            if best == usize::MAX {
+                break;
+            }
+            let idx = best;
+            let bound = (second != usize::MAX).then(|| (times[second], second));
             let a = &mut agents[idx];
-            if a.next_op >= a.trace.ops().len() {
-                // Kernel complete: flush caches (dirty results must land
-                // in memory before the completion message).
-                let l1_dirty = a.l1.flush();
-                for addr in l1_dirty {
-                    let out = a.l2.access(addr, true);
-                    if let Some(fill) = out.fill {
-                        let acc = backend.read(a.time, fill, l2_line);
-                        a.time = acc.end + cfg.pe.xbar_latency;
-                        bytes_from += l2_line as u64;
-                        mem_requests += 1;
+            loop {
+                let Some(op) = a.ops.next() else {
+                    // Kernel complete: flush caches (dirty results must
+                    // land in memory before the completion message).
+                    let l1_dirty = a.l1.flush();
+                    for addr in l1_dirty {
+                        let out = a.l2.access(addr, true);
+                        if let Some(fill) = out.fill {
+                            let acc = backend.read(a.time, fill, l2_line);
+                            a.time = acc.end + cfg.pe.xbar_latency;
+                            bytes_from += l2_line as u64;
+                            mem_requests += 1;
+                        }
+                        if let Some(wb) = out.writeback {
+                            let free_at = wq.post(backend, a.time, wb, l2_line);
+                            a.time = a.time.max(free_at);
+                            bytes_to += l2_line as u64;
+                            mem_requests += 1;
+                        }
                     }
-                    if let Some(wb) = out.writeback {
-                        let free_at = wq.post(backend, a.time, wb, l2_line);
+                    for addr in a.l2.flush() {
+                        let free_at = wq.post(backend, a.time, addr, l2_line);
                         a.time = a.time.max(free_at);
                         bytes_to += l2_line as u64;
                         mem_requests += 1;
                     }
-                }
-                for addr in a.l2.flush() {
-                    let free_at = wq.post(backend, a.time, addr, l2_line);
-                    a.time = a.time.max(free_at);
-                    bytes_to += l2_line as u64;
-                    mem_requests += 1;
-                }
-                // Results must be durable before the completion message:
-                // drain the whole write queue.
-                a.time = a.time.max(wq.drain_at());
-                a.done = true;
-                psc.sleep(a.time, idx + 1);
-                continue;
-            }
-
-            let op = a.trace.ops()[a.next_op];
-            a.next_op += 1;
-            match op {
-                TraceOp::Compute(block) => {
-                    let dt = cfg.pe.clock.cycles_to_time(block.cycles());
-                    let e = cfg.pe.p_active * dt;
-                    energy.charge("pe.compute", e);
-                    power_series.add(a.time - start, e.as_j());
-                    ipc_series.add(a.time + dt - start, block.total() as f64);
-                    self.probe.span(
-                        Track::new("pe", idx as u32 + 1),
-                        "compute",
-                        a.time,
-                        a.time + dt,
-                    );
-                    a.stats.instructions += block.total();
-                    a.stats.compute_cycles += block.cycles();
-                    a.stats.compute_time += dt;
-                    a.time += dt;
-                }
-                TraceOp::Load { addr, len } | TraceOp::Store { addr, len } => {
-                    let is_store = matches!(op, TraceOp::Store { .. });
-                    let t0 = a.time;
-                    // Touch every L1 line the access covers. The range
-                    // is computed inline (same math as
-                    // `Cache::lines_touched`) because borrowing the
-                    // cache for an iterator here would alias the
-                    // mutable accesses below — and collecting into a
-                    // Vec per memory op dominated sweep allocations.
-                    let line_bytes = l1_line as u64;
-                    let first = addr / line_bytes;
-                    let last = (addr + len.max(1) as u64 - 1) / line_bytes;
-                    for line in (first..=last).map(|l| l * line_bytes) {
-                        let l1_out = a.l1.access(line, is_store);
-                        if l1_out.hit {
-                            a.time += cfg.pe.clock.cycles_to_time(cfg.pe.l1_hit_cycles);
-                            continue;
-                        }
-                        // L1 victim write-back goes to L2.
-                        if let Some(wb) = l1_out.writeback {
-                            let out = a.l2.access(wb, true);
-                            if let Some(fill) = out.fill {
+                    // Results must be durable before the completion
+                    // message: drain the whole write queue.
+                    a.time = a.time.max(wq.drain_at());
+                    a.done = true;
+                    psc.sleep(a.time, idx + 1);
+                    break;
+                };
+                match op {
+                    TraceOp::Compute(block) => {
+                        let dt = cfg.pe.clock.cycles_to_time(block.cycles());
+                        let e = cfg.pe.p_active * dt;
+                        energy.charge("pe.compute", e);
+                        power_series.add(a.time - start, e.as_j());
+                        ipc_series.add(a.time + dt - start, block.total() as f64);
+                        self.probe.span(
+                            Track::new("pe", idx as u32 + 1),
+                            "compute",
+                            a.time,
+                            a.time + dt,
+                        );
+                        a.stats.instructions += block.total();
+                        a.stats.compute_cycles += block.cycles();
+                        a.stats.compute_time += dt;
+                        a.time += dt;
+                    }
+                    TraceOp::Load { addr, len } | TraceOp::Store { addr, len } => {
+                        let is_store = matches!(op, TraceOp::Store { .. });
+                        let t0 = a.time;
+                        // Touch every L1 line the access covers. The
+                        // range is computed inline (same math as
+                        // `Cache::lines_touched`) because borrowing the
+                        // cache for an iterator here would alias the
+                        // mutable accesses below — and collecting into a
+                        // Vec per memory op dominated sweep allocations.
+                        let line_bytes = l1_line as u64;
+                        let first = addr / line_bytes;
+                        let last = (addr + len.max(1) as u64 - 1) / line_bytes;
+                        for line in (first..=last).map(|l| l * line_bytes) {
+                            let l1_out = a.l1.access(line, is_store);
+                            if l1_out.hit {
+                                a.time += cfg.pe.clock.cycles_to_time(cfg.pe.l1_hit_cycles);
+                                continue;
+                            }
+                            // L1 victim write-back goes to L2.
+                            if let Some(wb) = l1_out.writeback {
+                                let out = a.l2.access(wb, true);
+                                if let Some(fill) = out.fill {
+                                    let acc = backend.read(a.time, fill, l2_line);
+                                    a.time = cross(acc.end, l2_line, cfg.pe.xbar_latency);
+                                    bytes_from += l2_line as u64;
+                                    mem_requests += 1;
+                                }
+                                if let Some(l2wb) = out.writeback {
+                                    let free_at = wq.post(backend, a.time, l2wb, l2_line);
+                                    a.time = a.time.max(free_at);
+                                    bytes_to += l2_line as u64;
+                                    mem_requests += 1;
+                                }
+                            }
+                            // Fill the L1 line from L2.
+                            let out = a.l2.access(line, false);
+                            if out.hit {
+                                a.time += cfg.pe.clock.cycles_to_time(cfg.pe.l2_hit_cycles);
+                            } else {
+                                if let Some(l2wb) = out.writeback {
+                                    let free_at = wq.post(backend, a.time, l2wb, l2_line);
+                                    a.time = a.time.max(free_at);
+                                    bytes_to += l2_line as u64;
+                                    mem_requests += 1;
+                                }
+                                let fill = out.fill.expect("miss always fills");
                                 let acc = backend.read(a.time, fill, l2_line);
                                 a.time = cross(acc.end, l2_line, cfg.pe.xbar_latency);
                                 bytes_from += l2_line as u64;
                                 mem_requests += 1;
                             }
-                            if let Some(l2wb) = out.writeback {
-                                let free_at = wq.post(backend, a.time, l2wb, l2_line);
-                                a.time = a.time.max(free_at);
-                                bytes_to += l2_line as u64;
-                                mem_requests += 1;
-                            }
                         }
-                        // Fill the L1 line from L2.
-                        let out = a.l2.access(line, false);
-                        if out.hit {
-                            a.time += cfg.pe.clock.cycles_to_time(cfg.pe.l2_hit_cycles);
+                        let dt = a.time - t0;
+                        let e = cfg.pe.p_stall * dt;
+                        energy.charge("pe.stall", e);
+                        power_series.add(t0 - start, e.as_j());
+                        ipc_series.add(a.time - start, 1.0);
+                        if !dt.is_zero() {
+                            self.probe
+                                .span(Track::new("pe", idx as u32 + 1), "mem", t0, a.time);
+                            self.probe.latency("pe.mem_op", dt);
+                        }
+                        a.stats.instructions += 1;
+                        a.stats.stall_time += dt;
+                        if is_store {
+                            a.stats.stores += 1;
                         } else {
-                            if let Some(l2wb) = out.writeback {
-                                let free_at = wq.post(backend, a.time, l2wb, l2_line);
-                                a.time = a.time.max(free_at);
-                                bytes_to += l2_line as u64;
-                                mem_requests += 1;
-                            }
-                            let fill = out.fill.expect("miss always fills");
-                            let acc = backend.read(a.time, fill, l2_line);
-                            a.time = cross(acc.end, l2_line, cfg.pe.xbar_latency);
-                            bytes_from += l2_line as u64;
-                            mem_requests += 1;
+                            a.stats.loads += 1;
                         }
-                    }
-                    let dt = a.time - t0;
-                    let e = cfg.pe.p_stall * dt;
-                    energy.charge("pe.stall", e);
-                    power_series.add(t0 - start, e.as_j());
-                    ipc_series.add(a.time - start, 1.0);
-                    if !dt.is_zero() {
-                        self.probe
-                            .span(Track::new("pe", idx as u32 + 1), "mem", t0, a.time);
-                        self.probe.latency("pe.mem_op", dt);
-                    }
-                    a.stats.instructions += 1;
-                    a.stats.stall_time += dt;
-                    if is_store {
-                        a.stats.stores += 1;
-                    } else {
-                        a.stats.loads += 1;
                     }
                 }
+                // Keep going while this agent would win the rescan: the
+                // scheduler tie-breaks equal clocks by lowest index.
+                match bound {
+                    Some((bt, bi)) if !(a.time < bt || (a.time == bt && idx < bi)) => break,
+                    _ => {}
+                }
             }
+            times[idx] = a.time;
+            parked[idx] = a.done;
         }
 
         let total_time = agents.iter().map(|a| a.time).fold(Picos::ZERO, Picos::max) - start;

@@ -23,6 +23,7 @@ pub mod exec;
 pub mod kernel;
 pub mod pe;
 pub mod psc;
+pub mod sched;
 pub mod trace;
 pub mod xbar;
 
@@ -31,5 +32,6 @@ pub use exec::{AccelConfig, Accelerator, ExecReport};
 pub use kernel::{KernelImage, Segment};
 pub use pe::{PeConfig, PeStats};
 pub use psc::{PeState, PowerSleepController};
+pub use sched::{AgentSchedule, MemSchedule};
 pub use trace::{InstrBlock, Trace, TraceOp};
 pub use xbar::{Crossbar, XbarConfig};

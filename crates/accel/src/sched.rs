@@ -1,0 +1,328 @@
+//! Timing-free memory schedules: the analytic tier's front half.
+//!
+//! A key structural fact of the execution engine ([`crate::exec`]): each
+//! agent's L1/L2 are private and the replacement state advances only on
+//! that agent's own op stream — never on timing, never on the backend.
+//! So the *sequence* of backend requests an agent will make (which line
+//! fills, how many write-backs, where the hits land) is a pure function
+//! of `(trace, cache geometry)`. [`MemSchedule::build`] replays the
+//! exact cache walk `Accelerator::run_at` performs — including the
+//! end-of-kernel flush — without a clock or a backend, and records the
+//! per-agent counts plus the ordered fill addresses.
+//!
+//! The analytic tier ([`dramless::analytic`]) then prices this schedule
+//! with calibrated closed-form coefficients instead of simulating every
+//! request, and — because the schedule is system-independent — reuses
+//! one schedule across every system of a sweep row.
+//!
+//! [`dramless::analytic`]: https://docs.rs/dramless
+
+use crate::cache::{Cache, CacheConfig, CacheLevelStats};
+use crate::trace::{Trace, TraceOp};
+
+/// One backend request in an agent's issue order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendOp {
+    /// An L2 line fill (backend read) at this line-aligned address.
+    Fill(u64),
+    /// A write-back posted through the MCU write queue at this
+    /// line-aligned address (L2 evictions plus the end-of-kernel flush).
+    Writeback(u64),
+}
+
+/// The backend-facing behaviour of one agent's kernel, exactly as the
+/// accurate engine would produce it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgentSchedule {
+    /// Instructions retired (compute totals + one per memory op).
+    pub instructions: u64,
+    /// Issue cycles of all compute blocks.
+    pub compute_cycles: u64,
+    /// Memory ops that are loads.
+    pub loads: u64,
+    /// Memory ops that are stores.
+    pub stores: u64,
+    /// L1 line lookups that hit (each costs `l1_hit_cycles`).
+    pub l1_hits: u64,
+    /// Fill-path L2 lookups that hit (each costs `l2_hit_cycles`; L2
+    /// hits on the L1-victim write-back path are free in the engine).
+    pub l2_hits: u64,
+    /// Backend requests with addresses, in issue order — kept so
+    /// buffered backends' page-cache behaviour (hits, misses, dirty
+    /// evictions) can be replayed cheaply.
+    pub ops: Vec<BackendOp>,
+    /// Exact L1 counters the accurate engine would report.
+    pub l1_stats: CacheLevelStats,
+    /// Exact L2 counters the accurate engine would report.
+    pub l2_stats: CacheLevelStats,
+}
+
+impl AgentSchedule {
+    /// Backend reads (L2 line fills) this agent issues.
+    pub fn fill_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, BackendOp::Fill(_)))
+            .count() as u64
+    }
+
+    /// Backend write-backs this agent posts.
+    pub fn writeback_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, BackendOp::Writeback(_)))
+            .count() as u64
+    }
+
+    /// The fill addresses in issue order.
+    pub fn fills(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ops.iter().filter_map(|op| match op {
+            BackendOp::Fill(addr) => Some(*addr),
+            BackendOp::Writeback(_) => None,
+        })
+    }
+}
+
+/// Per-agent [`AgentSchedule`]s for one `(traces, cache geometry)` pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemSchedule {
+    /// One schedule per trace, in agent order.
+    pub agents: Vec<AgentSchedule>,
+    /// L2 line size — the transfer unit of every fill and write-back.
+    pub l2_line: u32,
+}
+
+impl MemSchedule {
+    /// Replays `traces` through private L1/L2 pairs, mirroring
+    /// `Accelerator::run_at`'s walk (write-allocate, write-back LRU,
+    /// then the completion flush) with no clock and no backend.
+    pub fn build(traces: &[Trace], l1: CacheConfig, l2: CacheConfig) -> Self {
+        let agents = traces
+            .iter()
+            .map(|trace| replay_agent(trace, l1, l2))
+            .collect();
+        MemSchedule {
+            agents,
+            l2_line: l2.line,
+        }
+    }
+
+    /// Instructions across agents.
+    pub fn instructions(&self) -> u64 {
+        self.agents.iter().map(|a| a.instructions).sum()
+    }
+
+    /// Backend fills across agents.
+    pub fn fills(&self) -> u64 {
+        self.agents.iter().map(|a| a.fill_count()).sum()
+    }
+
+    /// Backend write-backs across agents.
+    pub fn writebacks(&self) -> u64 {
+        self.agents.iter().map(|a| a.writeback_count()).sum()
+    }
+
+    /// Bytes the backend would deliver (fills × line).
+    pub fn bytes_from_mem(&self) -> u64 {
+        self.fills() * self.l2_line as u64
+    }
+
+    /// Bytes the backend would absorb (write-backs × line).
+    pub fn bytes_to_mem(&self) -> u64 {
+        self.writebacks() * self.l2_line as u64
+    }
+}
+
+fn replay_agent(trace: &Trace, l1_cfg: CacheConfig, l2_cfg: CacheConfig) -> AgentSchedule {
+    let mut l1 = Cache::new(l1_cfg);
+    let mut l2 = Cache::new(l2_cfg);
+    let mut s = AgentSchedule::default();
+    let line_bytes = l1_cfg.line as u64;
+    for op in trace.iter() {
+        match op {
+            TraceOp::Compute(block) => {
+                s.instructions += block.total();
+                s.compute_cycles += block.cycles();
+            }
+            TraceOp::Load { addr, len } | TraceOp::Store { addr, len } => {
+                let is_store = matches!(op, TraceOp::Store { .. });
+                s.instructions += 1;
+                if is_store {
+                    s.stores += 1;
+                } else {
+                    s.loads += 1;
+                }
+                let first = addr / line_bytes;
+                let last = (addr + len.max(1) as u64 - 1) / line_bytes;
+                for line in (first..=last).map(|l| l * line_bytes) {
+                    let l1_out = l1.access(line, is_store);
+                    if l1_out.hit {
+                        s.l1_hits += 1;
+                        continue;
+                    }
+                    if let Some(wb) = l1_out.writeback {
+                        let out = l2.access(wb, true);
+                        if let Some(fill) = out.fill {
+                            s.ops.push(BackendOp::Fill(fill));
+                        }
+                        if let Some(l2wb) = out.writeback {
+                            s.ops.push(BackendOp::Writeback(l2wb));
+                        }
+                    }
+                    let out = l2.access(line, false);
+                    if out.hit {
+                        s.l2_hits += 1;
+                    } else {
+                        if let Some(l2wb) = out.writeback {
+                            s.ops.push(BackendOp::Writeback(l2wb));
+                        }
+                        s.ops
+                            .push(BackendOp::Fill(out.fill.expect("miss always fills")));
+                    }
+                }
+            }
+        }
+    }
+    // Completion flush: L1 dirty lines land in L2 (possibly filling or
+    // evicting), then L2 dirty lines go to memory.
+    for addr in l1.flush() {
+        let out = l2.access(addr, true);
+        if let Some(fill) = out.fill {
+            s.ops.push(BackendOp::Fill(fill));
+        }
+        if let Some(l2wb) = out.writeback {
+            s.ops.push(BackendOp::Writeback(l2wb));
+        }
+    }
+    for addr in l2.flush() {
+        s.ops.push(BackendOp::Writeback(addr));
+    }
+    s.l1_stats = *l1.stats();
+    s.l2_stats = *l2.stats();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{AccelConfig, Accelerator};
+    use crate::trace::InstrBlock;
+    use sim_core::energy::EnergyBook;
+    use sim_core::mem::{Access, MemoryBackend};
+    use sim_core::time::Picos;
+
+    /// Logs requests while serving a fixed latency.
+    struct CountingMem {
+        reads: Vec<u64>,
+        writes: u64,
+        ops: Vec<BackendOp>,
+    }
+
+    impl MemoryBackend for CountingMem {
+        fn read(&mut self, at: Picos, addr: u64, _len: u32) -> Access {
+            self.reads.push(addr);
+            self.ops.push(BackendOp::Fill(addr));
+            Access {
+                start: at,
+                end: at + Picos::from_ns(120),
+            }
+        }
+        fn write(&mut self, at: Picos, addr: u64, _len: u32) -> Access {
+            self.writes += 1;
+            self.ops.push(BackendOp::Writeback(addr));
+            Access {
+                start: at,
+                end: at + Picos::from_ns(180),
+            }
+        }
+        fn energy(&self) -> EnergyBook {
+            EnergyBook::new()
+        }
+        fn label(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    fn mixed_traces(agents: usize) -> Vec<Trace> {
+        (0..agents)
+            .map(|a| {
+                let mut t = Trace::new();
+                for i in 0..400u64 {
+                    let base = (a as u64) << 24;
+                    t.load(base + (i % 97) * 40, 8);
+                    t.compute(InstrBlock::mac(3, 2));
+                    if i % 3 == 0 {
+                        t.store(base + (i % 53) * 72, 8);
+                    }
+                }
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedule_matches_engine_counts_exactly() {
+        // The replay must agree with the real engine on every count the
+        // analytic tier consumes: fills (addresses AND order per agent),
+        // write-backs, cache stats, instructions.
+        let cfg = AccelConfig::default();
+        let traces = mixed_traces(3);
+        let sched = MemSchedule::build(&traces, cfg.l1, cfg.l2);
+
+        let mut mem = CountingMem {
+            reads: Vec::new(),
+            writes: 0,
+            ops: Vec::new(),
+        };
+        let report = Accelerator::new(cfg).run(&traces, &mut mem);
+
+        assert_eq!(sched.instructions(), report.instructions);
+        assert_eq!(sched.fills(), mem.reads.len() as u64);
+        assert_eq!(sched.writebacks(), mem.writes);
+        assert_eq!(sched.bytes_from_mem(), report.bytes_from_mem);
+        assert_eq!(sched.bytes_to_mem(), report.bytes_to_mem);
+        let l1_hits: u64 = sched.agents.iter().map(|a| a.l1_stats.hits).sum();
+        let l1_misses: u64 = sched.agents.iter().map(|a| a.l1_stats.misses).sum();
+        let l2_hits: u64 = sched.agents.iter().map(|a| a.l2_stats.hits).sum();
+        assert_eq!(l1_hits, report.l1.hits);
+        assert_eq!(l1_misses, report.l1.misses);
+        assert_eq!(l2_hits, report.l2.hits);
+        for (i, a) in sched.agents.iter().enumerate() {
+            assert_eq!(a.loads, report.pe_stats[i].loads, "agent {i}");
+            assert_eq!(a.stores, report.pe_stats[i].stores, "agent {i}");
+            assert_eq!(a.compute_cycles, report.pe_stats[i].compute_cycles);
+        }
+        // Single-agent run: the engine's full request stream — fills and
+        // write-backs, interleaved with addresses — is the schedule's.
+        let solo = mixed_traces(1);
+        let sched1 = MemSchedule::build(&solo, cfg.l1, cfg.l2);
+        let mut mem1 = CountingMem {
+            reads: Vec::new(),
+            writes: 0,
+            ops: Vec::new(),
+        };
+        Accelerator::new(cfg).run(&solo, &mut mem1);
+        assert_eq!(sched1.agents[0].ops, mem1.ops);
+    }
+
+    #[test]
+    fn schedule_is_backend_independent() {
+        // Same traces, same geometry — bit-identical schedule regardless
+        // of anything else (this is what makes cross-system reuse sound).
+        let cfg = AccelConfig::default();
+        let traces = mixed_traces(2);
+        let a = MemSchedule::build(&traces, cfg.l1, cfg.l2);
+        let b = MemSchedule::build(&traces, cfg.l1, cfg.l2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pure_compute_schedule_has_no_memory() {
+        let mut t = Trace::new();
+        t.compute(InstrBlock::alu(100));
+        let s = MemSchedule::build(&[t], CacheConfig::l1(), CacheConfig::l2());
+        assert_eq!(s.fills(), 0);
+        assert_eq!(s.writebacks(), 0);
+        assert_eq!(s.instructions(), 100);
+    }
+}

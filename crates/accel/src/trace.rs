@@ -7,6 +7,14 @@
 //! Polybench kernel with instrumented array accesses, so the address
 //! streams and read/write mixes are the real ones.
 //!
+//! Traces are the dominant allocation of a sweep, so the op stream is
+//! stored *packed*: one tag byte per op, memory addresses as
+//! zigzag-varint deltas against the previous address, lengths elided
+//! when they repeat (they almost always do — kernels touch fixed-width
+//! elements). That turns the ~24 bytes of an enum-in-a-`Vec` into
+//! ~2–4 bytes per op. Consumers decode on iterate ([`Trace::iter`]) —
+//! nothing ever materializes a `Vec<TraceOp>` per cell.
+//!
 //! [`workloads`]: https://docs.rs/workloads
 
 /// Instruction counts of one compute block, by functional-unit class
@@ -135,13 +143,91 @@ impl util::json::FromJson for TraceOp {
     }
 }
 
-/// A per-PE instruction/memory trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Trace {
-    ops: Vec<TraceOp>,
+// --- packed encoding -------------------------------------------------
+//
+// Each op starts with a tag byte:
+//   0 — Compute: four varints (m, l, s, d)
+//   1 — Load, same length as the previous memory op: one zigzag varint
+//       (address delta)
+//   2 — Load, new length: zigzag varint delta + varint length
+//   3 / 4 — Store, same two layouts
+// Encoder and decoder carry the same (last_addr, last_len) prediction
+// state, so the stream is self-contained from the front.
+
+const TAG_COMPUTE: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_LOAD_LEN: u8 = 2;
+const TAG_STORE: u8 = 3;
+const TAG_STORE_LEN: u8 = 4;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
 }
 
-util::json_struct!(Trace { ops });
+fn get_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A per-PE instruction/memory trace (packed storage; see module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The packed op stream.
+    bytes: Vec<u8>,
+    /// Ops encoded in `bytes` (excluding `tail`).
+    encoded: usize,
+    /// Trailing compute block kept unencoded so [`Trace::compute`] can
+    /// merge adjacent blocks before they are frozen into the stream.
+    tail: Option<InstrBlock>,
+    /// Encoder prediction state: previous memory address.
+    last_addr: u64,
+    /// Encoder prediction state: previous access length.
+    last_len: u32,
+}
+
+// Serialized as `{ "ops": [...] }` — the exact layout the old
+// `Vec<TraceOp>` representation had, so trace JSON is unchanged.
+impl util::json::ToJson for Trace {
+    fn to_json(&self) -> util::json::Json {
+        use util::json::Json;
+        Json::Obj(vec![(
+            "ops".to_string(),
+            Json::Arr(self.iter().map(|op| op.to_json()).collect()),
+        )])
+    }
+}
+
+impl util::json::FromJson for Trace {
+    fn from_json(v: &util::json::Json) -> Result<Self, util::json::JsonError> {
+        let ops: Vec<TraceOp> = util::json::field(v, "ops")?;
+        Ok(ops.into_iter().collect())
+    }
+}
 
 impl Trace {
     /// An empty trace.
@@ -149,19 +235,61 @@ impl Trace {
         Self::default()
     }
 
-    /// The operations in order.
-    pub fn ops(&self) -> &[TraceOp] {
-        &self.ops
+    /// Decodes the operations in order, front to back. Decoding is
+    /// allocation-free — the iterator walks the packed stream.
+    pub fn iter(&self) -> TraceIter<'_> {
+        TraceIter {
+            bytes: &self.bytes,
+            pos: 0,
+            remaining: self.encoded,
+            tail: self.tail,
+            last_addr: 0,
+            last_len: 0,
+        }
     }
 
     /// Number of operations.
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.encoded + usize::from(self.tail.is_some())
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.len() == 0
+    }
+
+    /// Packed size in bytes (diagnostics; an unpacked `Vec<TraceOp>`
+    /// would be `24 * len`).
+    pub fn packed_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn flush_tail(&mut self) {
+        if let Some(b) = self.tail.take() {
+            self.bytes.push(TAG_COMPUTE);
+            put_varint(&mut self.bytes, b.m);
+            put_varint(&mut self.bytes, b.l);
+            put_varint(&mut self.bytes, b.s);
+            put_varint(&mut self.bytes, b.d);
+            self.encoded += 1;
+        }
+    }
+
+    fn push_mem(&mut self, store: bool, addr: u64, len: u32) {
+        self.flush_tail();
+        let delta = zigzag(addr.wrapping_sub(self.last_addr) as i64);
+        if len == self.last_len {
+            self.bytes.push(if store { TAG_STORE } else { TAG_LOAD });
+            put_varint(&mut self.bytes, delta);
+        } else {
+            self.bytes
+                .push(if store { TAG_STORE_LEN } else { TAG_LOAD_LEN });
+            put_varint(&mut self.bytes, delta);
+            put_varint(&mut self.bytes, u64::from(len));
+            self.last_len = len;
+        }
+        self.last_addr = addr;
+        self.encoded += 1;
     }
 
     /// Appends a compute block, merging into a preceding compute op so
@@ -170,29 +298,27 @@ impl Trace {
         if block.total() == 0 {
             return;
         }
-        if let Some(TraceOp::Compute(last)) = self.ops.last_mut() {
-            last.merge(block);
-        } else {
-            self.ops.push(TraceOp::Compute(block));
+        match self.tail.as_mut() {
+            Some(last) => last.merge(block),
+            None => self.tail = Some(block),
         }
     }
 
     /// Appends a load.
     pub fn load(&mut self, addr: u64, len: u32) {
         assert!(len > 0, "zero-length load");
-        self.ops.push(TraceOp::Load { addr, len });
+        self.push_mem(false, addr, len);
     }
 
     /// Appends a store.
     pub fn store(&mut self, addr: u64, len: u32) {
         assert!(len > 0, "zero-length store");
-        self.ops.push(TraceOp::Store { addr, len });
+        self.push_mem(true, addr, len);
     }
 
     /// Total instructions (compute + one per memory op).
     pub fn instructions(&self) -> u64 {
-        self.ops
-            .iter()
+        self.iter()
             .map(|op| match op {
                 TraceOp::Compute(b) => b.total(),
                 _ => 1,
@@ -203,8 +329,8 @@ impl Trace {
     /// `(loads, stores, bytes_loaded, bytes_stored)`.
     pub fn memory_profile(&self) -> (u64, u64, u64, u64) {
         let mut p = (0, 0, 0, 0);
-        for op in &self.ops {
-            match *op {
+        for op in self.iter() {
+            match op {
                 TraceOp::Load { len, .. } => {
                     p.0 += 1;
                     p.2 += len as u64;
@@ -226,32 +352,25 @@ impl Trace {
     /// un-optimized port), roughly tripling `.M`-class issue pressure.
     /// Used by the intrinsics ablation bench.
     pub fn scalarized(&self) -> Trace {
-        let ops = self.ops.iter().map(|op| match *op {
-            TraceOp::Compute(b) => TraceOp::Compute(InstrBlock {
-                m: b.m * 3,
-                l: b.l,
-                s: b.s + b.m, // extra move/accumulate glue
-                d: b.d,
-            }),
-            other => other,
-        });
-        let mut t = Trace::new();
-        for op in ops {
-            match op {
-                TraceOp::Compute(b) => t.compute(b),
-                TraceOp::Load { addr, len } => t.load(addr, len),
-                TraceOp::Store { addr, len } => t.store(addr, len),
-            }
-        }
-        t
+        self.iter()
+            .map(|op| match op {
+                TraceOp::Compute(b) => TraceOp::Compute(InstrBlock {
+                    m: b.m * 3,
+                    l: b.l,
+                    s: b.s + b.m, // extra move/accumulate glue
+                    d: b.d,
+                }),
+                other => other,
+            })
+            .collect()
     }
 
     /// The distinct store target addresses, word-aligned — exactly what
     /// the server announces to the PRAM controller for selective erasing.
     pub fn store_targets(&self, word_bytes: u64) -> Vec<u64> {
         let mut set = std::collections::BTreeSet::new();
-        for op in &self.ops {
-            if let TraceOp::Store { addr, len } = *op {
+        for op in self.iter() {
+            if let TraceOp::Store { addr, len } = op {
                 let first = addr / word_bytes;
                 let last = (addr + len as u64 - 1) / word_bytes;
                 for w in first..=last {
@@ -260,6 +379,65 @@ impl Trace {
             }
         }
         set.into_iter().collect()
+    }
+}
+
+/// Decoding iterator over a packed [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceIter<'t> {
+    bytes: &'t [u8],
+    pos: usize,
+    remaining: usize,
+    tail: Option<InstrBlock>,
+    last_addr: u64,
+    last_len: u32,
+}
+
+impl Iterator for TraceIter<'_> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        if self.remaining == 0 {
+            return self.tail.take().map(TraceOp::Compute);
+        }
+        self.remaining -= 1;
+        let tag = self.bytes[self.pos];
+        self.pos += 1;
+        if tag == TAG_COMPUTE {
+            let m = get_varint(self.bytes, &mut self.pos);
+            let l = get_varint(self.bytes, &mut self.pos);
+            let s = get_varint(self.bytes, &mut self.pos);
+            let d = get_varint(self.bytes, &mut self.pos);
+            return Some(TraceOp::Compute(InstrBlock { m, l, s, d }));
+        }
+        let delta = unzigzag(get_varint(self.bytes, &mut self.pos));
+        let addr = self.last_addr.wrapping_add(delta as u64);
+        self.last_addr = addr;
+        if tag == TAG_LOAD_LEN || tag == TAG_STORE_LEN {
+            self.last_len = get_varint(self.bytes, &mut self.pos) as u32;
+        }
+        let len = self.last_len;
+        Some(match tag {
+            TAG_LOAD | TAG_LOAD_LEN => TraceOp::Load { addr, len },
+            TAG_STORE | TAG_STORE_LEN => TraceOp::Store { addr, len },
+            other => unreachable!("corrupt trace stream: tag {other}"),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining + usize::from(self.tail.is_some());
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceIter<'_> {}
+
+impl<'t> IntoIterator for &'t Trace {
+    type Item = TraceOp;
+    type IntoIter = TraceIter<'t>;
+
+    fn into_iter(self) -> TraceIter<'t> {
+        self.iter()
     }
 }
 
@@ -280,6 +458,7 @@ impl FromIterator<TraceOp> for Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use util::json::{FromJson, ToJson};
 
     #[test]
     fn instr_block_cycles_parallel_issue() {
@@ -333,6 +512,72 @@ mod tests {
     }
 
     #[test]
+    fn packed_stream_round_trips_every_op_shape() {
+        // Backward deltas, repeated lengths, length changes, interleaved
+        // compute blocks — decode must reproduce the exact sequence.
+        let mut t = Trace::new();
+        t.compute(InstrBlock::mac(7, 3));
+        t.load(1 << 40, 8);
+        t.load(64, 8); // huge backward delta, same len
+        t.store(65, 4); // +1 delta, new len
+        t.store(65, 4); // zero delta, same len
+        t.compute(InstrBlock::alu(5));
+        t.load(0, 1);
+        t.compute(InstrBlock::alu(1)); // trailing unencoded block
+        let ops: Vec<TraceOp> = t.iter().collect();
+        assert_eq!(
+            ops,
+            vec![
+                TraceOp::Compute(InstrBlock::mac(7, 3)),
+                TraceOp::Load {
+                    addr: 1 << 40,
+                    len: 8
+                },
+                TraceOp::Load { addr: 64, len: 8 },
+                TraceOp::Store { addr: 65, len: 4 },
+                TraceOp::Store { addr: 65, len: 4 },
+                TraceOp::Compute(InstrBlock::alu(5)),
+                TraceOp::Load { addr: 0, len: 1 },
+                TraceOp::Compute(InstrBlock::alu(1)),
+            ]
+        );
+        assert_eq!(t.len(), ops.len());
+        assert_eq!(t.iter().len(), ops.len());
+        // Rebuilding from the decoded ops is representation-identical.
+        let rebuilt: Trace = ops.into_iter().collect();
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn packed_storage_is_compact() {
+        // A realistic stride-8 stream must pack far below 24 B/op.
+        let mut t = Trace::new();
+        for i in 0..10_000u64 {
+            t.load(i * 8, 8);
+            t.compute(InstrBlock::alu(4));
+        }
+        assert!(
+            t.packed_bytes() < t.len() * 8,
+            "{} bytes for {} ops",
+            t.packed_bytes(),
+            t.len()
+        );
+    }
+
+    #[test]
+    fn trace_json_layout_is_the_ops_array() {
+        let mut t = Trace::new();
+        t.compute(InstrBlock::alu(2));
+        t.load(8, 8);
+        let text = t.to_json_pretty();
+        assert!(text.contains("\"ops\""));
+        assert!(text.contains("\"Compute\""));
+        assert!(text.contains("\"Load\""));
+        let back = Trace::from_json_str(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
     fn store_targets_are_word_aligned_and_deduped() {
         let mut t = Trace::new();
         t.store(100, 8); // word 3 (96..128)
@@ -354,8 +599,7 @@ mod tests {
         t.load(0, 8);
         let s = t.scalarized();
         let cycles = |tr: &Trace| -> u64 {
-            tr.ops()
-                .iter()
+            tr.iter()
                 .map(|op| match op {
                     TraceOp::Compute(b) => b.cycles(),
                     _ => 0,

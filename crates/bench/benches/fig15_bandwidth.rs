@@ -14,6 +14,11 @@ fn main() {
     );
     let suite = bench::suite();
     let r = bench::sweep_timed(&mut h, "sweep", &SystemKind::EVALUATED, &suite);
+    // The same grid on the analytic tier: the calibrated closed form
+    // replaces the cycle-accurate execution phase. Its wall-clock lands
+    // in the report as `sweep-analytic` so CI gates both tiers and the
+    // perf-trajectory artifact can state the tier speedup.
+    let ra = bench::sweep_timed_analytic(&mut h, "sweep-analytic", &SystemKind::EVALUATED, &suite);
     h.once("render", || {
         print!("{:<10}", "kernel");
         for k in SystemKind::EVALUATED {
@@ -63,6 +68,17 @@ fn main() {
         println!(
             "  PAGE-buffer vs Integrated-SLC {:.2}x (1.78x)",
             r.mean_normalized_bandwidth(PageBuffer, IntegratedSlc)
+        );
+        println!("\nanalytic-tier agreement (accurate value in parentheses):");
+        println!(
+            "  DRAM-less vs Hetero           {:.2}x ({:.2}x)",
+            ra.mean_normalized_bandwidth(DramLess, Hetero),
+            r.mean_normalized_bandwidth(DramLess, Hetero)
+        );
+        println!(
+            "  Heterodirect vs Hetero        {:.2}x ({:.2}x)",
+            ra.mean_normalized_bandwidth(Heterodirect, Hetero),
+            r.mean_normalized_bandwidth(Heterodirect, Hetero)
         );
     });
     h.finish();

@@ -1,0 +1,429 @@
+//! `calibrate` — fits the analytic tier's coefficients to the accurate
+//! tier and rewrites `crates/dramless/calibration.json`.
+//!
+//! For every Table I preset (plus the firmware variant and the ideal),
+//! the fitter:
+//!
+//! 1. runs a **calibration set** of workloads on the accurate tier and
+//!    extracts the observed execution-phase wall-clock;
+//! 2. solves a non-negative least-squares fit of the closed form's
+//!    per-request service times (buffer hit, medium fetch, medium
+//!    write) against those observations, re-picking each cell's
+//!    critical agent as the coefficients converge; rows are weighted by
+//!    the inverse of the observation so the fit minimises *relative*
+//!    error — the quantity the drift bounds are stated in;
+//! 3. fits the execution-phase backend *energy* residual (total
+//!    accurate energy minus everything the analytic model computes
+//!    exactly) as a linear model in the classified request counts;
+//! 4. measures the resulting drift on the calibration set plus a
+//!    **held-out** set the fit never saw, and commits
+//!    `1.5 × max drift + 2%` as the entry's drift bound — the contract
+//!    `tests/tier_calibration.rs` enforces.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin calibrate            # rewrite the table
+//! cargo run --release -p bench --bin calibrate -- out.json
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dramless::analytic::{
+    axes_key, run_with_entry, AgentDesign, CalibEntry, CalibrationTable, ExecModel,
+    CALIBRATION_SCHEMA,
+};
+use dramless::{simulate_built, RunOutcome, SystemKind, SystemParams};
+use util::json::ToJson;
+use workloads::suite::BuiltWorkload;
+use workloads::{Kernel, Scale, Workload};
+
+/// Workloads the coefficients are fitted against: enough spread in
+/// fill/write-back mix and footprint that the three service times are
+/// separately identifiable.
+fn calibration_set() -> Vec<Workload> {
+    [
+        (Kernel::Gemver, 0.25),
+        (Kernel::Gemver, 0.12),
+        (Kernel::Trisolv, 0.25),
+        (Kernel::Jaco2d, 0.25),
+        (Kernel::Jaco2d, 0.35),
+        (Kernel::Durbin, 0.25),
+        (Kernel::Floyd, 0.25),
+        (Kernel::Dynpro, 0.25),
+        (Kernel::Regd, 0.25),
+        // Full-scale rows: queue saturation and page-cache pressure grow
+        // nonlinearly with footprint, so the fit must span the scale
+        // axis or the coefficients underprice the evaluation scale.
+        (Kernel::Gemver, 1.0),
+        (Kernel::Jaco2d, 1.0),
+        (Kernel::Floyd, 1.0),
+    ]
+    .into_iter()
+    .map(|(k, s)| Workload::of(k, Scale(s)))
+    .collect()
+}
+
+/// Held-out workloads: only used to measure (and bound) drift.
+fn held_out_set() -> Vec<Workload> {
+    [
+        (Kernel::Lu, 0.3),
+        (Kernel::Seidel, 0.25),
+        (Kernel::Trisolv, 1.0),
+    ]
+    .into_iter()
+    .map(|(k, s)| Workload::of(k, Scale(s)))
+    .collect()
+}
+
+/// All twelve calibrated presets.
+fn presets() -> Vec<SystemKind> {
+    let mut v = SystemKind::EVALUATED.to_vec();
+    v.push(SystemKind::Ideal);
+    v
+}
+
+/// Gaussian elimination with partial pivoting. `None` when singular.
+fn gauss(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            let (top, rest) = a.split_at_mut(row);
+            for (dst, src) in rest[0].iter_mut().zip(&top[col]).skip(col) {
+                *dst -= f * src;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// Non-negative least squares over `rows` of (coefficients, target):
+/// solves the normal equations on the active column set, drops the
+/// most-negative coefficient and re-solves until all are >= 0.
+/// All-zero columns are excluded up front (their coefficient stays 0).
+fn solve_nnls(rows: &[(Vec<f64>, f64)], k: usize) -> Vec<f64> {
+    let mut x = vec![0.0; k];
+    let mut active: Vec<usize> = (0..k)
+        .filter(|&j| rows.iter().any(|(a, _)| a[j].abs() > 0.0))
+        .collect();
+    while !active.is_empty() {
+        let m = active.len();
+        let mut ata = vec![vec![0.0; m]; m];
+        let mut atb = vec![0.0; m];
+        for (a, b) in rows {
+            for (i, &ji) in active.iter().enumerate() {
+                atb[i] += a[ji] * b;
+                for (l, &jl) in active.iter().enumerate() {
+                    ata[i][l] += a[ji] * a[jl];
+                }
+            }
+        }
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] *= 1.0 + 1e-9; // tiny ridge for conditioning
+        }
+        match gauss(ata, atb) {
+            Some(sol) => {
+                let worst = sol
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v < 0.0)
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i);
+                match worst {
+                    Some(i) => {
+                        active.remove(i);
+                    }
+                    None => {
+                        for (i, &j) in active.iter().enumerate() {
+                            x[j] = sol[i];
+                        }
+                        break;
+                    }
+                }
+            }
+            None => {
+                active.pop();
+            }
+        }
+    }
+    x
+}
+
+/// Ordinary least squares with a tiny ridge — coefficients may be
+/// negative. Used for the energy residual, where a negative term is a
+/// legitimate correction (the closed form's summed stall double-counts
+/// shared waits, overcharging PE-stall energy); the runtime clamps the
+/// total charge at zero.
+fn solve_lsq(rows: &[(Vec<f64>, f64)], k: usize) -> Vec<f64> {
+    let mut x = vec![0.0; k];
+    let active: Vec<usize> = (0..k)
+        .filter(|&j| rows.iter().any(|(a, _)| a[j].abs() > 0.0))
+        .collect();
+    let m = active.len();
+    if m == 0 {
+        return x;
+    }
+    let mut ata = vec![vec![0.0; m]; m];
+    let mut atb = vec![0.0; m];
+    for (a, b) in rows {
+        for (i, &ji) in active.iter().enumerate() {
+            atb[i] += a[ji] * b;
+            for (l, &jl) in active.iter().enumerate() {
+                ata[i][l] += a[ji] * a[jl];
+            }
+        }
+    }
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] *= 1.0 + 1e-9;
+    }
+    if let Some(sol) = gauss(ata, atb) {
+        for (i, &j) in active.iter().enumerate() {
+            x[j] = sol[i];
+        }
+    }
+    x
+}
+
+/// The modeled end time of one agent row under coefficients
+/// `[tail, hit, miss, wb]` (ns).
+fn row_end(a: &AgentDesign, x: &[f64]) -> f64 {
+    a.fixed_ns + x[0] + a.hits * x[1] + a.misses * x[2] + a.wbs * x[3]
+}
+
+/// One `(preset, workload)` observation: the accurate outcome plus the
+/// coefficient-independent parts of the analytic model.
+struct CellObs {
+    built: Arc<BuiltWorkload>,
+    design: Vec<AgentDesign>,
+    acc: RunOutcome,
+}
+
+/// Fits `[tail_ns, fill_hit_ns, fill_miss_ns, wb_ns]` so the critical
+/// agent's closed-form end matches the observed execution span. The
+/// critical agent depends on the coefficients, so selection and fit
+/// iterate to a fixed point (converges in 2-3 rounds for near-symmetric
+/// agents). Rows are scaled by 1/observation: the fit minimises
+/// *relative* error.
+fn fit_latency(cells: &[CellObs], with_tail: bool) -> [f64; 4] {
+    let mut x = vec![0.0, 100.0, 10_000.0, 100.0];
+    for _ in 0..6 {
+        let rows: Vec<(Vec<f64>, f64)> = cells
+            .iter()
+            .map(|cell| {
+                let observed_ns = cell.acc.exec.total_time.as_ns_f64();
+                let crit = cell
+                    .design
+                    .iter()
+                    .max_by(|a, b| row_end(a, &x).total_cmp(&row_end(b, &x)))
+                    .expect("at least one agent");
+                let target = (observed_ns - crit.fixed_ns).max(0.0);
+                let w = 1.0 / observed_ns.max(1.0);
+                let tail_col = if with_tail { w } else { 0.0 };
+                (
+                    vec![tail_col, crit.hits * w, crit.misses * w, crit.wbs * w],
+                    target * w,
+                )
+            })
+            .collect();
+        x = solve_nnls(&rows, 4);
+    }
+    [x[0], x[1], x[2], x[3]]
+}
+
+/// Max fractional time drift of `entry` over `cells` — the candidate
+/// score for model selection (time only; the energy terms are fitted
+/// afterwards on the winner).
+fn max_time_drift(
+    spec: &dramless::SystemSpec,
+    params: &SystemParams,
+    cells: &[CellObs],
+    entry: &CalibEntry,
+) -> f64 {
+    cells
+        .iter()
+        .map(|cell| {
+            let ana =
+                run_with_entry(spec, &cell.built, params, entry.clone()).expect("preset composes");
+            (ana.total_time.as_ns_f64() / cell.acc.total_time.as_ns_f64() - 1.0).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The fitted closed-form execution span of one cell (ns).
+fn predicted_span_ns(cell: &CellObs, x: &[f64]) -> f64 {
+    cell.design
+        .iter()
+        .map(|a| row_end(a, x))
+        .fold(0.0, f64::max)
+}
+
+struct Drift {
+    time: f64,
+    energy: f64,
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../dramless/calibration.json").to_string()
+    });
+    let params = SystemParams::default();
+    let calib_n = calibration_set().len();
+    let all: Vec<Workload> = calibration_set()
+        .into_iter()
+        .chain(held_out_set())
+        .collect();
+
+    println!(
+        "{:<58} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "axes", "miss_ns", "hit_ns", "wb_ns", "dt_max", "de_max"
+    );
+
+    let mut entries = Vec::new();
+    for kind in presets() {
+        let spec = kind.spec();
+        let key = axes_key(&spec);
+        // A coefficient-free probe entry: the design matrix and request
+        // classification don't depend on the coefficients.
+        let probe = CalibEntry {
+            key: key.clone(),
+            fill_hit_ns: 0.0,
+            fill_miss_ns: 0.0,
+            wb_ns: 0.0,
+            tail_ns: 0.0,
+            hit_pj: 0.0,
+            fill_pj: 0.0,
+            wb_pj: 0.0,
+            base_pj: 0.0,
+            span_pw: 0.0,
+            time_bound: 1.0,
+            energy_bound: 1.0,
+        };
+
+        // One accurate run per cell, reused by every fitting stage.
+        let cells: Vec<CellObs> = all
+            .iter()
+            .map(|w| {
+                let built = w.build_cached(params.agents);
+                let model = ExecModel::with_entry(&spec, &built, &params, probe.clone())
+                    .expect("preset composes");
+                let design = model.design(&params);
+                let acc = simulate_built(kind, &built, &params);
+                CellObs { built, design, acc }
+            })
+            .collect();
+
+        // Fit with and without the tail intercept and keep whichever
+        // drifts less on the calibration set (the columns are nearly
+        // collinear for some presets, so let the data decide).
+        let lat = [true, false]
+            .into_iter()
+            .map(|with_tail| fit_latency(&cells[..calib_n], with_tail))
+            .min_by(|a, b| {
+                let score = |x: &[f64; 4]| {
+                    let e = CalibEntry {
+                        tail_ns: x[0],
+                        fill_hit_ns: x[1],
+                        fill_miss_ns: x[2],
+                        wb_ns: x[3],
+                        ..probe.clone()
+                    };
+                    max_time_drift(&spec, &params, &cells[..calib_n], &e)
+                };
+                score(a).total_cmp(&score(b))
+            })
+            .expect("two candidates");
+        let latency_only = CalibEntry {
+            tail_ns: lat[0],
+            fill_hit_ns: lat[1],
+            fill_miss_ns: lat[2],
+            wb_ns: lat[3],
+            ..probe.clone()
+        };
+
+        // Fit the backend energy residual over the classified counts
+        // plus the modeled span (background/static power).
+        let erows: Vec<(Vec<f64>, f64)> = cells[..calib_n]
+            .iter()
+            .map(|cell| {
+                let known = run_with_entry(&spec, &cell.built, &params, latency_only.clone())
+                    .expect("preset composes");
+                let residual_pj =
+                    (cell.acc.total_energy().as_j() - known.total_energy().as_j()) * 1e12;
+                let hits: f64 = cell.design.iter().map(|a| a.hits).sum();
+                let misses: f64 = cell.design.iter().map(|a| a.misses).sum();
+                let wbs: f64 = cell.design.iter().map(|a| a.wbs).sum();
+                let span = predicted_span_ns(cell, &lat);
+                let w = 1.0 / residual_pj.abs().max(1.0);
+                (
+                    vec![w, hits * w, misses * w, wbs * w, span * w],
+                    residual_pj * w,
+                )
+            })
+            .collect();
+        let e = solve_lsq(&erows, 5);
+        let fitted = CalibEntry {
+            base_pj: e[0],
+            hit_pj: e[1],
+            fill_pj: e[2],
+            wb_pj: e[3],
+            span_pw: e[4],
+            ..latency_only
+        };
+
+        // Measure drift on calibration + held-out cells, bound it.
+        let mut dt_max = 0.0f64;
+        let mut de_max = 0.0f64;
+        for cell in &cells {
+            let ana = run_with_entry(&spec, &cell.built, &params, fitted.clone())
+                .expect("preset composes");
+            let d = Drift {
+                time: (ana.total_time.as_ns_f64() / cell.acc.total_time.as_ns_f64() - 1.0).abs(),
+                energy: (ana.total_energy().as_j() / cell.acc.total_energy().as_j() - 1.0).abs(),
+            };
+            dt_max = dt_max.max(d.time);
+            de_max = de_max.max(d.energy);
+        }
+        let bound = |d: f64| ((1.5 * d + 0.02) * 1000.0).ceil() / 1000.0;
+        let entry = CalibEntry {
+            time_bound: bound(dt_max),
+            energy_bound: bound(de_max),
+            ..fitted
+        };
+        println!(
+            "{:<58} {:>9.1} {:>9.1} {:>9.1} {:>6.1}% {:>6.1}%",
+            entry.key,
+            entry.fill_miss_ns,
+            entry.fill_hit_ns,
+            entry.wb_ns,
+            dt_max * 100.0,
+            de_max * 100.0
+        );
+        entries.push(entry);
+    }
+
+    let table = CalibrationTable {
+        schema: CALIBRATION_SCHEMA,
+        entries,
+    };
+    if let Err(e) = std::fs::write(&out_path, table.to_json_pretty()) {
+        eprintln!("calibrate: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("calibration table written to {out_path}");
+    ExitCode::SUCCESS
+}

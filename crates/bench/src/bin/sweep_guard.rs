@@ -1,24 +1,72 @@
-//! `sweep-guard` — CI gate for the sweep engine's wall-clock.
+//! `sweep-guard` — CI gate for the sweep engine's wall-clock, per tier.
 //!
-//! Reads the JSON report a `BENCH_SMOKE=1` bench run wrote (the
-//! measurement named `sweep`, recorded by `bench::sweep_timed`) and
-//! compares it against the committed baseline
-//! (`crates/bench/sweep_baseline.json`). Exits non-zero when the smoke
-//! sweep took more than `max_regression` times the baseline — a cheap
-//! tripwire for "someone serialized the sweep again", deliberately
-//! loose (2×) so ordinary CI-runner noise never trips it.
+//! Reads the JSON report a `BENCH_SMOKE=1` bench run wrote and compares
+//! every tier's smoke-sweep measurement (`sweep` = accurate,
+//! `sweep-analytic` = analytic; both recorded by `bench::sweep_timed` /
+//! `bench::sweep_timed_analytic`) against the committed baseline
+//! `crates/bench/sweep_baseline.json` (schema-versioned; re-record
+//! deliberately, with the reason in the commit message). The guard
+//! fails, printing a readable delta table, when:
+//!
+//! * any tier's execution wall-clock exceeds `max_regression` times its
+//!   baseline — a loose 2× tripwire for "someone serialized the sweep
+//!   again" (CI-runner noise never trips it); or
+//! * the analytic tier's cells/second falls below
+//!   `min_analytic_speedup` times the accurate tier's — the committed
+//!   floor on what the fidelity-tier split buys.
 //!
 //! ```sh
 //! sweep-guard bench-fig15_bandwidth.json crates/bench/sweep_baseline.json
 //! ```
 
 use std::process::ExitCode;
-use util::bench::BenchReport;
-use util::json::{FromJson, Json};
+use util::bench::{BenchReport, Measurement};
+use util::json::FromJson;
+
+/// One tier's committed baseline: the measurement name a smoke run
+/// records and the wall-clock it recorded when last re-based.
+#[derive(Debug, Clone, PartialEq)]
+struct TierBaseline {
+    /// Measurement name in the bench report (`sweep`, `sweep-analytic`).
+    name: String,
+    /// Baseline smoke execution wall-clock, nanoseconds.
+    smoke_ns: u64,
+}
+
+util::json_struct!(TierBaseline { name, smoke_ns });
+
+/// The committed baseline file.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepBaseline {
+    /// Baseline file schema; this guard understands version 2.
+    schema: u64,
+    /// Human context for whoever re-records it.
+    note: String,
+    /// Per-tier wall-clock limit, as a multiple of `smoke_ns`.
+    max_regression: f64,
+    /// Floor on analytic cells/s ÷ accurate cells/s.
+    min_analytic_speedup: f64,
+    /// One entry per gated tier measurement.
+    tiers: Vec<TierBaseline>,
+}
+
+util::json_struct!(SweepBaseline {
+    schema,
+    note,
+    max_regression,
+    min_analytic_speedup,
+    tiers
+});
+
+const SCHEMA: u64 = 2;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sweep-guard: {msg}");
     ExitCode::FAILURE
+}
+
+fn secs(ns: f64) -> f64 {
+    ns / 1e9
 }
 
 fn main() -> ExitCode {
@@ -46,43 +94,101 @@ fn main() -> ExitCode {
              calibrates smoke sweeps"
         ));
     }
-    let sweep = match report.measurements.iter().find(|m| m.name == "sweep") {
-        Some(m) => m,
-        None => return fail(&format!("{report_path} has no `sweep` measurement")),
-    };
 
     let baseline_text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => return fail(&format!("reading {baseline_path}: {e}")),
     };
-    let baseline = match Json::parse(&baseline_text) {
-        Ok(j) => j,
+    let baseline = match SweepBaseline::from_json_str(&baseline_text) {
+        Ok(b) => b,
         Err(e) => return fail(&format!("parsing {baseline_path}: {e:?}")),
     };
-    let base_ns = match baseline.get("sweep_smoke_ns").and_then(Json::as_u64) {
-        Some(n) if n > 0 => n,
-        _ => return fail(&format!("{baseline_path} lacks a positive sweep_smoke_ns")),
-    };
-    let max_regression = baseline
-        .get("max_regression")
-        .and_then(Json::as_f64)
-        .unwrap_or(2.0);
-
-    let ratio = sweep.median_ns as f64 / base_ns as f64;
-    println!(
-        "sweep-guard: smoke sweep {:.3}s vs baseline {:.3}s — {:.2}x (limit {:.1}x), {:.1} cells/s",
-        sweep.median_ns as f64 / 1e9,
-        base_ns as f64 / 1e9,
-        ratio,
-        max_regression,
-        sweep.units_per_sec,
-    );
-    if ratio > max_regression {
+    if baseline.schema != SCHEMA {
         return fail(&format!(
-            "sweep wall-clock regressed {ratio:.2}x over the committed baseline \
-             (limit {max_regression:.1}x); if this is an intentional trade, \
-             re-record {baseline_path}"
+            "{baseline_path} is schema {} but this guard understands schema \
+             {SCHEMA}; re-record the baseline or update the guard",
+            baseline.schema
         ));
     }
-    ExitCode::SUCCESS
+    if baseline.tiers.is_empty() {
+        return fail(&format!("{baseline_path} gates no tiers"));
+    }
+
+    // One row per gated tier; collect everything before judging so the
+    // delta table is complete even when the first tier is the one that
+    // regressed.
+    let mut rows: Vec<(&TierBaseline, &Measurement, f64)> = Vec::new();
+    for tier in &baseline.tiers {
+        let m = match report.measurements.iter().find(|m| m.name == tier.name) {
+            Some(m) => m,
+            None => {
+                return fail(&format!(
+                    "{report_path} has no `{}` measurement (tiers gated: {})",
+                    tier.name,
+                    baseline
+                        .tiers
+                        .iter()
+                        .map(|t| t.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            }
+        };
+        rows.push((tier, m, m.median_ns as f64 / tier.smoke_ns as f64));
+    }
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>7} {:>7} {:>10}",
+        "tier", "observed", "baseline", "ratio", "limit", "cells/s"
+    );
+    for (tier, m, ratio) in &rows {
+        println!(
+            "{:<16} {:>9.3}s {:>9.3}s {:>6.2}x {:>6.1}x {:>10.1}",
+            tier.name,
+            secs(m.median_ns as f64),
+            secs(tier.smoke_ns as f64),
+            ratio,
+            baseline.max_regression,
+            m.units_per_sec,
+        );
+    }
+
+    let mut failures = Vec::new();
+    for (tier, _, ratio) in &rows {
+        if *ratio > baseline.max_regression {
+            failures.push(format!(
+                "`{}` wall-clock regressed {ratio:.2}x over the committed \
+                 baseline (limit {:.1}x)",
+                tier.name, baseline.max_regression
+            ));
+        }
+    }
+    let rate = |name: &str| {
+        rows.iter()
+            .find(|(t, _, _)| t.name == name)
+            .map(|(_, m, _)| m.units_per_sec)
+    };
+    if let (Some(acc), Some(ana)) = (rate("sweep"), rate("sweep-analytic")) {
+        let speedup = if acc > 0.0 { ana / acc } else { f64::INFINITY };
+        println!(
+            "analytic speedup: {speedup:.1}x cells/s over accurate (floor {:.1}x)",
+            baseline.min_analytic_speedup
+        );
+        if speedup < baseline.min_analytic_speedup {
+            failures.push(format!(
+                "analytic tier is only {speedup:.1}x the accurate tier's \
+                 cells/s (floor {:.1}x)",
+                baseline.min_analytic_speedup
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        fail(&format!(
+            "{}; if this is an intentional trade, re-record {baseline_path}",
+            failures.join("; ")
+        ))
+    }
 }

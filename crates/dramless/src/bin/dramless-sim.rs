@@ -8,7 +8,9 @@
 //! dramless-sim --list-systems
 //! ```
 
-use dramless::{FaultPlan, RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec};
+use dramless::{
+    FaultPlan, FidelityTier, RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec,
+};
 use std::process::ExitCode;
 use util::json::{FromJson, ToJson};
 use util::telemetry::MetricValue;
@@ -27,6 +29,7 @@ struct Options {
     metrics: bool,
     trace_out: Option<String>,
     faults: Option<FaultPlan>,
+    tier: Option<FidelityTier>,
 }
 
 fn usage() -> &'static str {
@@ -35,7 +38,8 @@ fn usage() -> &'static str {
      USAGE:\n\
        dramless-sim [--system <name>|all] [--spec <file.json>]\n\
                     [--kernel <name>|all] [--scale <f>] [--seed <n>]\n\
-                    [--agents <n>] [--json <path>] [--metrics]\n\
+                    [--agents <n>] [--tier accurate|analytic]\n\
+                    [--json <path>] [--metrics]\n\
                     [--faults <file.json>] [--trace-out <path>]\n\
                     [--list] [--list-systems]\n\
      \n\
@@ -50,6 +54,11 @@ fn usage() -> &'static str {
        --scale         workload scale factor                [default: 1.0]\n\
        --seed          determinism seed                     [default: 42]\n\
        --agents        agent PEs running the kernel         [default: 7]\n\
+       --tier          fidelity tier for every cell: `accurate` replays\n\
+                       each request cycle-accurately, `analytic` prices the\n\
+                       memory schedule with the calibrated closed form\n\
+                       (~40x faster, within committed per-preset drift\n\
+                       bounds)                              [default: accurate]\n\
        --json          also write the full SuiteResult as JSON\n\
        --metrics       switch on telemetry for every cell: per-component\n\
                        counters and latency histograms, printed after the\n\
@@ -140,6 +149,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         metrics: false,
         trace_out: None,
         faults: None,
+        tier: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -188,6 +198,14 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     return Err("agents must be in 1..=7 (8 PEs, one serves)".into());
                 }
                 opts.agents = n;
+            }
+            "--tier" => {
+                let v = value("--tier")?;
+                opts.tier = Some(match v.to_ascii_lowercase().as_str() {
+                    "accurate" => FidelityTier::Accurate,
+                    "analytic" => FidelityTier::Analytic,
+                    _ => return Err(format!("unknown tier `{v}` (accurate|analytic)")),
+                });
             }
             "--json" => opts.json = Some(value("--json")?),
             "--metrics" => opts.metrics = true,
@@ -299,6 +317,11 @@ fn main() -> ExitCode {
             .iter()
             .map(|s| (SystemId::Custom(s.display_name()), s.clone())),
     );
+    if let Some(tier) = opts.tier {
+        for (_, spec) in systems.iter_mut() {
+            spec.tier = tier;
+        }
+    }
     if opts.metrics {
         for (_, spec) in systems.iter_mut() {
             spec.telemetry.get_or_insert_with(Default::default);

@@ -57,6 +57,7 @@
 //! assert_eq!(out.system.name(), "tlc-p2p");
 //! ```
 
+pub mod analytic;
 pub mod config;
 pub mod report;
 pub mod spec;
@@ -66,9 +67,10 @@ pub mod system;
 pub use config::{SystemId, SystemKind, SystemParams};
 pub use report::{Breakdown, RunOutcome, SuiteResult};
 pub use sim_core::fault::{FaultCounters, FaultPlan};
+pub use sim_core::mem::FidelityTier;
 pub use spec::{Buffer, Control, Datapath, Medium, SpecError, SystemSpec, TelemetrySpec};
 pub use sweep::{sweep_specs, sweep_with_stats, SweepStats};
 pub use system::{
-    build_system, run_suite, simulate, simulate_dramless_scheduler, simulate_spec,
+    build_system, run_suite, simulate, simulate_built, simulate_dramless_scheduler, simulate_spec,
     simulate_spec_built, simulate_spec_traced, ComposedSystem,
 };

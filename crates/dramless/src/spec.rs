@@ -18,6 +18,7 @@ use crate::config::SystemKind;
 use flash::CellKind;
 use pram_ctrl::{FirmwareParams, SchedulerKind};
 use sim_core::fault::FaultPlan;
+use sim_core::mem::FidelityTier;
 use std::fmt;
 use util::json::{field, FromJson, Json, JsonError, ToJson};
 
@@ -144,6 +145,7 @@ impl Default for TelemetrySpec {
 ///     control: Control::HardwareAutomated { scheduler: SchedulerKind::Final },
 ///     telemetry: None,
 ///     faults: None,
+///     tier: Default::default(),
 /// };
 /// let text = util::json::ToJson::to_json_pretty(&spec);
 /// let back = <SystemSpec as util::json::FromJson>::from_json_str(&text).unwrap();
@@ -172,6 +174,11 @@ pub struct SystemSpec {
     /// `telemetry`, the key is serialized only when present, so
     /// fault-free specs and reports are byte-identical to before.
     pub faults: Option<FaultPlan>,
+    /// Fidelity tier: [`FidelityTier::Accurate`] (the default) runs the
+    /// protocol-level models; [`FidelityTier::Analytic`] runs the
+    /// calibrated closed-form models (see `crate::analytic`). Serialized
+    /// only when non-default, so existing spec files are unchanged.
+    pub tier: FidelityTier,
 }
 
 // Hand-written (not `json_struct!`) so the `telemetry` and `faults`
@@ -192,6 +199,9 @@ impl ToJson for SystemSpec {
         if let Some(f) = &self.faults {
             fields.push(("faults".to_string(), f.to_json()));
         }
+        if self.tier != FidelityTier::default() {
+            fields.push(("tier".to_string(), self.tier.to_json()));
+        }
         Json::Obj(fields)
     }
 }
@@ -206,6 +216,7 @@ impl FromJson for SystemSpec {
             control: field(v, "control")?,
             telemetry: field(v, "telemetry")?,
             faults: field(v, "faults")?,
+            tier: field::<Option<FidelityTier>>(v, "tier")?.unwrap_or_default(),
         })
     }
 }
@@ -529,6 +540,7 @@ impl SystemKind {
             control,
             telemetry: None,
             faults: None,
+            tier: FidelityTier::Accurate,
         }
     }
 }
@@ -587,6 +599,7 @@ mod tests {
             },
             telemetry: None,
             faults: None,
+            tier: FidelityTier::Accurate,
         };
         let back = SystemSpec::from_json_str(&spec.to_json_pretty()).unwrap();
         assert_eq!(back, spec);
@@ -640,6 +653,25 @@ mod tests {
         // A spec file written before the knob existed still parses.
         let old = SystemSpec::from_json_str(&off.to_json_string()).unwrap();
         assert_eq!(old, off);
+    }
+
+    #[test]
+    fn tier_knob_is_omitted_when_accurate_and_round_trips_when_analytic() {
+        let acc = SystemKind::DramLess.spec();
+        assert!(!acc.to_json_string().contains("tier"));
+
+        let ana = SystemSpec {
+            tier: FidelityTier::Analytic,
+            ..acc.clone()
+        };
+        let text = ana.to_json_pretty();
+        assert!(text.contains("\"tier\": \"Analytic\""));
+        let back = SystemSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, ana);
+
+        // A spec file written before the knob existed still parses.
+        let old = SystemSpec::from_json_str(&acc.to_json_string()).unwrap();
+        assert_eq!(old, acc);
     }
 
     #[test]

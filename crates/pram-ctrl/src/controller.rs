@@ -644,8 +644,13 @@ impl PramController {
         if !interleaves {
             self.channel_serial[ch_idx] = data_ready;
         }
-        let wi = self.cfg.map.word_index(frag.global_addr);
-        self.last_touch.insert(wi, data_ready);
+        // Touch tracking only feeds the selective-erase window search in
+        // `write_frag`; schedulers without the optimization skip the
+        // per-op hash insert entirely (the map stays empty).
+        if self.cfg.scheduler.selective_erase() {
+            let wi = self.cfg.map.word_index(frag.global_addr);
+            self.last_touch.insert(wi, data_ready);
+        }
 
         let lo = col_off as usize;
         let hi = lo + frag.len as usize;
@@ -849,7 +854,10 @@ impl PramController {
         if !interleaves {
             self.channel_serial[ch_idx] = exec_accepted;
         }
-        self.last_touch.insert(wi, prog_end);
+        // As in `read_frag`: touch tracking exists for selective erasing.
+        if selective {
+            self.last_touch.insert(wi, prog_end);
+        }
 
         // Posted write: the requester resumes at execute-accept.
         Access {

@@ -46,7 +46,7 @@ pub mod timeline;
 pub use energy::{EnergyAccount, EnergyBook, Joules, Watts};
 pub use event::{Event, EventQueue};
 pub use fault::{FaultCounters, FaultPlan, PramFaults, ResiliencePolicy, SsdFaults};
-pub use mem::{Access, MemoryBackend};
+pub use mem::{Access, FidelityTier, MemoryBackend};
 pub use probe::{Probe, Telemetry};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, TimeSeries};

@@ -17,6 +17,44 @@ use crate::probe::Probe;
 use crate::time::Picos;
 use util::telemetry::MetricSet;
 
+/// How faithfully a backend (or a whole system) models time.
+///
+/// * [`FidelityTier::Accurate`] — the cycle-approximate protocol models:
+///   every request walks row buffers, buses and program queues.
+/// * [`FidelityTier::Analytic`] — closed-form latency/energy estimators
+///   whose coefficients are *calibrated* against the accurate tier
+///   (`calibrate` bench binary); orders of magnitude faster, drift-bound
+///   tested.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FidelityTier {
+    /// Full protocol-level timing (the default everywhere).
+    #[default]
+    Accurate,
+    /// Calibrated closed-form models.
+    Analytic,
+}
+
+util::json_unit_enum!(FidelityTier { Accurate, Analytic });
+
+impl FidelityTier {
+    /// Lower-case label for CLI flags and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FidelityTier::Accurate => "accurate",
+            FidelityTier::Analytic => "analytic",
+        }
+    }
+
+    /// Parses the CLI spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "accurate" => Some(FidelityTier::Accurate),
+            "analytic" => Some(FidelityTier::Analytic),
+            _ => None,
+        }
+    }
+}
+
 /// The completed timing of one memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
@@ -83,6 +121,13 @@ pub trait MemoryBackend {
     /// Backends without fault modeling (or with no plan attached)
     /// contribute nothing.
     fn collect_faults(&self, _out: &mut FaultCounters) {}
+
+    /// Which fidelity tier this backend's timings come from. Every
+    /// protocol-level model reports [`FidelityTier::Accurate`] (the
+    /// default); calibrated closed-form backends override.
+    fn tier(&self) -> FidelityTier {
+        FidelityTier::Accurate
+    }
 }
 
 #[cfg(test)]

@@ -198,6 +198,19 @@ impl Harness {
         out
     }
 
+    /// Records an externally-timed duration as a single-sample
+    /// measurement — for work whose phases the caller has already
+    /// clocked (e.g. a sweep's build/execute split).
+    pub fn record(&mut self, name: &str, elapsed_ns: u64) {
+        self.push(Measurement::from_samples(name, 0, vec![elapsed_ns]));
+    }
+
+    /// Like [`Harness::record`] with a work-item count: derives
+    /// items/second from the supplied duration.
+    pub fn record_throughput(&mut self, name: &str, units: u64, elapsed_ns: u64) {
+        self.push(Measurement::from_samples(name, 0, vec![elapsed_ns]).with_units(units));
+    }
+
     fn push(&mut self, m: Measurement) {
         assert!(
             self.report.measurements.iter().all(|e| e.name != m.name),

@@ -13,6 +13,9 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use accel::cache::CacheConfig;
+use accel::sched::MemSchedule;
+
 use crate::suite::{BuiltWorkload, Workload};
 
 /// Everything that determines a build's output. `Scale` only influences
@@ -56,6 +59,56 @@ impl Workload {
     }
 }
 
+/// A build's memory schedule is keyed by the build key plus the cache
+/// geometry it was replayed against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SchedKey {
+    kernel: crate::suite::Kernel,
+    n: usize,
+    steps: usize,
+    agents: usize,
+    l1: (u32, u32, u32),
+    l2: (u32, u32, u32),
+}
+
+type SchedSlot = Arc<OnceLock<Arc<MemSchedule>>>;
+
+fn sched_cache() -> &'static Mutex<HashMap<SchedKey, SchedSlot>> {
+    static CACHE: OnceLock<Mutex<HashMap<SchedKey, SchedSlot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl Workload {
+    /// The memoized [`MemSchedule`] of this workload's cached build: the
+    /// exact backend-facing request counts the accurate engine would
+    /// produce for `agents` traces against `l1`/`l2` geometry. Because a
+    /// schedule is backend-independent, one replay serves every system
+    /// of a sweep row — the analytic tier's main amortization.
+    pub fn schedule_cached(
+        &self,
+        agents: usize,
+        l1: CacheConfig,
+        l2: CacheConfig,
+    ) -> Arc<MemSchedule> {
+        let key = SchedKey {
+            kernel: self.kernel,
+            n: self.n,
+            steps: self.steps,
+            agents,
+            l1: (l1.capacity, l1.line, l1.ways),
+            l2: (l2.capacity, l2.line, l2.ways),
+        };
+        let slot = {
+            let mut map = sched_cache().lock().expect("schedule cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| {
+            let built = self.build_cached(agents);
+            Arc::new(MemSchedule::build(&built.traces, l1, l2))
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +133,21 @@ mod tests {
         let direct = w.build(2);
         assert_eq!(cached.character, direct.character);
         assert_eq!(cached.traces.len(), direct.traces.len());
+    }
+
+    #[test]
+    fn cached_schedules_are_shared_and_exact() {
+        let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+        let l1 = CacheConfig::l1();
+        let l2 = CacheConfig::l2();
+        let a = w.schedule_cached(2, l1, l2);
+        let b = w.schedule_cached(2, l1, l2);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one schedule");
+        let built = w.build_cached(2);
+        assert_eq!(*a, MemSchedule::build(&built.traces, l1, l2));
+        // Different geometry is a different schedule.
+        let c = w.schedule_cached(2, CacheConfig::l1_paper(), l2);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]

@@ -281,11 +281,11 @@ mod tests {
         let m = Arr2::init(&mut layout, 4, 4, |i, j| (i * 4 + j) as f64);
         assert_eq!(m.get(&mut rec, 0, 2, 3), 11.0);
         let traces = rec.into_traces();
-        match traces[0].ops()[0] {
-            accel::trace::TraceOp::Load { addr, .. } => {
+        match traces[0].iter().next() {
+            Some(accel::trace::TraceOp::Load { addr, .. }) => {
                 assert_eq!(addr, DATA_BASE + (2 * 4 + 3) * 8);
             }
-            ref other => panic!("expected load, got {other:?}"),
+            other => panic!("expected load, got {other:?}"),
         }
     }
 

@@ -36,6 +36,7 @@ fn main() {
         },
         telemetry: None,
         faults: None,
+        tier: Default::default(),
     };
 
     // Off-table point 2: a PALP-style staged PRAM — the 3x-nm sample as
@@ -50,6 +51,7 @@ fn main() {
         },
         telemetry: None,
         faults: None,
+        tier: Default::default(),
     };
 
     // Specs are plain data: serialize, reparse, and the reparsed spec

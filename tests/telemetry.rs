@@ -28,6 +28,7 @@ fn palp_style() -> SystemSpec {
         },
         telemetry: None,
         faults: None,
+        tier: Default::default(),
     }
 }
 

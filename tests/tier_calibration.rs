@@ -1,0 +1,105 @@
+//! The fidelity-tier contract: on every Table I preset (plus the
+//! ideal), the analytic tier's total time and energy stay within the
+//! **committed** drift bounds of the accurate tier.
+//!
+//! The bounds live in `crates/dramless/calibration.json`, written by
+//! `cargo run --release -p bench --bin calibrate` as
+//! `1.5 × max observed drift + 2%` over its calibration + held-out
+//! workloads. This test re-measures drift on workloads drawn from both
+//! of those sets — one the fit saw, one it never did — so a calibration
+//! table that silently went stale against the accurate engine fails
+//! loudly here, per preset, with the measured and committed numbers in
+//! the message.
+
+use dramless::analytic::{axes_key, CalibrationTable};
+use dramless::{simulate_spec_built, FidelityTier, SystemKind, SystemParams, SystemSpec};
+use workloads::{Kernel, Scale, Workload};
+
+/// Every calibrated preset.
+fn presets() -> Vec<SystemKind> {
+    let mut v = SystemKind::EVALUATED.to_vec();
+    v.push(SystemKind::Ideal);
+    v
+}
+
+/// One workload the fitter trained on, one it only ever validated on.
+fn probes() -> Vec<Workload> {
+    vec![
+        Workload::of(Kernel::Gemver, Scale(0.25)),
+        Workload::of(Kernel::Lu, Scale(0.3)),
+    ]
+}
+
+#[test]
+fn analytic_tier_stays_within_committed_bounds_on_every_preset() {
+    let params = SystemParams::default();
+    let table = CalibrationTable::embedded();
+    let mut failures = Vec::new();
+
+    for kind in presets() {
+        let spec = kind.spec();
+        let entry = table
+            .lookup(&axes_key(&spec))
+            .unwrap_or_else(|| panic!("no calibration entry for {kind:?}"));
+        for w in probes() {
+            let built = w.build_cached(params.agents);
+            let acc = simulate_spec_built(&spec, &built, &params).unwrap();
+            let ana_spec = SystemSpec {
+                tier: FidelityTier::Analytic,
+                ..spec.clone()
+            };
+            let ana = simulate_spec_built(&ana_spec, &built, &params).unwrap();
+
+            let dt = (ana.total_time.as_ns_f64() / acc.total_time.as_ns_f64() - 1.0).abs();
+            let de = (ana.total_energy().as_j() / acc.total_energy().as_j() - 1.0).abs();
+            if dt > entry.time_bound {
+                failures.push(format!(
+                    "{kind:?} × {:?}(n={}): time drift {:.1}% exceeds committed \
+                     bound {:.1}%",
+                    w.kernel,
+                    w.n,
+                    dt * 100.0,
+                    entry.time_bound * 100.0
+                ));
+            }
+            if de > entry.energy_bound {
+                failures.push(format!(
+                    "{kind:?} × {:?}(n={}): energy drift {:.1}% exceeds committed \
+                     bound {:.1}%",
+                    w.kernel,
+                    w.n,
+                    de * 100.0,
+                    entry.energy_bound * 100.0
+                ));
+            }
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "analytic tier drifted out of its committed bounds (re-run the \
+         calibrate bin and commit the table if the accurate engine changed \
+         deliberately):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_preset_has_a_schema_current_calibration_entry() {
+    let table = CalibrationTable::embedded();
+    for kind in presets() {
+        let entry = table
+            .lookup(&axes_key(&kind.spec()))
+            .unwrap_or_else(|| panic!("no calibration entry for {kind:?}"));
+        assert!(
+            entry.time_bound > 0.0 && entry.time_bound < 2.0,
+            "{kind:?}: implausible time bound {}",
+            entry.time_bound
+        );
+        assert!(
+            entry.energy_bound > 0.0 && entry.energy_bound < 3.0,
+            "{kind:?}: implausible energy bound {}",
+            entry.energy_bound
+        );
+    }
+}
