@@ -13,10 +13,11 @@
 use crate::cache::{Cache, CacheConfig, CacheLevelStats};
 use crate::pe::{PeConfig, PeStats};
 use crate::psc::{PowerSleepController, PscParams};
+use crate::sched::{MemSchedule, ReplayEvent, ReplayStep};
 use crate::trace::{Trace, TraceIter, TraceOp};
 use crate::xbar::{Crossbar, XbarConfig};
-use sim_core::energy::EnergyBook;
-use sim_core::mem::MemoryBackend;
+use sim_core::energy::{EnergyBook, Joules};
+use sim_core::mem::{MemoryBackend, StreamOp};
 use sim_core::probe::Probe;
 use sim_core::stats::TimeSeries;
 use sim_core::time::Picos;
@@ -533,6 +534,341 @@ impl Accelerator {
             mem_requests,
         }
     }
+
+    /// Executes one kernel by replaying a prebuilt [`MemSchedule`]
+    /// instead of re-decoding traces and re-simulating the caches.
+    ///
+    /// Produces a report bit-identical to
+    /// [`Accelerator::run_at`]`(start, traces, backend)` for the traces
+    /// the schedule was built from — the schedule already froze the
+    /// backend request stream and the per-op hit timing, so the replay
+    /// keeps the same closed-loop issue/completion arbitration while
+    /// skipping the trace decode, the cache simulation and the per-label
+    /// energy map lookups. Backend requests cross the boundary through
+    /// the batched [`MemoryBackend::run_stream`] entry, one slice per
+    /// memory op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty or has more agents than PEs, if
+    /// its cache geometry differs from this accelerator's, or if a
+    /// contended crossbar is configured (the replay models only the
+    /// fixed-latency crossbar, which is every preset).
+    pub fn run_schedule_at(
+        &self,
+        start: Picos,
+        sched: &MemSchedule,
+        backend: &mut dyn MemoryBackend,
+    ) -> ExecReport {
+        assert!(!sched.agents.is_empty(), "no kernel traces supplied");
+        assert!(
+            sched.agents.len() <= self.agents(),
+            "{} traces but only {} agents",
+            sched.agents.len(),
+            self.agents()
+        );
+        let cfg = &self.config;
+        assert!(
+            cfg.xbar.is_none(),
+            "schedule replay supports only the fixed-latency crossbar"
+        );
+        assert!(
+            sched.l1 == cfg.l1 && sched.l2 == cfg.l2,
+            "schedule built under a different cache geometry"
+        );
+        let mut psc = PowerSleepController::new(cfg.psc, cfg.pes);
+        let mut energy = EnergyBook::new();
+        let series_cap = 512;
+        let mut ipc_series = TimeSeries::with_capacity(cfg.sample_bucket, series_cap);
+        let mut power_series = TimeSeries::with_capacity(cfg.sample_bucket, series_cap);
+
+        /// Replay cursor of one agent: where it is in its step and event
+        /// streams.
+        struct SchedRun {
+            step: usize,
+            event: usize,
+            time: Picos,
+            stats: PeStats,
+            done: bool,
+        }
+
+        // Server (PE 0) schedules the agents — identical launch path to
+        // `run_at`, with the announce payload memoized in the schedule.
+        let mut launch = start;
+        let mut agents: Vec<SchedRun> = sched
+            .agents
+            .iter()
+            .enumerate()
+            .map(|(i, sa)| {
+                launch += cfg.launch_overhead;
+                let ready = psc.wake(launch, i + 1);
+                if cfg.announce_stores && !sa.store_targets.is_empty() {
+                    backend.announce_overwrites(ready, &sa.store_targets);
+                }
+                SchedRun {
+                    step: 0,
+                    event: 0,
+                    time: ready,
+                    stats: PeStats::default(),
+                    done: false,
+                }
+            })
+            .collect();
+
+        let mut bytes_from = 0u64;
+        let mut bytes_to = 0u64;
+        let mut mem_requests = 0u64;
+        let l2_line = cfg.l2.line;
+        // Hit service times are exact linear functions of the hit count
+        // (`Picos * u64` is integer-exact), so a run of hits collapses
+        // to one multiply without changing a single picosecond.
+        let l1_hit = cfg.pe.clock.cycles_to_time(cfg.pe.l1_hit_cycles);
+        let l2_hit = cfg.pe.clock.cycles_to_time(cfg.pe.l2_hit_cycles);
+        // The MCU write queue, as a bare slot array for `run_stream`.
+        let mut wq = vec![Picos::ZERO; cfg.mcu_write_queue.max(1)];
+        // Reused request slice handed to the backend per memory op.
+        let mut buf: Vec<StreamOp> = Vec::with_capacity(16);
+        // Per-label energy is accumulated locally and flushed in one
+        // `charge_many` per label — `Joules` is an integer femtojoule
+        // count, so the batched sum is bit-equal to per-op charges.
+        let mut compute_e = Joules(0);
+        let mut compute_n = 0u64;
+        let mut stall_e = Joules(0);
+        let mut stall_n = 0u64;
+        // One-entry memos for the per-op energy floats: kernel loops
+        // repeat the same compute blocks and hit patterns, and
+        // `Watts * Picos` plus `Joules::as_j` each round through f64 —
+        // memoizing on the duration reproduces the identical per-op
+        // values while skipping the conversions for the repeats.
+        let mut memo_compute: Option<(u64, Picos, Joules, f64)> = None;
+        let mut memo_stall: Option<(Picos, Joules, f64)> = None;
+
+        // Same arbitration loop as `run_at`: advance the globally
+        // earliest agent, batching ops while it stays strictly ahead of
+        // the runner-up.
+        let n = agents.len();
+        let mut times: Vec<Picos> = agents.iter().map(|a| a.time).collect();
+        let mut parked: Vec<bool> = vec![false; n];
+        loop {
+            let mut best = usize::MAX;
+            let mut second = usize::MAX;
+            for i in 0..n {
+                if parked[i] {
+                    continue;
+                }
+                if best == usize::MAX || times[i] < times[best] {
+                    second = best;
+                    best = i;
+                } else if second == usize::MAX || times[i] < times[second] {
+                    second = i;
+                }
+            }
+            if best == usize::MAX {
+                break;
+            }
+            let idx = best;
+            let bound = (second != usize::MAX).then(|| (times[second], second));
+            let sa = &sched.agents[idx];
+            let a = &mut agents[idx];
+            loop {
+                if a.step == sa.step_count() {
+                    // Kernel complete: the schedule's flush section holds
+                    // the dirty-line traffic the engine would issue.
+                    buf.clear();
+                    for ei in sa.flush_start()..sa.event_count() {
+                        match sa.event(ei) {
+                            ReplayEvent::Fill(addr) => {
+                                buf.push(StreamOp {
+                                    advance: Picos::ZERO,
+                                    addr,
+                                    write: false,
+                                });
+                                bytes_from += l2_line as u64;
+                                mem_requests += 1;
+                            }
+                            ReplayEvent::Writeback(addr) => {
+                                buf.push(StreamOp {
+                                    advance: Picos::ZERO,
+                                    addr,
+                                    write: true,
+                                });
+                                bytes_to += l2_line as u64;
+                                mem_requests += 1;
+                            }
+                            ReplayEvent::Hits { .. } => {
+                                unreachable!("flush section has no hits")
+                            }
+                        }
+                    }
+                    if !buf.is_empty() {
+                        a.time =
+                            backend.run_stream(a.time, l2_line, cfg.pe.xbar_latency, &buf, &mut wq);
+                    }
+                    // Results must be durable before the completion
+                    // message: drain the whole write queue.
+                    let drain = wq.iter().copied().fold(Picos::ZERO, Picos::max);
+                    a.time = a.time.max(drain);
+                    a.done = true;
+                    psc.sleep(a.time, idx + 1);
+                    break;
+                }
+                match sa.step(a.step) {
+                    ReplayStep::Compute { cycles, instrs } => {
+                        let (dt, e, e_j) = match memo_compute {
+                            Some((c, dt, e, e_j)) if c == cycles => (dt, e, e_j),
+                            _ => {
+                                let dt = cfg.pe.clock.cycles_to_time(cycles);
+                                let e = cfg.pe.p_active * dt;
+                                let e_j = e.as_j();
+                                memo_compute = Some((cycles, dt, e, e_j));
+                                (dt, e, e_j)
+                            }
+                        };
+                        compute_e += e;
+                        compute_n += 1;
+                        power_series.add(a.time - start, e_j);
+                        ipc_series.add(a.time + dt - start, instrs as f64);
+                        self.probe.span(
+                            Track::new("pe", idx as u32 + 1),
+                            "compute",
+                            a.time,
+                            a.time + dt,
+                        );
+                        a.stats.instructions += instrs;
+                        a.stats.compute_cycles += cycles;
+                        a.stats.compute_time += dt;
+                        a.time += dt;
+                    }
+                    ReplayStep::Mem { store, events } => {
+                        let t0 = a.time;
+                        'request: {
+                            // Fast path: most memory ops are a single
+                            // hit run — pure cache service time, no
+                            // backend traffic, no batch to assemble.
+                            if events == 1 {
+                                if let ReplayEvent::Hits { l1, l2 } = sa.event(a.event) {
+                                    a.event += 1;
+                                    a.time += l1_hit * l1 + l2_hit * l2;
+                                    break 'request;
+                                }
+                            }
+                            // Fold hit runs into the next request's
+                            // advance; trailing hits land after the
+                            // batch returns.
+                            let mut pending = Picos::ZERO;
+                            buf.clear();
+                            let end = a.event + events as usize;
+                            while a.event < end {
+                                match sa.event(a.event) {
+                                    ReplayEvent::Hits { l1, l2 } => {
+                                        pending += l1_hit * l1 + l2_hit * l2;
+                                    }
+                                    ReplayEvent::Fill(addr) => {
+                                        buf.push(StreamOp {
+                                            advance: pending,
+                                            addr,
+                                            write: false,
+                                        });
+                                        pending = Picos::ZERO;
+                                        bytes_from += l2_line as u64;
+                                        mem_requests += 1;
+                                    }
+                                    ReplayEvent::Writeback(addr) => {
+                                        buf.push(StreamOp {
+                                            advance: pending,
+                                            addr,
+                                            write: true,
+                                        });
+                                        pending = Picos::ZERO;
+                                        bytes_to += l2_line as u64;
+                                        mem_requests += 1;
+                                    }
+                                }
+                                a.event += 1;
+                            }
+                            if !buf.is_empty() {
+                                a.time = backend.run_stream(
+                                    a.time,
+                                    l2_line,
+                                    cfg.pe.xbar_latency,
+                                    &buf,
+                                    &mut wq,
+                                );
+                            }
+                            a.time += pending;
+                        }
+                        let dt = a.time - t0;
+                        let (e, e_j) = match memo_stall {
+                            Some((d, e, e_j)) if d == dt => (e, e_j),
+                            _ => {
+                                let e = cfg.pe.p_stall * dt;
+                                let e_j = e.as_j();
+                                memo_stall = Some((dt, e, e_j));
+                                (e, e_j)
+                            }
+                        };
+                        stall_e += e;
+                        stall_n += 1;
+                        power_series.add(t0 - start, e_j);
+                        ipc_series.add(a.time - start, 1.0);
+                        if !dt.is_zero() {
+                            self.probe
+                                .span(Track::new("pe", idx as u32 + 1), "mem", t0, a.time);
+                            self.probe.latency("pe.mem_op", dt);
+                        }
+                        a.stats.instructions += 1;
+                        a.stats.stall_time += dt;
+                        if store {
+                            a.stats.stores += 1;
+                        } else {
+                            a.stats.loads += 1;
+                        }
+                    }
+                }
+                a.step += 1;
+                match bound {
+                    Some((bt, bi)) if !(a.time < bt || (a.time == bt && idx < bi)) => break,
+                    _ => {}
+                }
+            }
+            times[idx] = a.time;
+            parked[idx] = a.done;
+        }
+
+        energy.charge_many("pe.compute", compute_e, compute_n);
+        energy.charge_many("pe.stall", stall_e, stall_n);
+        let total_time = agents.iter().map(|a| a.time).fold(Picos::ZERO, Picos::max) - start;
+        energy.charge("pe.server", cfg.pe.p_stall * total_time);
+        let parked = (cfg.pes - 1 - agents.len()) as u64;
+        energy.charge("pe.sleep", (cfg.pe.p_sleep * total_time).scaled(parked));
+
+        let mut l1 = CacheLevelStats::default();
+        let mut l2 = CacheLevelStats::default();
+        for sa in &sched.agents {
+            l1.hits += sa.l1_stats.hits;
+            l1.misses += sa.l1_stats.misses;
+            l1.writebacks += sa.l1_stats.writebacks;
+            l2.hits += sa.l2_stats.hits;
+            l2.misses += sa.l2_stats.misses;
+            l2.writebacks += sa.l2_stats.writebacks;
+        }
+
+        ExecReport {
+            total_time,
+            instructions: agents.iter().map(|a| a.stats.instructions).sum(),
+            compute_time: agents.iter().map(|a| a.stats.compute_time).sum(),
+            stall_time: agents.iter().map(|a| a.stats.stall_time).sum(),
+            pe_stats: agents.iter().map(|a| a.stats).collect(),
+            l1,
+            l2,
+            ipc_series,
+            power_series,
+            energy,
+            bytes_from_mem: bytes_from,
+            bytes_to_mem: bytes_to,
+            mem_requests,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -942,5 +1278,124 @@ mod xbar_tests {
             (0.8..1.3).contains(&ratio),
             "a well-provisioned crossbar should be near the fixed model: {ratio:.2}"
         );
+    }
+}
+
+#[cfg(test)]
+mod sched_replay_tests {
+    use super::*;
+    use crate::sched::MemSchedule;
+    use crate::trace::InstrBlock;
+    use sim_core::energy::EnergyBook;
+    use sim_core::mem::Access;
+    use util::json::ToJson;
+
+    /// Fixed asymmetric latencies so fills and write-backs are
+    /// distinguishable in the timeline.
+    struct FixedMem;
+    impl MemoryBackend for FixedMem {
+        fn read(&mut self, at: Picos, _a: u64, _l: u32) -> Access {
+            Access {
+                start: at,
+                end: at + Picos::from_ns(120),
+            }
+        }
+        fn write(&mut self, at: Picos, _a: u64, _l: u32) -> Access {
+            Access {
+                start: at,
+                end: at + Picos::from_ns(450),
+            }
+        }
+        fn energy(&self) -> EnergyBook {
+            EnergyBook::new()
+        }
+        fn label(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    /// Agents with interleaved loads/stores, multi-line accesses (hit
+    /// runs longer than one) and an oversized compute block that forces
+    /// the packed program's escape path.
+    fn stress_traces(agents: usize) -> Vec<Trace> {
+        (0..agents)
+            .map(|a| {
+                let mut t = Trace::new();
+                let base = (a as u64) << 24;
+                for i in 0..300u64 {
+                    t.load(base + (i % 89) * 48, 8);
+                    t.compute(InstrBlock::mac(3, 2));
+                    if i % 3 == 0 {
+                        // Spans several L1 lines: exercises hit runs.
+                        t.store(base + (i % 41) * 96, 100);
+                    }
+                    if i == 150 {
+                        // cycles/instrs exceed the packed 31-bit fields.
+                        t.compute(InstrBlock::alu(1 << 32));
+                    }
+                }
+                t
+            })
+            .collect()
+    }
+
+    fn report_json(r: &ExecReport) -> String {
+        r.to_json().render(false)
+    }
+
+    #[test]
+    fn replay_is_bit_identical_on_fixed_backend() {
+        let accel = Accelerator::new(AccelConfig::default());
+        let traces = stress_traces(3);
+        let sched = MemSchedule::build(&traces, accel.config().l1, accel.config().l2);
+
+        let direct = accel.run_at(Picos::from_us(7), &traces, &mut FixedMem);
+        let replay = accel.run_schedule_at(Picos::from_us(7), &sched, &mut FixedMem);
+        assert_eq!(report_json(&direct), report_json(&replay));
+    }
+
+    #[test]
+    fn replay_is_bit_identical_on_pram_controller() {
+        // The real cycle-level controller is stateful (RNG tails, wear
+        // counters, selective-erase windows, posted-program queues), so
+        // this checks the closed loop: identical request streams must
+        // leave two fresh controllers in identical states.
+        use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
+        let accel = Accelerator::new(AccelConfig::default());
+        let traces = stress_traces(2);
+        let sched = MemSchedule::build(&traces, accel.config().l1, accel.config().l2);
+
+        let mut pram_a = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 4));
+        let direct = accel.run_at(Picos::ZERO, &traces, &mut pram_a);
+        let mut pram_b = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 4));
+        let replay = accel.run_schedule_at(Picos::ZERO, &sched, &mut pram_b);
+
+        assert_eq!(report_json(&direct), report_json(&replay));
+        // Backend-side state (energy ledger, counters) matches too.
+        assert_eq!(
+            pram_a.energy().to_json().render(false),
+            pram_b.energy().to_json().render(false)
+        );
+    }
+
+    #[test]
+    fn replay_handles_single_agent_and_empty_compute() {
+        let accel = Accelerator::new(AccelConfig::default());
+        let mut t = Trace::new();
+        t.compute(InstrBlock::alu(64));
+        let traces = vec![t];
+        let sched = MemSchedule::build(&traces, accel.config().l1, accel.config().l2);
+        let direct = accel.run(&traces, &mut FixedMem);
+        let replay = accel.run_schedule_at(Picos::ZERO, &sched, &mut FixedMem);
+        assert_eq!(report_json(&direct), report_json(&replay));
+    }
+
+    #[test]
+    #[should_panic(expected = "different cache geometry")]
+    fn replay_rejects_mismatched_geometry() {
+        let accel = Accelerator::new(AccelConfig::default());
+        let traces = stress_traces(1);
+        let sched = MemSchedule::build(&traces, CacheConfig::l1_paper(), accel.config().l2);
+        accel.run_schedule_at(Picos::ZERO, &sched, &mut FixedMem);
     }
 }

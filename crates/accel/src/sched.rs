@@ -30,6 +30,72 @@ pub enum BackendOp {
     Writeback(u64),
 }
 
+/// One decoded word of an agent's replay program — one trace op.
+///
+/// The schedule-driven executor ([`crate::exec::Accelerator::run_schedule_at`])
+/// walks these instead of re-decoding the trace and re-simulating the
+/// caches on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayStep {
+    /// A compute block: issue cycles and retired instructions.
+    Compute {
+        /// Issue cycles the block occupies.
+        cycles: u64,
+        /// Instructions the block retires.
+        instrs: u64,
+    },
+    /// A memory op (load or store) consuming the next `events` words of
+    /// the agent's event stream.
+    Mem {
+        /// Whether the op is a store (loads otherwise).
+        store: bool,
+        /// Event-stream words this op consumes.
+        events: u64,
+    },
+}
+
+/// One decoded word of an agent's event stream: what happens, in order,
+/// inside one memory op (or the completion flush).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayEvent {
+    /// A run of cache hits between backend requests: `l1` L1 hits plus
+    /// `l2` fill-path L2 hits. Hits are pure time advances, so a run
+    /// collapses to one word — the order of individual hits inside a run
+    /// does not affect timing (integer picosecond adds commute).
+    Hits {
+        /// L1 hits in the run.
+        l1: u64,
+        /// Fill-path L2 hits in the run.
+        l2: u64,
+    },
+    /// A blocking L2 line fill at this line-aligned address.
+    Fill(u64),
+    /// A posted write-back at this line-aligned address.
+    Writeback(u64),
+}
+
+// Packed word layout (one `u64` per step / event). Tag in bits[0:2].
+const TAG_COMPUTE: u64 = 0; // cycles in bits[2:33], instrs in bits[33:64]
+const TAG_LOAD: u64 = 1; // event-word count in bits[2:64]
+const TAG_STORE: u64 = 2; // event-word count in bits[2:64]
+const TAG_COMPUTE_BIG: u64 = 3; // index into `big` in bits[2:64]
+const TAG_HITS: u64 = 0; // l1 count in bits[2:33], l2 count in bits[33:64]
+const TAG_FILL: u64 = 1; // address in bits[2:64]
+const TAG_WB: u64 = 2; // address in bits[2:64]
+const HALF_BITS: u64 = 31;
+const HALF_MASK: u64 = (1 << HALF_BITS) - 1;
+
+#[inline]
+fn pack2(tag: u64, lo: u64, hi: u64) -> Option<u64> {
+    (lo <= HALF_MASK && hi <= HALF_MASK).then_some(tag | (lo << 2) | (hi << (2 + HALF_BITS)))
+}
+
+#[inline]
+fn pack_addr(tag: u64, value: u64) -> u64 {
+    debug_assert!(value < 1 << 62, "replay payload exceeds 62 bits");
+    tag | (value << 2)
+}
+
 /// The backend-facing behaviour of one agent's kernel, exactly as the
 /// accurate engine would produce it.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -55,6 +121,110 @@ pub struct AgentSchedule {
     pub l1_stats: CacheLevelStats,
     /// Exact L2 counters the accurate engine would report.
     pub l2_stats: CacheLevelStats,
+    /// Packed replay program: one word per trace op (decode with
+    /// [`AgentSchedule::step`]).
+    steps: Vec<u64>,
+    /// Packed per-op event stream (decode with [`AgentSchedule::event`]);
+    /// each `Mem` step consumes the next `events` words.
+    events: Vec<u64>,
+    /// Overflow storage for compute blocks whose cycles/instrs exceed the
+    /// packed 31-bit fields.
+    big: Vec<(u64, u64)>,
+    /// Index into `events` where the completion-flush section starts
+    /// (fills and write-backs issued after the last trace op).
+    flush_start: usize,
+    /// `Trace::store_targets(32)` memoized — the engine's per-run
+    /// announce-overwrites payload.
+    pub store_targets: Vec<u64>,
+}
+
+impl AgentSchedule {
+    /// Number of replay steps (= trace ops).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Decodes replay step `i`.
+    #[inline]
+    pub fn step(&self, i: usize) -> ReplayStep {
+        let w = self.steps[i];
+        match w & 3 {
+            TAG_COMPUTE => ReplayStep::Compute {
+                cycles: (w >> 2) & HALF_MASK,
+                instrs: w >> (2 + HALF_BITS),
+            },
+            TAG_LOAD => ReplayStep::Mem {
+                store: false,
+                events: w >> 2,
+            },
+            TAG_STORE => ReplayStep::Mem {
+                store: true,
+                events: w >> 2,
+            },
+            _ => {
+                let (cycles, instrs) = self.big[(w >> 2) as usize];
+                ReplayStep::Compute { cycles, instrs }
+            }
+        }
+    }
+
+    /// Decodes event-stream word `i`.
+    #[inline]
+    pub fn event(&self, i: usize) -> ReplayEvent {
+        let w = self.events[i];
+        match w & 3 {
+            TAG_HITS => ReplayEvent::Hits {
+                l1: (w >> 2) & HALF_MASK,
+                l2: w >> (2 + HALF_BITS),
+            },
+            TAG_FILL => ReplayEvent::Fill(w >> 2),
+            TAG_WB => ReplayEvent::Writeback(w >> 2),
+            _ => unreachable!("unused event tag"),
+        }
+    }
+
+    /// Where the completion-flush section of the event stream begins.
+    pub fn flush_start(&self) -> usize {
+        self.flush_start
+    }
+
+    /// Total event-stream words (flush section included).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    fn push_compute(&mut self, cycles: u64, instrs: u64) {
+        let w = pack2(TAG_COMPUTE, cycles, instrs).unwrap_or_else(|| {
+            self.big.push((cycles, instrs));
+            pack_addr(TAG_COMPUTE_BIG, (self.big.len() - 1) as u64)
+        });
+        self.steps.push(w);
+    }
+
+    fn push_mem(&mut self, store: bool, events: u64) {
+        let tag = if store { TAG_STORE } else { TAG_LOAD };
+        self.steps.push(pack_addr(tag, events));
+    }
+
+    fn push_hits(&mut self, l1: u64, l2: u64) {
+        if l1 == 0 && l2 == 0 {
+            return;
+        }
+        let mut l1 = l1;
+        let mut l2 = l2;
+        // A single op can touch more lines than fit one packed run;
+        // split (runs are additive, so the split is timing-neutral).
+        while l1 > HALF_MASK || l2 > HALF_MASK {
+            let c1 = l1.min(HALF_MASK);
+            let c2 = l2.min(HALF_MASK);
+            self.events.push(pack2(TAG_HITS, c1, c2).expect("clamped"));
+            l1 -= c1;
+            l2 -= c2;
+        }
+        if l1 > 0 || l2 > 0 {
+            self.events.push(pack2(TAG_HITS, l1, l2).expect("clamped"));
+        }
+    }
 }
 
 impl AgentSchedule {
@@ -84,12 +254,16 @@ impl AgentSchedule {
 }
 
 /// Per-agent [`AgentSchedule`]s for one `(traces, cache geometry)` pair.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemSchedule {
     /// One schedule per trace, in agent order.
     pub agents: Vec<AgentSchedule>,
     /// L2 line size — the transfer unit of every fill and write-back.
     pub l2_line: u32,
+    /// L1 geometry the schedule was derived under.
+    pub l1: CacheConfig,
+    /// L2 geometry the schedule was derived under.
+    pub l2: CacheConfig,
 }
 
 impl MemSchedule {
@@ -104,6 +278,8 @@ impl MemSchedule {
         MemSchedule {
             agents,
             l2_line: l2.line,
+            l1,
+            l2,
         }
     }
 
@@ -138,11 +314,16 @@ fn replay_agent(trace: &Trace, l1_cfg: CacheConfig, l2_cfg: CacheConfig) -> Agen
     let mut l2 = Cache::new(l2_cfg);
     let mut s = AgentSchedule::default();
     let line_bytes = l1_cfg.line as u64;
+    // Pending hit run (L1 + fill-path L2 hits) since the last backend
+    // event of the current memory op.
+    let mut run_l1 = 0u64;
+    let mut run_l2 = 0u64;
     for op in trace.iter() {
         match op {
             TraceOp::Compute(block) => {
                 s.instructions += block.total();
                 s.compute_cycles += block.cycles();
+                s.push_compute(block.cycles(), block.total());
             }
             TraceOp::Load { addr, len } | TraceOp::Store { addr, len } => {
                 let is_store = matches!(op, TraceOp::Store { .. });
@@ -152,53 +333,80 @@ fn replay_agent(trace: &Trace, l1_cfg: CacheConfig, l2_cfg: CacheConfig) -> Agen
                 } else {
                     s.loads += 1;
                 }
+                let events_before = s.events.len();
                 let first = addr / line_bytes;
                 let last = (addr + len.max(1) as u64 - 1) / line_bytes;
                 for line in (first..=last).map(|l| l * line_bytes) {
                     let l1_out = l1.access(line, is_store);
                     if l1_out.hit {
                         s.l1_hits += 1;
+                        run_l1 += 1;
                         continue;
                     }
                     if let Some(wb) = l1_out.writeback {
                         let out = l2.access(wb, true);
                         if let Some(fill) = out.fill {
+                            s.push_hits(run_l1, run_l2);
+                            (run_l1, run_l2) = (0, 0);
                             s.ops.push(BackendOp::Fill(fill));
+                            s.events.push(pack_addr(TAG_FILL, fill));
                         }
                         if let Some(l2wb) = out.writeback {
+                            s.push_hits(run_l1, run_l2);
+                            (run_l1, run_l2) = (0, 0);
                             s.ops.push(BackendOp::Writeback(l2wb));
+                            s.events.push(pack_addr(TAG_WB, l2wb));
                         }
                     }
                     let out = l2.access(line, false);
                     if out.hit {
                         s.l2_hits += 1;
+                        run_l2 += 1;
                     } else {
                         if let Some(l2wb) = out.writeback {
+                            s.push_hits(run_l1, run_l2);
+                            (run_l1, run_l2) = (0, 0);
                             s.ops.push(BackendOp::Writeback(l2wb));
+                            s.events.push(pack_addr(TAG_WB, l2wb));
                         }
-                        s.ops
-                            .push(BackendOp::Fill(out.fill.expect("miss always fills")));
+                        let fill = out.fill.expect("miss always fills");
+                        s.push_hits(run_l1, run_l2);
+                        (run_l1, run_l2) = (0, 0);
+                        s.ops.push(BackendOp::Fill(fill));
+                        s.events.push(pack_addr(TAG_FILL, fill));
                     }
                 }
+                // Trailing hits stay inside this op's event window — an
+                // op boundary is a timing boundary (per-op stall energy,
+                // arbitration bound check).
+                s.push_hits(run_l1, run_l2);
+                (run_l1, run_l2) = (0, 0);
+                s.push_mem(is_store, (s.events.len() - events_before) as u64);
             }
         }
     }
     // Completion flush: L1 dirty lines land in L2 (possibly filling or
-    // evicting), then L2 dirty lines go to memory.
+    // evicting), then L2 dirty lines go to memory. No hit costs here —
+    // the engine's flush only issues backend requests.
+    s.flush_start = s.events.len();
     for addr in l1.flush() {
         let out = l2.access(addr, true);
         if let Some(fill) = out.fill {
             s.ops.push(BackendOp::Fill(fill));
+            s.events.push(pack_addr(TAG_FILL, fill));
         }
         if let Some(l2wb) = out.writeback {
             s.ops.push(BackendOp::Writeback(l2wb));
+            s.events.push(pack_addr(TAG_WB, l2wb));
         }
     }
     for addr in l2.flush() {
         s.ops.push(BackendOp::Writeback(addr));
+        s.events.push(pack_addr(TAG_WB, addr));
     }
     s.l1_stats = *l1.stats();
     s.l2_stats = *l2.stats();
+    s.store_targets = trace.store_targets(32);
     s
 }
 

@@ -248,6 +248,47 @@ impl Trace {
         }
     }
 
+    /// Content fingerprint of the op stream (64-bit FNV-1a over the
+    /// packed encoding plus the open tail block).
+    ///
+    /// The packed encoding is a pure function of the op sequence, so two
+    /// traces fingerprint equal iff they decode to the same ops (modulo
+    /// a 2^-64 collision). Used as a content-addressed cache key for
+    /// derived artifacts such as `MemSchedule`.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(PRIME);
+        };
+        // FNV-1a over 64-bit lanes: fingerprinting runs per schedule
+        // lookup, and a byte-at-a-time walk of a multi-megabyte stream
+        // was measurable in sweep profiles. A trailing partial lane is
+        // zero-padded; the exact byte length is mixed in below, so
+        // padded and genuine zero bytes cannot alias.
+        let mut chunks = self.bytes.chunks_exact(8);
+        for c in &mut chunks {
+            mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rest.len()].copy_from_slice(rest);
+            mix(u64::from_le_bytes(last));
+        }
+        mix(self.bytes.len() as u64);
+        mix(self.encoded as u64);
+        mix(self.tail.is_some() as u64);
+        if let Some(t) = &self.tail {
+            for v in [t.m, t.l, t.s, t.d] {
+                mix(v);
+            }
+        }
+        h
+    }
+
     /// Number of operations.
     pub fn len(&self) -> usize {
         self.encoded + usize::from(self.tail.is_some())

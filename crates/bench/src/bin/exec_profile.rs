@@ -1,0 +1,104 @@
+//! Quick replay-vs-direct timing probe.
+use accel::exec::{AccelConfig, Accelerator};
+use accel::sched::MemSchedule;
+use dramless::{SystemKind, SystemParams};
+use sim_core::energy::EnergyBook;
+use sim_core::mem::{Access, MemoryBackend};
+use sim_core::time::Picos;
+use std::time::Instant;
+use workloads::{Scale, Workload};
+
+struct FixedMem;
+impl MemoryBackend for FixedMem {
+    fn read(&mut self, at: Picos, _a: u64, _l: u32) -> Access {
+        Access {
+            start: at,
+            end: at + Picos::from_ns(100),
+        }
+    }
+    fn write(&mut self, at: Picos, _a: u64, _l: u32) -> Access {
+        Access {
+            start: at,
+            end: at + Picos::from_ns(150),
+        }
+    }
+    fn energy(&self) -> EnergyBook {
+        EnergyBook::new()
+    }
+    fn label(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+fn main() {
+    let params = SystemParams::default();
+    let workloads = Workload::suite(Scale::from_env());
+    let cfgs: Vec<_> = SystemKind::EVALUATED.to_vec();
+    let (mut t_sched, mut t_null_direct, mut t_null_replay, mut t_real_direct, mut t_real_replay) =
+        (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut ops, mut mem_ops) = (0u64, 0u64);
+    for w in &workloads {
+        let built = w.build_cached(params.agents);
+        let cfg = AccelConfig {
+            pes: params.agents + 1,
+            sample_bucket: Picos::from_us(params.sample_bucket_us),
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let sched = MemSchedule::build(&built.traces, cfg.l1, cfg.l2);
+        t_sched += t.elapsed().as_secs_f64();
+        for a in &sched.agents {
+            ops += a.step_count() as u64;
+            mem_ops += (0..a.step_count())
+                .filter(|&i| !matches!(a.step(i), accel::sched::ReplayStep::Compute { .. }))
+                .count() as u64;
+        }
+        let accel = Accelerator::new(cfg);
+        let t = Instant::now();
+        let a = accel.run(&built.traces, &mut FixedMem);
+        t_null_direct += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let b = accel.run_schedule_at(Picos::ZERO, &sched, &mut FixedMem);
+        t_null_replay += t.elapsed().as_secs_f64();
+        assert_eq!(a.total_time, b.total_time);
+        for kind in cfgs.iter() {
+            let sys =
+                dramless::build_system(&kind.spec(), &params, built.character.footprint).unwrap();
+            let mut backend = sys.backend;
+            let t = Instant::now();
+            let _ = accel.run(&built.traces, backend.as_mut());
+            t_real_direct += t.elapsed().as_secs_f64();
+            let sys =
+                dramless::build_system(&kind.spec(), &params, built.character.footprint).unwrap();
+            let mut backend = sys.backend;
+            let t = Instant::now();
+            let _ = accel.run_schedule_at(Picos::ZERO, &sched, backend.as_mut());
+            t_real_replay += t.elapsed().as_secs_f64();
+        }
+    }
+    let (mut t_build_sys, mut t_cell) = (0.0f64, 0.0f64);
+    let mut per_kind: Vec<(String, f64)> = cfgs.iter().map(|k| (format!("{k:?}"), 0.0)).collect();
+    for w in &workloads {
+        let built = w.build_cached(params.agents);
+        for (ki, kind) in cfgs.iter().enumerate() {
+            let t = Instant::now();
+            let sys =
+                dramless::build_system(&kind.spec(), &params, built.character.footprint).unwrap();
+            t_build_sys += t.elapsed().as_secs_f64();
+            drop(sys);
+            let t = Instant::now();
+            let _ = dramless::simulate_built(*kind, &built, &params);
+            let dt = t.elapsed().as_secs_f64();
+            t_cell += dt;
+            per_kind[ki].1 += dt;
+        }
+    }
+    println!("build_system: {t_build_sys:.3}s   full cells: {t_cell:.3}s");
+    for (name, secs) in &per_kind {
+        println!("  {name:<28} {secs:.3}s");
+    }
+    println!("suite ops: {ops} ({mem_ops} mem) x11 backends");
+    println!("sched build:  {t_sched:.3}s");
+    println!("null direct:  {t_null_direct:.3}s   null replay: {t_null_replay:.3}s");
+    println!("real direct:  {t_real_direct:.3}s   real replay: {t_real_replay:.3}s");
+}

@@ -9,11 +9,20 @@
 //! fails, printing a readable delta table, when:
 //!
 //! * any tier's execution wall-clock exceeds `max_regression` times its
-//!   baseline — a loose 2× tripwire for "someone serialized the sweep
-//!   again" (CI-runner noise never trips it); or
+//!   baseline — a loose tripwire for "someone serialized the sweep
+//!   again", sized so shared-runner CPU throttling never trips it;
 //! * the analytic tier's cells/second falls below
 //!   `min_analytic_speedup` times the accurate tier's — the committed
-//!   floor on what the fidelity-tier split buys.
+//!   floor on what the fidelity-tier split buys; or
+//! * the *committed* accurate-tier baseline itself fails to record at
+//!   least `min_speedup_vs_prior` times the `prior` record — the
+//!   schedule-driven engine's speedup is pinned structurally, so nobody
+//!   can quietly re-record the baseline back to per-op-path territory.
+//!   (The runtime check stays relative because shared CI runners
+//!   burst-throttle: absolute cells/second floors flake with machine
+//!   state, while the committed record is measured once, on a rested
+//!   machine, with the byte-identity of the output pinned separately by
+//!   `tests/spec_equivalence.rs`.)
 //!
 //! ```sh
 //! sweep-guard bench-fig15_bandwidth.json crates/bench/sweep_baseline.json
@@ -38,7 +47,7 @@ util::json_struct!(TierBaseline { name, smoke_ns });
 /// The committed baseline file.
 #[derive(Debug, Clone, PartialEq)]
 struct SweepBaseline {
-    /// Baseline file schema; this guard understands version 2.
+    /// Baseline file schema; this guard understands version 3.
     schema: u64,
     /// Human context for whoever re-records it.
     note: String,
@@ -46,6 +55,14 @@ struct SweepBaseline {
     max_regression: f64,
     /// Floor on analytic cells/s ÷ accurate cells/s.
     min_analytic_speedup: f64,
+    /// Floor on `prior.smoke_ns ÷ tiers["sweep"].smoke_ns` — the
+    /// accurate tier's committed record must stay at least this much
+    /// faster than the pre-schedule-replay engine.
+    min_speedup_vs_prior: f64,
+    /// The accurate tier's smoke wall-clock before the schedule-driven
+    /// engine landed (per-op trace walk) — the yardstick for
+    /// `min_speedup_vs_prior`.
+    prior: TierBaseline,
     /// One entry per gated tier measurement.
     tiers: Vec<TierBaseline>,
 }
@@ -55,10 +72,12 @@ util::json_struct!(SweepBaseline {
     note,
     max_regression,
     min_analytic_speedup,
+    min_speedup_vs_prior,
+    prior,
     tiers
 });
 
-const SCHEMA: u64 = 2;
+const SCHEMA: u64 = 3;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sweep-guard: {msg}");
@@ -154,6 +173,37 @@ fn main() -> ExitCode {
     }
 
     let mut failures = Vec::new();
+    // Structural check on the committed record itself: the accurate
+    // tier's baseline must stay ≥ min_speedup_vs_prior× faster than the
+    // pre-schedule-replay engine's record.
+    if let Some(tier) = baseline
+        .tiers
+        .iter()
+        .find(|t| t.name == baseline.prior.name)
+    {
+        let committed_speedup = baseline.prior.smoke_ns as f64 / tier.smoke_ns.max(1) as f64;
+        println!(
+            "committed `{}` baseline: {:.3}s vs prior {:.3}s — {committed_speedup:.2}x \
+             (floor {:.1}x)",
+            tier.name,
+            secs(tier.smoke_ns as f64),
+            secs(baseline.prior.smoke_ns as f64),
+            baseline.min_speedup_vs_prior
+        );
+        if committed_speedup < baseline.min_speedup_vs_prior {
+            failures.push(format!(
+                "the committed `{}` baseline is only {committed_speedup:.2}x the \
+                 prior (per-op engine) record; the floor is {:.1}x — a slower \
+                 re-record needs the floor lowered deliberately, in the same commit",
+                tier.name, baseline.min_speedup_vs_prior
+            ));
+        }
+    } else {
+        failures.push(format!(
+            "baseline gates no `{}` tier to compare against `prior`",
+            baseline.prior.name
+        ));
+    }
     for (tier, _, ratio) in &rows {
         if *ratio > baseline.max_regression {
             failures.push(format!(

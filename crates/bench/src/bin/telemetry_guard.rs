@@ -247,5 +247,49 @@ fn main() -> ExitCode {
             MAX_OVERHEAD_FRACTION * 100.0,
         ));
     }
+
+    // Check 3: the memoization layers report their process-level
+    // counters in the expected shape. The two sweeps above drove the
+    // workload and schedule caches, so every counter must exist, the
+    // caches must have both built (misses) and shared (hits), and the
+    // totals must cover the cells the sweeps ran.
+    let mut cache_metrics = util::telemetry::MetricSet::new();
+    workloads::cache::collect_metrics(&mut cache_metrics);
+    let counter = |name: &str| cache_metrics.counter(name);
+    for name in [
+        "cache.workload_hits",
+        "cache.workload_misses",
+        "cache.schedule_hits",
+        "cache.schedule_misses",
+    ] {
+        if counter(name).is_none() {
+            return fail(&format!(
+                "memoization counter `{name}` missing from \
+                 workloads::cache::collect_metrics"
+            ));
+        }
+    }
+    let wl = (
+        counter("cache.workload_hits").unwrap_or(0),
+        counter("cache.workload_misses").unwrap_or(0),
+    );
+    let sched = (
+        counter("cache.schedule_hits").unwrap_or(0),
+        counter("cache.schedule_misses").unwrap_or(0),
+    );
+    println!(
+        "telemetry-guard: cache counters OK — workloads {}/{} hit/miss, \
+         schedules {}/{} hit/miss",
+        wl.0, wl.1, sched.0, sched.1
+    );
+    if wl.1 == 0 || sched.1 == 0 {
+        return fail("the smoke sweeps built nothing — miss counters are zero");
+    }
+    if wl.0 == 0 || sched.0 == 0 {
+        return fail(
+            "the smoke sweeps shared nothing — hit counters are zero, so the \
+             process-wide memoization is not being consulted",
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -389,11 +389,14 @@ fn main() -> ExitCode {
         print_row(out);
     }
     println!(
-        "\n{} cells in {:.3}s on {} thread(s) — {:.1} cells/s",
+        "\n{} cells in {:.3}s on {} thread(s) — {:.1} cells/s \
+         (build {:.3}s, execute {:.3}s)",
         stats.cells,
         stats.elapsed.as_secs_f64(),
         stats.threads,
-        stats.cells_per_sec()
+        stats.cells_per_sec(),
+        stats.build.as_secs_f64(),
+        stats.execute.as_secs_f64()
     );
     if opts.metrics {
         print_metrics(&result.aggregate_metrics());

@@ -109,21 +109,24 @@ impl AddressMap {
     ///
     /// Panics if `len` is zero.
     pub fn split(&self, addr: u64, len: u32) -> Vec<Fragment> {
+        self.frags(addr, len).collect()
+    }
+
+    /// Allocation-free version of [`AddressMap::split`]: the request
+    /// paths iterate fragments directly instead of materializing a `Vec`
+    /// per request. (`AddressMap` is `Copy`, so the iterator owns its
+    /// map and borrows nothing.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn frags(&self, addr: u64, len: u32) -> FragIter {
         assert!(len > 0, "zero-length request");
-        let mut out = Vec::new();
-        let mut cur = addr;
-        let end = addr + len as u64;
-        while cur < end {
-            let word_end = (cur / self.word_bytes + 1) * self.word_bytes;
-            let frag_end = word_end.min(end);
-            out.push(Fragment {
-                target: self.decompose(cur),
-                global_addr: cur,
-                len: (frag_end - cur) as u32,
-            });
-            cur = frag_end;
+        FragIter {
+            map: *self,
+            cur: addr,
+            end: addr + len as u64,
         }
-        out
     }
 
     /// The global capacity served by `module_capacity`-byte modules.
@@ -135,6 +138,34 @@ impl AddressMap {
     /// bookkeeping key).
     pub fn word_index(&self, addr: u64) -> u64 {
         addr / self.word_bytes
+    }
+}
+
+/// Iterator over the word-aligned fragments of one request (see
+/// [`AddressMap::frags`]).
+#[derive(Debug, Clone)]
+pub struct FragIter {
+    map: AddressMap,
+    cur: u64,
+    end: u64,
+}
+
+impl Iterator for FragIter {
+    type Item = Fragment;
+
+    fn next(&mut self) -> Option<Fragment> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let word_end = (self.cur / self.map.word_bytes + 1) * self.map.word_bytes;
+        let frag_end = word_end.min(self.end);
+        let frag = Fragment {
+            target: self.map.decompose(self.cur),
+            global_addr: self.cur,
+            len: (frag_end - self.cur) as u32,
+        };
+        self.cur = frag_end;
+        Some(frag)
     }
 }
 

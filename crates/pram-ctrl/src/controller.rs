@@ -28,12 +28,12 @@ use pram::cell::WORD_BYTES;
 use pram::overlay::regs;
 use pram::timing::{BurstLen, PramTiming};
 use pram::PramChannel;
-use sim_core::energy::{EnergyBook, Joules};
+use sim_core::energy::{EnergyAccount, EnergyBook, Joules};
 use sim_core::fault::{domain, FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
 use sim_core::time::Picos;
-use std::collections::{HashMap, HashSet};
+use util::fxhash::{FxHashMap, FxHashSet};
 use util::rng::stream_unit;
 use util::telemetry::{MetricSet, Track};
 
@@ -179,11 +179,11 @@ struct FaultState {
     /// Per channel × module retirement maps over logical word lines.
     retire: Vec<Vec<RetireMap>>,
     /// Per channel × module per-logical-line bookkeeping.
-    lines: Vec<Vec<HashMap<u64, LineFaultState>>>,
+    lines: Vec<Vec<FxHashMap<u64, LineFaultState>>>,
     /// Per channel × module program counts per *physical* slot — after
     /// start-gap rotation, so wear leveling genuinely delays stuck-at
     /// onset.
-    slot_writes: Vec<Vec<HashMap<u64, u64>>>,
+    slot_writes: Vec<Vec<FxHashMap<u64, u64>>>,
     counters: FaultCounters,
 }
 
@@ -198,17 +198,21 @@ pub struct PramController {
     /// Per-channel, per-module program-buffer availability.
     program_buffer_free: Vec<Vec<Picos>>,
     /// Global word indexes announced as overwrite targets.
-    announced: HashSet<u64>,
+    announced: FxHashSet<u64>,
     /// Last access completion per global word (selective-erase window
-    /// detection).
-    last_touch: HashMap<u64, Picos>,
+    /// detection). Touched once per word access under the
+    /// selective-erasing schedulers, hence the cheap deterministic hash.
+    last_touch: FxHashMap<u64, Picos>,
     /// Per-channel, per-module start-gap state (when wear leveling is
     /// enabled).
     wear: Option<Vec<Vec<StartGap>>>,
     /// Fault injection + resilience (when a plan is attached).
     faults: Option<Box<FaultState>>,
     stats: CtrlStats,
-    ctrl_energy: EnergyBook,
+    /// FPGA per-operation energy, accumulated as a plain account: the
+    /// controller charges once per word fragment, and string-keyed
+    /// ledger lookups on that path showed up in profiles.
+    ctrl_energy: EnergyAccount,
     probe: Probe,
 }
 
@@ -258,12 +262,12 @@ impl PramController {
             channel_serial: vec![Picos::ZERO; channels.len()],
             program_buffer_free,
             channels,
-            announced: HashSet::new(),
-            last_touch: HashMap::new(),
+            announced: FxHashSet::default(),
+            last_touch: FxHashMap::default(),
             wear,
             faults: None,
             stats: CtrlStats::default(),
-            ctrl_energy: EnergyBook::new(),
+            ctrl_energy: EnergyAccount::default(),
             probe: Probe::disabled(),
             cfg,
         }
@@ -294,12 +298,12 @@ impl PramController {
         let lines = self
             .channels
             .iter()
-            .map(|ch| vec![HashMap::new(); ch.module_count()])
+            .map(|ch| vec![FxHashMap::default(); ch.module_count()])
             .collect();
         let slot_writes = self
             .channels
             .iter()
-            .map(|ch| vec![HashMap::new(); ch.module_count()])
+            .map(|ch| vec![FxHashMap::default(); ch.module_count()])
             .collect();
         self.faults = Some(Box::new(FaultState {
             ecc: EccModel::new(plan.resilience.ecc_strength),
@@ -402,11 +406,11 @@ impl PramController {
     /// [`MemoryBackend::write`] uses a non-zero filler pattern).
     pub fn write_bytes(&mut self, at: Picos, addr: u64, data: &[u8]) -> Access {
         assert!(!data.is_empty(), "empty write");
-        let frags = self.cfg.map.split(addr, data.len() as u32);
+        let map = self.cfg.map;
         let mut start = Picos::MAX;
         let mut end = Picos::ZERO;
         let mut off = 0usize;
-        for frag in frags {
+        for frag in map.frags(addr, data.len() as u32) {
             let chunk = &data[off..off + frag.len as usize];
             let a = self.write_frag(at, &frag, Some(chunk));
             start = start.min(a.start);
@@ -421,15 +425,14 @@ impl PramController {
 
     /// Functional read returning the stored bytes.
     pub fn read_bytes(&mut self, at: Picos, addr: u64, len: u32) -> (Access, Vec<u8>) {
-        let frags = self.cfg.map.split(addr, len);
+        let map = self.cfg.map;
         let mut out = Vec::with_capacity(len as usize);
         let mut start = Picos::MAX;
         let mut end = Picos::ZERO;
-        for frag in frags {
-            let (a, data) = self.read_frag(at, &frag);
+        for frag in map.frags(addr, len) {
+            let a = self.read_frag(at, &frag, Some(&mut out));
             start = start.min(a.start);
             end = end.max(a.end);
-            out.extend_from_slice(&data);
         }
         self.stats.reads += 1;
         self.stats.read_latency_sum += end.saturating_sub(at);
@@ -438,7 +441,12 @@ impl PramController {
     }
 
     /// One word-fragment read through the three-phase protocol.
-    fn read_frag(&mut self, at: Picos, frag: &Fragment) -> (Access, Vec<u8>) {
+    ///
+    /// With `out: Some(buf)` the fragment's bytes are appended to `buf`
+    /// (functional read); with `None` only timing advances — the device
+    /// still runs the identical burst (same RNG preamble draw, stats and
+    /// energy), it just skips materializing the data copy.
+    fn read_frag(&mut self, at: Picos, frag: &Fragment, out: Option<&mut Vec<u8>>) -> Access {
         let interleaves = self.cfg.scheduler.interleaves();
         let ch_idx = frag.target.channel;
         if !interleaves && self.channel_serial[ch_idx] > at {
@@ -514,7 +522,12 @@ impl PramController {
             // overlap the multi-resource scheduler exists to create.
             self.stats.overlap_wins += 1;
         }
-        let (rt, word) = module.read_burst(t + tck, bus_free, ba, 0, bl);
+        let (rt, word) = if out.is_some() {
+            let (rt, word) = module.read_burst(t + tck, bus_free, ba, 0, bl);
+            (rt, Some(word))
+        } else {
+            (module.read_burst_timed(t + tck, bus_free, ba, 0, bl), None)
+        };
         let tburst = self.cfg.timing.tburst(bl);
         dq_bus.reserve(rt.end - tburst, tburst);
         self.probe.span_args(
@@ -596,7 +609,7 @@ impl PramController {
                 for attempt in 0..retry.max_retries {
                     fs.counters.retries += 1;
                     data_ready = data_ready + retry.backoff_for(attempt) + service;
-                    self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
+                    self.ctrl_energy.charge(E_CTRL_OP);
                     if stuck {
                         continue; // a worn-out line fails every re-sense
                     }
@@ -640,7 +653,7 @@ impl PramController {
         }
 
         self.stats.words_read += 1;
-        self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
+        self.ctrl_energy.charge(E_CTRL_OP);
         if !interleaves {
             self.channel_serial[ch_idx] = data_ready;
         }
@@ -652,15 +665,15 @@ impl PramController {
             self.last_touch.insert(wi, data_ready);
         }
 
-        let lo = col_off as usize;
-        let hi = lo + frag.len as usize;
-        (
-            Access {
-                start: earliest,
-                end: data_ready,
-            },
-            word[lo..hi].to_vec(),
-        )
+        if let Some(buf) = out {
+            let word = word.expect("functional read ran the data burst");
+            let lo = col_off as usize;
+            buf.extend_from_slice(&word[lo..lo + frag.len as usize]);
+        }
+        Access {
+            start: earliest,
+            end: data_ready,
+        }
     }
 
     /// One word-fragment write through the overlay-window sequence.
@@ -732,14 +745,17 @@ impl PramController {
         let (module, _cmd_bus, dq_bus) = ch.module_and_buses(md);
 
         let mut t = t0;
-        let reg_writes: [(u64, Vec<u8>); 3] = [
-            (regs::COMMAND_CODE, vec![0xE9]),
-            (regs::DATA_ADDRESS, word_addr.to_le_bytes().to_vec()),
-            (regs::MULTI_PURPOSE, vec![WORD_BYTES as u8]),
+        let cmd = [0xE9u8];
+        let addr_bytes = word_addr.to_le_bytes();
+        let mp = [WORD_BYTES as u8];
+        let reg_writes: [(u64, &[u8]); 3] = [
+            (regs::COMMAND_CODE, &cmd),
+            (regs::DATA_ADDRESS, &addr_bytes),
+            (regs::MULTI_PURPOSE, &mp),
         ];
         for (offset, bytes) in reg_writes {
             let issue = (t + tck).max(dq_bus.probe(Picos::ZERO));
-            let w = module.write_overlay(issue, offset, &bytes);
+            let w = module.write_overlay(issue, offset, bytes);
             let bl = BurstLen::covering(bytes.len() as u32);
             let tburst = self.cfg.timing.tburst(bl);
             dq_bus.reserve(w.end - tburst, tburst);
@@ -807,7 +823,7 @@ impl PramController {
                 for attempt in 0..retry.max_retries {
                     fs.counters.retries += 1;
                     prog_end = prog_end + retry.backoff_for(attempt) + service;
-                    self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
+                    self.ctrl_energy.charge(E_CTRL_OP);
                     if !fails(u64::from(attempt) + 1) {
                         recovered = true;
                         break;
@@ -850,7 +866,7 @@ impl PramController {
             .span(rdb_track, "program", exec_accepted, prog_end);
 
         self.stats.words_written += 1;
-        self.ctrl_energy.charge("ctrl.fpga", E_CTRL_OP);
+        self.ctrl_energy.charge(E_CTRL_OP);
         if !interleaves {
             self.channel_serial[ch_idx] = exec_accepted;
         }
@@ -869,16 +885,29 @@ impl PramController {
 
 impl MemoryBackend for PramController {
     fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access {
-        let (a, _) = self.read_bytes(at, addr, len);
-        a
+        // Timing-only: identical device walk to `read_bytes` (same burst,
+        // RNG draws, stats and energy), minus the data materialization —
+        // this is the accurate engine's hot path.
+        let map = self.cfg.map;
+        let mut start = Picos::MAX;
+        let mut end = Picos::ZERO;
+        for frag in map.frags(addr, len) {
+            let a = self.read_frag(at, &frag, None);
+            start = start.min(a.start);
+            end = end.max(a.end);
+        }
+        self.stats.reads += 1;
+        self.stats.read_latency_sum += end.saturating_sub(at);
+        self.probe.latency("pram.read", end.saturating_sub(at));
+        Access { start, end }
     }
 
     fn write(&mut self, at: Picos, addr: u64, len: u32) -> Access {
         assert!(len > 0, "empty write");
-        let frags = self.cfg.map.split(addr, len);
+        let map = self.cfg.map;
         let mut start = Picos::MAX;
         let mut end = Picos::ZERO;
-        for frag in frags {
+        for frag in map.frags(addr, len) {
             let a = self.write_frag(at, &frag, None);
             start = start.min(a.start);
             end = end.max(a.end);
@@ -899,10 +928,17 @@ impl MemoryBackend for PramController {
     }
 
     fn energy(&self) -> EnergyBook {
-        let mut book = self.ctrl_energy.clone();
+        let mut book = EnergyBook::new();
+        if self.ctrl_energy.events > 0 {
+            book.charge_many(
+                "ctrl.fpga",
+                self.ctrl_energy.energy,
+                self.ctrl_energy.events,
+            );
+        }
         for ch in &self.channels {
             for m in ch.modules() {
-                book.merge(m.energy());
+                book.merge(&m.energy());
             }
         }
         book
@@ -996,6 +1032,70 @@ mod tests {
             "{:?}",
             r
         );
+    }
+
+    #[test]
+    fn run_stream_matches_per_op_reference_on_the_real_controller() {
+        // Property: the batched backend entry is purely a dispatch
+        // optimization — for any request stream, its clock, write-queue
+        // state, internal stats and energy ledger are identical to the
+        // per-op reference walk, op for op.
+        use sim_core::mem::StreamOp;
+        util::for_each_case!(16, |rng| {
+            let ops: Vec<StreamOp> = (0..rng.range_u64(1, 48))
+                .map(|_| StreamOp {
+                    advance: Picos::from_ns(rng.range_u64(0, 40)),
+                    addr: rng.range_u64(0, 2048) * 64,
+                    write: rng.chance(0.4),
+                })
+                .collect();
+            let line = 64u32;
+            let xbar = Picos::from_ns(30);
+            let kind = if rng.chance(0.5) {
+                SchedulerKind::Final
+            } else {
+                SchedulerKind::Interleaving
+            };
+
+            // Reference: the pinned per-op semantics (blocking fills,
+            // posted writes through the first earliest-free slot).
+            let mut reference = ctrl(kind);
+            let mut ref_wq = [Picos::ZERO; 4];
+            let mut ref_now = Picos::ZERO;
+            // Batched path, driven one op at a time so every
+            // intermediate clock is compared, then re-run as one slice.
+            let mut stepped = ctrl(kind);
+            let mut stepped_wq = [Picos::ZERO; 4];
+            let mut stepped_now = Picos::ZERO;
+            for (i, op) in ops.iter().enumerate() {
+                ref_now += op.advance;
+                if op.write {
+                    let slot = (0..ref_wq.len()).min_by_key(|&i| ref_wq[i]).unwrap();
+                    let free_at = ref_wq[slot];
+                    ref_wq[slot] = reference.write(ref_now.max(free_at), op.addr, line).end;
+                    ref_now = ref_now.max(free_at);
+                } else {
+                    ref_now = reference.read(ref_now, op.addr, line).end + xbar;
+                }
+                stepped_now = stepped.run_stream(
+                    stepped_now,
+                    line,
+                    xbar,
+                    std::slice::from_ref(op),
+                    &mut stepped_wq,
+                );
+                assert_eq!(stepped_now, ref_now, "clock diverged at op {i}");
+                assert_eq!(stepped_wq, ref_wq, "write queue diverged at op {i}");
+            }
+            assert_eq!(stepped.energy(), reference.energy());
+
+            let mut batched = ctrl(kind);
+            let mut wq = [Picos::ZERO; 4];
+            let now = batched.run_stream(Picos::ZERO, line, xbar, &ops, &mut wq);
+            assert_eq!(now, ref_now);
+            assert_eq!(wq, ref_wq);
+            assert_eq!(batched.energy(), reference.energy());
+        });
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::cell::{CellArray, ProgramKind, WORD_BYTES};
 use crate::geometry::{LowerRow, PartitionId, PramGeometry, RowId, UpperRow};
 use crate::overlay::{OverlayStatus, OverlayWindow, StagedProgram};
 use crate::timing::{BurstLen, PramTiming};
-use sim_core::energy::{EnergyBook, Joules};
+use sim_core::energy::{EnergyAccount, EnergyBook, Joules};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
 use sim_core::SimRng;
@@ -135,6 +135,39 @@ util::json_struct!(ModuleStats {
     write_pauses,
 });
 
+/// Fixed-slot energy accumulator for the module's five components.
+///
+/// The module charges energy on every protocol phase, and per-charge
+/// string-keyed ledger lookups dominated the device's cost on streaming
+/// workloads — so the hot path adds to plain fields and [`Self::book`]
+/// materializes the ledger on demand (once per report).
+#[derive(Debug, Clone, Copy, Default)]
+struct ModuleEnergy {
+    rab: EnergyAccount,
+    sense: EnergyAccount,
+    bus: EnergyAccount,
+    program: EnergyAccount,
+    erase: EnergyAccount,
+}
+
+impl ModuleEnergy {
+    fn book(&self) -> EnergyBook {
+        let mut book = EnergyBook::new();
+        for (label, acct) in [
+            ("pram.rab", self.rab),
+            ("pram.sense", self.sense),
+            ("pram.bus", self.bus),
+            ("pram.program", self.program),
+            ("pram.erase", self.erase),
+        ] {
+            if acct.events > 0 {
+                book.charge_many(label, acct.energy, acct.events);
+            }
+        }
+        book
+    }
+}
+
 /// One PRAM package: 1 bank × 16 partitions with 4 row buffers and an
 /// overlay window, per Section II.
 #[derive(Debug, Clone)]
@@ -148,7 +181,7 @@ pub struct PramModule {
     /// serialize per partition but proceed in parallel across partitions.
     partitions: TimelineBank,
     rng: SimRng,
-    energy: EnergyBook,
+    energy: ModuleEnergy,
     stats: ModuleStats,
     /// Completion instant of the in-flight overlay program, if any.
     program_done_at: Option<Picos>,
@@ -175,7 +208,7 @@ impl PramModule {
             timing,
             geometry,
             rng: SimRng::seed(seed ^ 0x50524145), // "PRAE"
-            energy: EnergyBook::new(),
+            energy: ModuleEnergy::default(),
             stats: ModuleStats::default(),
             program_done_at: None,
             write_pausing: false,
@@ -227,9 +260,9 @@ impl PramModule {
         &self.stats
     }
 
-    /// Energy charged by this module so far.
-    pub fn energy(&self) -> &EnergyBook {
-        &self.energy
+    /// Energy charged by this module so far, materialized as a ledger.
+    pub fn energy(&self) -> EnergyBook {
+        self.energy.book()
     }
 
     /// Direct functional read of a row (testing/verification back door —
@@ -260,7 +293,7 @@ impl PramModule {
     pub fn pre_active(&mut self, at: Picos, ba: BufferId, upper: UpperRow) -> PhaseTiming {
         self.buffers.latch_rab(ba, upper);
         self.stats.pre_actives += 1;
-        self.energy.charge("pram.rab", energy::PRE_ACTIVE);
+        self.energy.rab.charge(energy::PRE_ACTIVE);
         PhaseTiming {
             start: at,
             end: at + self.timing.trp(),
@@ -323,7 +356,7 @@ impl PramModule {
                     let data = self.cells.read(row);
                     self.buffers.fill_rdb(ba, row, data);
                     self.stats.activates += 1;
-                    self.energy.charge("pram.sense", energy::ACTIVATE_SENSE);
+                    self.energy.sense.charge(energy::ACTIVATE_SENSE);
                     return Ok(PhaseTiming { start, end });
                 }
             }
@@ -334,7 +367,7 @@ impl PramModule {
         let data = self.cells.read(row);
         self.buffers.fill_rdb(ba, row, data);
         self.stats.activates += 1;
-        self.energy.charge("pram.sense", energy::ACTIVATE_SENSE);
+        self.energy.sense.charge(energy::ACTIVATE_SENSE);
         Ok(PhaseTiming { start, end })
     }
 
@@ -383,12 +416,38 @@ impl PramModule {
         col: u8,
         bl: BurstLen,
     ) -> Result<(PhaseTiming, Vec<u8>), ProtocolError> {
-        let (_, data) = self
-            .buffers
-            .rdb_data(ba)
-            .ok_or(ProtocolError::EmptyRdb(ba))?;
+        let t = self.try_read_burst_timed(cmd_at, bus_free, ba, col, bl)?;
+        let (_, data) = self.buffers.rdb_data(ba).expect("checked by timed burst");
         let lo = col as usize;
         let hi = lo + bl.bytes() as usize;
+        Ok((t, data[lo..hi].to_vec()))
+    }
+
+    /// Timing-only [`Self::try_read_burst`]: advances the exact same
+    /// device state (RNG preamble draw, burst stats, bus energy) without
+    /// materializing a copy of the data — the accelerator's performance
+    /// model only consumes timing, and the per-burst `Vec` dominated the
+    /// fill path's allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::EmptyRdb`] if RDB `ba` holds no sensed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst overruns the 32 B word.
+    pub fn try_read_burst_timed(
+        &mut self,
+        cmd_at: Picos,
+        bus_free: Picos,
+        ba: BufferId,
+        col: u8,
+        bl: BurstLen,
+    ) -> Result<PhaseTiming, ProtocolError> {
+        if self.buffers.rdb_data(ba).is_none() {
+            return Err(ProtocolError::EmptyRdb(ba));
+        }
+        let hi = col as usize + bl.bytes() as usize;
         assert!(
             hi <= WORD_BYTES,
             "burst overruns row word: col={col} {bl:?}"
@@ -398,8 +457,28 @@ impl PramModule {
         let end = burst_start + self.timing.tburst(bl);
         self.stats.read_bursts += 1;
         self.energy
-            .charge("pram.bus", energy::BURST_PER_BYTE.scaled(bl.bytes() as u64));
-        Ok((PhaseTiming { start: cmd_at, end }, data[lo..hi].to_vec()))
+            .bus
+            .charge(energy::BURST_PER_BYTE.scaled(bl.bytes() as u64));
+        Ok(PhaseTiming { start: cmd_at, end })
+    }
+
+    /// Panicking wrapper of [`Self::try_read_burst_timed`], mirroring
+    /// [`Self::read_burst`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if RDB `ba` holds no sensed row, or the burst overruns the
+    /// 32 B word.
+    pub fn read_burst_timed(
+        &mut self,
+        cmd_at: Picos,
+        bus_free: Picos,
+        ba: BufferId,
+        col: u8,
+        bl: BurstLen,
+    ) -> PhaseTiming {
+        self.try_read_burst_timed(cmd_at, bus_free, ba, col, bl)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Executes a write phase towards the overlay window: a register write
@@ -419,7 +498,8 @@ impl PramModule {
         let end = at + preamble + self.timing.tburst(bl);
         self.stats.write_bursts += 1;
         self.energy
-            .charge("pram.bus", energy::BURST_PER_BYTE.scaled(data.len() as u64));
+            .bus
+            .charge(energy::BURST_PER_BYTE.scaled(data.len() as u64));
 
         if offset >= regs::PROGRAM_BUFFER {
             let buf_off = (offset - regs::PROGRAM_BUFFER) as usize;
@@ -490,7 +570,7 @@ impl PramModule {
             ProgramKind::NoopErase => (Picos::ZERO, Joules::ZERO),
         };
         self.stats.programs += 1;
-        self.energy.charge("pram.program", e);
+        self.energy.program.charge(e);
 
         let lane = self.partitions.get_mut(row.partition.0 as usize);
         let dur = cell_time + self.timing.twra;
@@ -517,7 +597,7 @@ impl PramModule {
                 end: start + self.timing.trcd,
             }
         };
-        self.energy.charge("pram.sense", energy::ACTIVATE_SENSE);
+        self.energy.sense.charge(energy::ACTIVATE_SENSE);
         let kind = self.cells.program(to, &word);
         let (cell_time, e) = match kind {
             ProgramKind::SetOnly => (self.timing.t_program_set, energy::PROGRAM_SET),
@@ -528,7 +608,7 @@ impl PramModule {
             ProgramKind::SelectiveErase => (self.timing.t_reset_extra, energy::PROGRAM_RESET_EXTRA),
             ProgramKind::NoopErase => (Picos::ZERO, Joules::ZERO),
         };
-        self.energy.charge("pram.program", e);
+        self.energy.program.charge(e);
         let lane = self.partitions.get_mut(to.partition.0 as usize);
         let dur = cell_time + self.timing.twra;
         let start = lane.reserve(sense.end, dur);
@@ -553,8 +633,7 @@ impl PramModule {
         self.cells.program(row, &[0u8; WORD_BYTES]);
         self.stats.programs += 1;
         self.stats.selective_erases += 1;
-        self.energy
-            .charge("pram.program", energy::PROGRAM_RESET_EXTRA);
+        self.energy.program.charge(energy::PROGRAM_RESET_EXTRA);
         let lane = self.partitions.get_mut(row.partition.0 as usize);
         let dur = self.timing.t_reset_extra + self.timing.twra;
         let start = lane.reserve(at, dur);
@@ -585,7 +664,7 @@ impl PramModule {
         self.cells.erase_partition(p);
         self.buffers.invalidate_all();
         self.stats.partition_erases += 1;
-        self.energy.charge("pram.erase", energy::ERASE);
+        self.energy.erase.charge(energy::ERASE);
         PhaseTiming { start, end }
     }
 }

@@ -251,10 +251,35 @@ impl EnergyBook {
 
     /// Charges `e` to `component`, creating the account on first use.
     pub fn charge(&mut self, component: &str, e: Joules) {
-        self.accounts
-            .entry(component.to_owned())
-            .or_default()
-            .charge(e);
+        self.account_mut(component).charge(e);
+    }
+
+    /// The account for `component`, created empty on first use. The fast
+    /// path borrows the `&str` key — charging is per memory request on
+    /// the hot simulation paths, and allocating an owned `String` per
+    /// charge dominated the ledger's cost.
+    fn account_mut(&mut self, component: &str) -> &mut EnergyAccount {
+        if !self.accounts.contains_key(component) {
+            self.accounts
+                .insert(component.to_owned(), EnergyAccount::default());
+        }
+        self.accounts.get_mut(component).expect("just inserted")
+    }
+
+    /// Charges a pre-summed batch of `events` charges totalling `e`.
+    ///
+    /// Equivalent to `events` individual [`EnergyBook::charge`] calls whose
+    /// energies sum to `e` — [`Joules`] is an integer femtojoule count, so
+    /// locally accumulated sums are exact. Batches with `events == 0` are
+    /// dropped without creating the account, matching the per-call path
+    /// (a label only appears once something is charged to it).
+    pub fn charge_many(&mut self, component: &str, e: Joules, events: u64) {
+        if events == 0 {
+            return;
+        }
+        let acct = self.account_mut(component);
+        acct.energy += e;
+        acct.events += events;
     }
 
     /// Charges static power integrated over `dur`.

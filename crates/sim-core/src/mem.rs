@@ -84,6 +84,25 @@ impl Access {
     }
 }
 
+/// One request of a batched backend stream ([`MemoryBackend::run_stream`]).
+///
+/// The engine folds the cache-hit service time that elapses *between*
+/// backend requests into the next request's `advance`, so a whole memory
+/// operation (hits, fills and posted write-backs interleaved in issue
+/// order) crosses the backend boundary as one slice instead of one
+/// virtual call per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOp {
+    /// Engine-side time to elapse before this request issues (cache-hit
+    /// service accumulated since the previous request).
+    pub advance: Picos,
+    /// Line-aligned request address.
+    pub addr: u64,
+    /// `true` — a posted write-back through the MCU write queue;
+    /// `false` — a blocking line fill (read).
+    pub write: bool,
+}
+
 /// A device (or device stack) that services byte-addressed reads/writes
 /// with simulated timing.
 ///
@@ -100,6 +119,55 @@ pub trait MemoryBackend {
     /// *selective erasing* hint (§V-A). Backends without the optimization
     /// ignore it.
     fn announce_overwrites(&mut self, _at: Picos, _addrs: &[u64]) {}
+
+    /// Services a batch of line requests in issue order, returning the
+    /// agent's clock after the last one.
+    ///
+    /// Semantics are pinned to the per-op engine path (the reference
+    /// implementation, kept in `accel::exec::run_at`):
+    ///
+    /// * a read is a blocking fill — the clock advances to the access
+    ///   end plus the crossbar hop `xbar`;
+    /// * a write is *posted* through the MCU write queue `wq` (one entry
+    ///   per queue slot holding the cycle that slot frees): the request
+    ///   takes the first earliest-free slot, issues at
+    ///   `max(now, free_at)`, and the agent only stalls until `free_at`.
+    ///
+    /// The default implementation simply loops over [`Self::read`] /
+    /// [`Self::write`] — one virtual call for the whole slice instead of
+    /// one per request, with the inner calls statically dispatched when
+    /// the backend type is concrete. Backends may override with a fused
+    /// path as long as the result stays bit-identical; the equivalence is
+    /// pinned by tests.
+    fn run_stream(
+        &mut self,
+        mut now: Picos,
+        line: u32,
+        xbar: Picos,
+        ops: &[StreamOp],
+        wq: &mut [Picos],
+    ) -> Picos {
+        for op in ops {
+            now += op.advance;
+            if op.write {
+                // First earliest-free slot (`min_by_key` semantics: strict
+                // `<` keeps the first minimum on ties).
+                let mut slot = 0;
+                for i in 1..wq.len() {
+                    if wq[i] < wq[slot] {
+                        slot = i;
+                    }
+                }
+                let free_at = wq[slot];
+                let issue = now.max(free_at);
+                wq[slot] = self.write(issue, op.addr, line).end;
+                now = now.max(free_at);
+            } else {
+                now = self.read(now, op.addr, line).end + xbar;
+            }
+        }
+        now
+    }
 
     /// Snapshot of the energy this backend has charged so far.
     fn energy(&self) -> EnergyBook;
@@ -151,5 +219,81 @@ mod tests {
         let a = Access::instant(Picos::from_us(3));
         assert_eq!(a.service(), Picos::ZERO);
         assert_eq!(a.start, a.end);
+    }
+
+    struct FixedMem;
+    impl MemoryBackend for FixedMem {
+        fn read(&mut self, at: Picos, _addr: u64, _len: u32) -> Access {
+            Access {
+                start: at,
+                end: at + Picos::from_ns(100),
+            }
+        }
+        fn write(&mut self, at: Picos, _addr: u64, _len: u32) -> Access {
+            Access {
+                start: at,
+                end: at + Picos::from_ns(400),
+            }
+        }
+        fn energy(&self) -> EnergyBook {
+            EnergyBook::new()
+        }
+        fn label(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn stream_matches_per_op_reference() {
+        let ops = [
+            StreamOp {
+                advance: Picos::from_ns(10),
+                addr: 0,
+                write: false,
+            },
+            StreamOp {
+                advance: Picos::ZERO,
+                addr: 64,
+                write: true,
+            },
+            StreamOp {
+                advance: Picos::from_ns(5),
+                addr: 128,
+                write: true,
+            },
+            StreamOp {
+                advance: Picos::ZERO,
+                addr: 192,
+                write: true,
+            },
+            StreamOp {
+                advance: Picos::from_ns(1),
+                addr: 0,
+                write: false,
+            },
+        ];
+        let xbar = Picos::from_ns(30);
+
+        // Reference: per-op walk with an explicit first-min write queue.
+        let mut m = FixedMem;
+        let mut wq = [Picos::ZERO; 2];
+        let mut now = Picos::ZERO;
+        for op in &ops {
+            now += op.advance;
+            if op.write {
+                let slot = (0..wq.len()).min_by_key(|&i| wq[i]).unwrap();
+                let free_at = wq[slot];
+                wq[slot] = m.write(now.max(free_at), op.addr, 64).end;
+                now = now.max(free_at);
+            } else {
+                now = m.read(now, op.addr, 64).end + xbar;
+            }
+        }
+
+        let mut m2 = FixedMem;
+        let mut wq2 = [Picos::ZERO; 2];
+        let got = m2.run_stream(Picos::ZERO, 64, xbar, &ops, &mut wq2);
+        assert_eq!(got, now);
+        assert_eq!(wq2, wq);
     }
 }

@@ -250,12 +250,21 @@ impl TimeSeries {
 
     /// Accumulates `value` into the bucket containing instant `at`.
     pub fn add(&mut self, at: Picos, value: f64) {
-        let idx = at.as_ps() / self.bucket_width.as_ps();
         // Producers overwhelmingly append in non-decreasing time order
-        // (the execution engine always advances the earliest agent), so
-        // check the tail before falling back to a binary search.
+        // (the execution engine always advances the earliest agent) and
+        // mostly land in the tail bucket, so test the tail's time range
+        // first — it avoids the 64-bit division on the hot path (the
+        // engine calls this twice per executed op).
+        let ps = at.as_ps();
+        if let Some(&mut (last, ref mut v)) = self.data.last_mut() {
+            let start = last * self.bucket_width.as_ps();
+            if ps >= start && ps - start < self.bucket_width.as_ps() {
+                *v += value;
+                return;
+            }
+        }
+        let idx = ps / self.bucket_width.as_ps();
         match self.data.last_mut() {
-            Some(&mut (last, ref mut v)) if last == idx => *v += value,
             Some(&mut (last, _)) if last < idx => self.data.push((idx, value)),
             None => self.data.push((idx, value)),
             _ => match self.data.binary_search_by_key(&idx, |&(i, _)| i) {

@@ -16,7 +16,7 @@ use sim_core::fault::FaultCounters;
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
 use sim_core::time::Picos;
-use std::collections::HashMap;
+use util::fxhash::FxHashMap;
 use util::telemetry::{MetricSet, Track};
 
 /// A page-addressed backing store (flash device, PRAM page adapter …).
@@ -81,7 +81,7 @@ pub struct CachedStore<P> {
     dram: DramModel,
     capacity_pages: usize,
     /// page -> (dirty, lru_stamp)
-    resident: HashMap<u64, (bool, u64)>,
+    resident: FxHashMap<u64, (bool, u64)>,
     clock: u64,
     stats: CacheStats,
     probe: Probe,
@@ -102,7 +102,7 @@ impl<P: PageStore> CachedStore<P> {
             store,
             dram: DramModel::new(dram),
             capacity_pages,
-            resident: HashMap::new(),
+            resident: FxHashMap::default(),
             clock: 0,
             stats: CacheStats::default(),
             probe: Probe::disabled(),

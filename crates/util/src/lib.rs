@@ -29,6 +29,7 @@
 pub mod bench;
 pub mod bytes;
 pub mod cases;
+pub mod fxhash;
 pub mod json;
 pub mod pool;
 pub mod rng;

@@ -11,12 +11,60 @@
 //! and the rest block on its [`OnceLock`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use accel::cache::CacheConfig;
 use accel::sched::MemSchedule;
+use util::telemetry::MetricSet;
 
 use crate::suite::{BuiltWorkload, Workload};
+
+// Process-wide memoization counters. These are deliberately NOT part of
+// any per-cell `MetricSet`: which caller populates a slot depends on
+// thread scheduling, so folding them into cell reports would break the
+// 1-thread-vs-N-thread byte-identity the sweep guarantees. They are
+// global telemetry, snapshotted via [`stats`] / [`collect_metrics`].
+static WORKLOAD_HITS: AtomicU64 = AtomicU64::new(0);
+static WORKLOAD_MISSES: AtomicU64 = AtomicU64::new(0);
+static SCHEDULE_HITS: AtomicU64 = AtomicU64::new(0);
+static SCHEDULE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide memoization counters.
+///
+/// A *miss* means the calling thread performed the build; a *hit* means
+/// an already-populated (or concurrently populated) slot was shared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `build_cached` calls served from the cache.
+    pub workload_hits: u64,
+    /// `build_cached` calls that ran the kernel.
+    pub workload_misses: u64,
+    /// Schedule lookups served from the cache.
+    pub schedule_hits: u64,
+    /// Schedule lookups that replayed the cache walk.
+    pub schedule_misses: u64,
+}
+
+/// Reads the current memoization counters.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        workload_hits: WORKLOAD_HITS.load(Ordering::Relaxed),
+        workload_misses: WORKLOAD_MISSES.load(Ordering::Relaxed),
+        schedule_hits: SCHEDULE_HITS.load(Ordering::Relaxed),
+        schedule_misses: SCHEDULE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Contributes the memoization counters to a process-level metric set
+/// under the `cache.` prefix.
+pub fn collect_metrics(out: &mut MetricSet) {
+    let s = stats();
+    out.add("cache.workload_hits", s.workload_hits);
+    out.add("cache.workload_misses", s.workload_misses);
+    out.add("cache.schedule_hits", s.schedule_hits);
+    out.add("cache.schedule_misses", s.schedule_misses);
+}
 
 /// Everything that determines a build's output. `Scale` only influences
 /// builds through the `n`/`steps` it picks, so the concrete dimensions
@@ -55,17 +103,30 @@ impl Workload {
             let mut map = cache().lock().expect("workload cache poisoned");
             Arc::clone(map.entry(key).or_default())
         };
-        Arc::clone(slot.get_or_init(|| Arc::new(self.build(agents))))
+        let mut built_here = false;
+        let built = Arc::clone(slot.get_or_init(|| {
+            built_here = true;
+            Arc::new(self.build(agents))
+        }));
+        if built_here {
+            WORKLOAD_MISSES.fetch_add(1, Ordering::Relaxed);
+        } else {
+            WORKLOAD_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        built
     }
 }
 
-/// A build's memory schedule is keyed by the build key plus the cache
-/// geometry it was replayed against.
+/// A memory schedule is a pure function of `(trace contents, cache
+/// geometry)`, so the cache is *content-addressed*: the key hashes what
+/// the traces actually are, not which workload produced them. That keeps
+/// lookups correct even for traces that were mutated after the build
+/// (ablations scalarize or re-shard traces) — altered content simply
+/// hashes to a different key and rebuilds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct SchedKey {
-    kernel: crate::suite::Kernel,
-    n: usize,
-    steps: usize,
+    /// Combined content fingerprint of every trace, in agent order.
+    traces: u64,
     agents: usize,
     l1: (u32, u32, u32),
     l2: (u32, u32, u32),
@@ -78,34 +139,57 @@ fn sched_cache() -> &'static Mutex<HashMap<SchedKey, SchedSlot>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// The process-wide memoized [`MemSchedule`] for `built`'s traces under
+/// `l1`/`l2` geometry: the exact backend request stream the accurate
+/// engine produces, plus its packed replay program.
+///
+/// A schedule is backend-independent, so one build serves every system
+/// preset of a sweep row that shares a buffer geometry — the 11-system
+/// smoke sweep derives each workload's schedule once instead of eleven
+/// times. First caller replays the cache walk; concurrent and later
+/// callers share the `Arc`.
+pub fn schedule_for(built: &BuiltWorkload, l1: CacheConfig, l2: CacheConfig) -> Arc<MemSchedule> {
+    // FNV-1a combination of the per-trace fingerprints.
+    let mut traces_fp = 0xcbf2_9ce4_8422_2325u64;
+    for t in &built.traces {
+        for b in t.fingerprint().to_le_bytes() {
+            traces_fp ^= b as u64;
+            traces_fp = traces_fp.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let key = SchedKey {
+        traces: traces_fp,
+        agents: built.traces.len(),
+        l1: (l1.capacity, l1.line, l1.ways),
+        l2: (l2.capacity, l2.line, l2.ways),
+    };
+    let slot = {
+        let mut map = sched_cache().lock().expect("schedule cache poisoned");
+        Arc::clone(map.entry(key).or_default())
+    };
+    let mut built_here = false;
+    let sched = Arc::clone(slot.get_or_init(|| {
+        built_here = true;
+        Arc::new(MemSchedule::build(&built.traces, l1, l2))
+    }));
+    if built_here {
+        SCHEDULE_MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        SCHEDULE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    sched
+}
+
 impl Workload {
-    /// The memoized [`MemSchedule`] of this workload's cached build: the
-    /// exact backend-facing request counts the accurate engine would
-    /// produce for `agents` traces against `l1`/`l2` geometry. Because a
-    /// schedule is backend-independent, one replay serves every system
-    /// of a sweep row — the analytic tier's main amortization.
+    /// The memoized [`MemSchedule`] of this workload's cached build —
+    /// [`schedule_for`] over [`Workload::build_cached`].
     pub fn schedule_cached(
         &self,
         agents: usize,
         l1: CacheConfig,
         l2: CacheConfig,
     ) -> Arc<MemSchedule> {
-        let key = SchedKey {
-            kernel: self.kernel,
-            n: self.n,
-            steps: self.steps,
-            agents,
-            l1: (l1.capacity, l1.line, l1.ways),
-            l2: (l2.capacity, l2.line, l2.ways),
-        };
-        let slot = {
-            let mut map = sched_cache().lock().expect("schedule cache poisoned");
-            Arc::clone(map.entry(key).or_default())
-        };
-        Arc::clone(slot.get_or_init(|| {
-            let built = self.build_cached(agents);
-            Arc::new(MemSchedule::build(&built.traces, l1, l2))
-        }))
+        schedule_for(&self.build_cached(agents), l1, l2)
     }
 }
 
@@ -148,6 +232,26 @@ mod tests {
         // Different geometry is a different schedule.
         let c = w.schedule_cached(2, CacheConfig::l1_paper(), l2);
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn memoized_schedule_matches_fresh_build_for_every_case() {
+        // Property: the process-wide schedule cache is invisible — for
+        // any (workload, agents) the memoized schedule is identical to
+        // one derived from scratch, under either cache geometry.
+        let suite = Workload::suite(Scale(0.05));
+        util::for_each_case!(24, |rng| {
+            let w = suite[rng.range_u64(0, suite.len() as u64 - 1) as usize];
+            let agents = rng.range_u64(1, 4) as usize;
+            let (l1, l2) = if rng.chance(0.5) {
+                (CacheConfig::l1(), CacheConfig::l2())
+            } else {
+                (CacheConfig::l1_paper(), CacheConfig::l2_paper())
+            };
+            let memoized = w.schedule_cached(agents, l1, l2);
+            let fresh = MemSchedule::build(&w.build(agents).traces, l1, l2);
+            assert_eq!(*memoized, fresh, "{:?} x{agents}", w.kernel);
+        });
     }
 
     #[test]
