@@ -19,8 +19,10 @@ use crate::xbar::{Crossbar, XbarConfig};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{MemoryBackend, StreamOp};
 use sim_core::probe::Probe;
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::stats::TimeSeries;
 use sim_core::time::Picos;
+use util::fingerprint::Fnv64;
 use util::telemetry::{MetricSet, Track};
 
 /// Accelerator construction parameters.
@@ -219,6 +221,154 @@ struct AgentRun<'t> {
     l2: Cache,
     stats: PeStats,
     done: bool,
+}
+
+/// Replay cursor of one agent: where it is in its step and event
+/// streams.
+#[derive(Debug, Clone)]
+struct SchedRun {
+    step: usize,
+    event: usize,
+    time: Picos,
+    stats: PeStats,
+    done: bool,
+}
+
+util::json_struct!(SchedRun {
+    step,
+    event,
+    time,
+    stats,
+    done
+});
+
+/// The complete inter-slice state of a schedule replay — every loop
+/// variable of [`Accelerator::run_schedule_at`], factored out so a run
+/// can pause at any arbitration-slice boundary, be snapshotted
+/// alongside its backend, and resume later. This is the checkpoint unit
+/// of the record/replay layer.
+///
+/// A cursor is created by [`Accelerator::schedule_cursor`], advanced
+/// one arbitration slice at a time by [`Accelerator::advance_slice`],
+/// and turned into an [`ExecReport`] by
+/// [`Accelerator::finish_schedule`]. While advancing it chains an
+/// FNV-1a fingerprint over every backend request it issues (address,
+/// kind, and the completion time the backend handed back), which is the
+/// commitment record/replay verifies against.
+#[derive(Debug, Clone)]
+pub struct ScheduleCursor {
+    start: Picos,
+    agents: Vec<SchedRun>,
+    times: Vec<Picos>,
+    parked: Vec<bool>,
+    wq: Vec<Picos>,
+    psc: PowerSleepController,
+    ipc_series: TimeSeries,
+    power_series: TimeSeries,
+    bytes_from: u64,
+    bytes_to: u64,
+    mem_requests: u64,
+    compute_e: Joules,
+    compute_n: u64,
+    stall_e: Joules,
+    stall_n: u64,
+    stream_fp: Fnv64,
+    // Transient fast-path caches. Deliberately excluded from snapshots
+    // (restore resets them): they only skip re-deriving bit-identical
+    // values, never change them.
+    memo_compute: Option<(u64, Picos, Joules, f64)>,
+    memo_stall: Option<(Picos, Joules, f64)>,
+    buf: Vec<StreamOp>,
+}
+
+impl ScheduleCursor {
+    /// Backend requests issued so far (fills + write-backs) — the
+    /// record layer's checkpoint cadence counter.
+    pub fn mem_requests(&self) -> u64 {
+        self.mem_requests
+    }
+
+    /// The chained FNV-1a digest over the backend request stream so
+    /// far: per request its address and kind, plus the agent clock the
+    /// backend returned after each batch.
+    pub fn stream_fingerprint(&self) -> u64 {
+        self.stream_fp.value()
+    }
+
+    /// Whether every agent has completed (the run can be finished).
+    pub fn is_done(&self) -> bool {
+        self.parked.iter().all(|&p| p)
+    }
+}
+
+/// Image tag for [`ScheduleCursor`] snapshots.
+const CURSOR_KIND: &str = "accel/schedule-cursor";
+/// Schema version of [`CURSOR_KIND`] images.
+const CURSOR_VERSION: u32 = 1;
+
+impl sim_core::Snapshot for ScheduleCursor {
+    fn snapshot(&self) -> StateImage {
+        use util::json::ToJson;
+        let data = util::json::Json::Obj(vec![
+            ("start".to_string(), self.start.to_json()),
+            ("agents".to_string(), self.agents.to_json()),
+            ("times".to_string(), self.times.to_json()),
+            ("parked".to_string(), self.parked.to_json()),
+            ("wq".to_string(), self.wq.to_json()),
+            ("psc".to_string(), self.psc.to_json()),
+            ("ipc_series".to_string(), self.ipc_series.to_json()),
+            ("power_series".to_string(), self.power_series.to_json()),
+            ("bytes_from".to_string(), self.bytes_from.to_json()),
+            ("bytes_to".to_string(), self.bytes_to.to_json()),
+            ("mem_requests".to_string(), self.mem_requests.to_json()),
+            ("compute_e".to_string(), self.compute_e.to_json()),
+            ("compute_n".to_string(), self.compute_n.to_json()),
+            ("stall_e".to_string(), self.stall_e.to_json()),
+            ("stall_n".to_string(), self.stall_n.to_json()),
+            ("stream_fp".to_string(), self.stream_fp.value().to_json()),
+        ]);
+        StateImage::new(CURSOR_KIND, CURSOR_VERSION, data)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        use util::json::field;
+        let data = image.expect(CURSOR_KIND, CURSOR_VERSION)?;
+        let m = |e| SnapshotError::malformed(CURSOR_KIND, e);
+        let agents: Vec<SchedRun> = field(data, "agents").map_err(m)?;
+        if agents.len() != self.agents.len() {
+            return Err(SnapshotError::shape(
+                CURSOR_KIND,
+                "image was recorded under a different schedule (agent count differs)",
+            ));
+        }
+        let wq: Vec<Picos> = field(data, "wq").map_err(m)?;
+        if wq.len() != self.wq.len() {
+            return Err(SnapshotError::shape(
+                CURSOR_KIND,
+                "image was recorded under a different MCU write-queue depth",
+            ));
+        }
+        self.start = field(data, "start").map_err(m)?;
+        self.agents = agents;
+        self.times = field(data, "times").map_err(m)?;
+        self.parked = field(data, "parked").map_err(m)?;
+        self.wq = wq;
+        self.psc = field(data, "psc").map_err(m)?;
+        self.ipc_series = field(data, "ipc_series").map_err(m)?;
+        self.power_series = field(data, "power_series").map_err(m)?;
+        self.bytes_from = field(data, "bytes_from").map_err(m)?;
+        self.bytes_to = field(data, "bytes_to").map_err(m)?;
+        self.mem_requests = field(data, "mem_requests").map_err(m)?;
+        self.compute_e = field(data, "compute_e").map_err(m)?;
+        self.compute_n = field(data, "compute_n").map_err(m)?;
+        self.stall_e = field(data, "stall_e").map_err(m)?;
+        self.stall_n = field(data, "stall_n").map_err(m)?;
+        self.stream_fp = Fnv64::resume(field(data, "stream_fp").map_err(m)?);
+        self.memo_compute = None;
+        self.memo_stall = None;
+        self.buf.clear();
+        Ok(())
+    }
 }
 
 impl Accelerator {
@@ -560,6 +710,27 @@ impl Accelerator {
         sched: &MemSchedule,
         backend: &mut dyn MemoryBackend,
     ) -> ExecReport {
+        let mut cur = self.schedule_cursor(start, sched, backend);
+        while self.advance_slice(&mut cur, sched, backend) {}
+        self.finish_schedule(&cur, sched)
+    }
+
+    /// Opens a resumable [`ScheduleCursor`] over `sched`: performs the
+    /// launch phase (server dispatch, PSC wakes, overwrite announces)
+    /// and returns the replay state positioned before the first
+    /// arbitration slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`Accelerator::run_schedule_at`] (empty schedule, too many
+    /// agents, mismatched cache geometry, contended crossbar).
+    pub fn schedule_cursor(
+        &self,
+        start: Picos,
+        sched: &MemSchedule,
+        backend: &mut dyn MemoryBackend,
+    ) -> ScheduleCursor {
         assert!(!sched.agents.is_empty(), "no kernel traces supplied");
         assert!(
             sched.agents.len() <= self.agents(),
@@ -577,25 +748,14 @@ impl Accelerator {
             "schedule built under a different cache geometry"
         );
         let mut psc = PowerSleepController::new(cfg.psc, cfg.pes);
-        let mut energy = EnergyBook::new();
+        // Runs typically span a few hundred sample buckets; reserving up
+        // front keeps the per-op series appends reallocation-free.
         let series_cap = 512;
-        let mut ipc_series = TimeSeries::with_capacity(cfg.sample_bucket, series_cap);
-        let mut power_series = TimeSeries::with_capacity(cfg.sample_bucket, series_cap);
-
-        /// Replay cursor of one agent: where it is in its step and event
-        /// streams.
-        struct SchedRun {
-            step: usize,
-            event: usize,
-            time: Picos,
-            stats: PeStats,
-            done: bool,
-        }
 
         // Server (PE 0) schedules the agents — identical launch path to
         // `run_at`, with the announce payload memoized in the schedule.
         let mut launch = start;
-        let mut agents: Vec<SchedRun> = sched
+        let agents: Vec<SchedRun> = sched
             .agents
             .iter()
             .enumerate()
@@ -615,231 +775,288 @@ impl Accelerator {
             })
             .collect();
 
-        let mut bytes_from = 0u64;
-        let mut bytes_to = 0u64;
-        let mut mem_requests = 0u64;
+        let times = agents.iter().map(|a| a.time).collect();
+        let parked = vec![false; agents.len()];
+        ScheduleCursor {
+            start,
+            agents,
+            times,
+            parked,
+            // The MCU write queue, as a bare slot array for `run_stream`.
+            wq: vec![Picos::ZERO; cfg.mcu_write_queue.max(1)],
+            psc,
+            ipc_series: TimeSeries::with_capacity(cfg.sample_bucket, series_cap),
+            power_series: TimeSeries::with_capacity(cfg.sample_bucket, series_cap),
+            bytes_from: 0,
+            bytes_to: 0,
+            mem_requests: 0,
+            // Per-label energy is accumulated locally and flushed in one
+            // `charge_many` per label — `Joules` is an integer femtojoule
+            // count, so the batched sum is bit-equal to per-op charges.
+            compute_e: Joules(0),
+            compute_n: 0,
+            stall_e: Joules(0),
+            stall_n: 0,
+            stream_fp: Fnv64::new(),
+            // One-entry memos for the per-op energy floats: kernel loops
+            // repeat the same compute blocks and hit patterns, and
+            // `Watts * Picos` plus `Joules::as_j` each round through f64
+            // — memoizing on the duration reproduces the identical
+            // per-op values while skipping the conversions for repeats.
+            memo_compute: None,
+            memo_stall: None,
+            // Reused request slice handed to the backend per memory op.
+            buf: Vec::with_capacity(16),
+        }
+    }
+
+    /// Advances the cursor by one arbitration slice: picks the globally
+    /// earliest agent and batch-advances its ops while it stays strictly
+    /// ahead of the runner-up — the same set of steps a rescan-per-op
+    /// loop would have given it. Returns `false` once every agent is
+    /// parked (nothing left to run).
+    ///
+    /// Slice boundaries are the only legal snapshot points: between two
+    /// calls the cursor holds no borrowed or half-applied state.
+    pub fn advance_slice(
+        &self,
+        cur: &mut ScheduleCursor,
+        sched: &MemSchedule,
+        backend: &mut dyn MemoryBackend,
+    ) -> bool {
+        let cfg = &self.config;
         let l2_line = cfg.l2.line;
         // Hit service times are exact linear functions of the hit count
         // (`Picos * u64` is integer-exact), so a run of hits collapses
         // to one multiply without changing a single picosecond.
         let l1_hit = cfg.pe.clock.cycles_to_time(cfg.pe.l1_hit_cycles);
         let l2_hit = cfg.pe.clock.cycles_to_time(cfg.pe.l2_hit_cycles);
-        // The MCU write queue, as a bare slot array for `run_stream`.
-        let mut wq = vec![Picos::ZERO; cfg.mcu_write_queue.max(1)];
-        // Reused request slice handed to the backend per memory op.
-        let mut buf: Vec<StreamOp> = Vec::with_capacity(16);
-        // Per-label energy is accumulated locally and flushed in one
-        // `charge_many` per label — `Joules` is an integer femtojoule
-        // count, so the batched sum is bit-equal to per-op charges.
-        let mut compute_e = Joules(0);
-        let mut compute_n = 0u64;
-        let mut stall_e = Joules(0);
-        let mut stall_n = 0u64;
-        // One-entry memos for the per-op energy floats: kernel loops
-        // repeat the same compute blocks and hit patterns, and
-        // `Watts * Picos` plus `Joules::as_j` each round through f64 —
-        // memoizing on the duration reproduces the identical per-op
-        // values while skipping the conversions for the repeats.
-        let mut memo_compute: Option<(u64, Picos, Joules, f64)> = None;
-        let mut memo_stall: Option<(Picos, Joules, f64)> = None;
+        let start = cur.start;
 
-        // Same arbitration loop as `run_at`: advance the globally
-        // earliest agent, batching ops while it stays strictly ahead of
-        // the runner-up.
-        let n = agents.len();
-        let mut times: Vec<Picos> = agents.iter().map(|a| a.time).collect();
-        let mut parked: Vec<bool> = vec![false; n];
-        loop {
-            let mut best = usize::MAX;
-            let mut second = usize::MAX;
-            for i in 0..n {
-                if parked[i] {
-                    continue;
-                }
-                if best == usize::MAX || times[i] < times[best] {
-                    second = best;
-                    best = i;
-                } else if second == usize::MAX || times[i] < times[second] {
-                    second = i;
-                }
+        let n = cur.agents.len();
+        let mut best = usize::MAX;
+        let mut second = usize::MAX;
+        for i in 0..n {
+            if cur.parked[i] {
+                continue;
             }
-            if best == usize::MAX {
+            if best == usize::MAX || cur.times[i] < cur.times[best] {
+                second = best;
+                best = i;
+            } else if second == usize::MAX || cur.times[i] < cur.times[second] {
+                second = i;
+            }
+        }
+        if best == usize::MAX {
+            return false;
+        }
+        let idx = best;
+        let bound = (second != usize::MAX).then(|| (cur.times[second], second));
+        let sa = &sched.agents[idx];
+        let a = &mut cur.agents[idx];
+        loop {
+            if a.step == sa.step_count() {
+                // Kernel complete: the schedule's flush section holds
+                // the dirty-line traffic the engine would issue.
+                cur.buf.clear();
+                for ei in sa.flush_start()..sa.event_count() {
+                    match sa.event(ei) {
+                        ReplayEvent::Fill(addr) => {
+                            cur.buf.push(StreamOp {
+                                advance: Picos::ZERO,
+                                addr,
+                                write: false,
+                            });
+                            cur.bytes_from += l2_line as u64;
+                            cur.mem_requests += 1;
+                        }
+                        ReplayEvent::Writeback(addr) => {
+                            cur.buf.push(StreamOp {
+                                advance: Picos::ZERO,
+                                addr,
+                                write: true,
+                            });
+                            cur.bytes_to += l2_line as u64;
+                            cur.mem_requests += 1;
+                        }
+                        ReplayEvent::Hits { .. } => {
+                            unreachable!("flush section has no hits")
+                        }
+                    }
+                }
+                if !cur.buf.is_empty() {
+                    a.time = backend.run_stream(
+                        a.time,
+                        l2_line,
+                        cfg.pe.xbar_latency,
+                        &cur.buf,
+                        &mut cur.wq,
+                    );
+                    for op in &cur.buf {
+                        cur.stream_fp.mix_u64(op.addr);
+                        cur.stream_fp.mix_u64(op.write as u64);
+                    }
+                    cur.stream_fp.mix_u64(a.time.as_ps());
+                }
+                // Results must be durable before the completion
+                // message: drain the whole write queue.
+                let drain = cur.wq.iter().copied().fold(Picos::ZERO, Picos::max);
+                a.time = a.time.max(drain);
+                a.done = true;
+                cur.psc.sleep(a.time, idx + 1);
                 break;
             }
-            let idx = best;
-            let bound = (second != usize::MAX).then(|| (times[second], second));
-            let sa = &sched.agents[idx];
-            let a = &mut agents[idx];
-            loop {
-                if a.step == sa.step_count() {
-                    // Kernel complete: the schedule's flush section holds
-                    // the dirty-line traffic the engine would issue.
-                    buf.clear();
-                    for ei in sa.flush_start()..sa.event_count() {
-                        match sa.event(ei) {
-                            ReplayEvent::Fill(addr) => {
-                                buf.push(StreamOp {
-                                    advance: Picos::ZERO,
-                                    addr,
-                                    write: false,
-                                });
-                                bytes_from += l2_line as u64;
-                                mem_requests += 1;
-                            }
-                            ReplayEvent::Writeback(addr) => {
-                                buf.push(StreamOp {
-                                    advance: Picos::ZERO,
-                                    addr,
-                                    write: true,
-                                });
-                                bytes_to += l2_line as u64;
-                                mem_requests += 1;
-                            }
-                            ReplayEvent::Hits { .. } => {
-                                unreachable!("flush section has no hits")
-                            }
+            match sa.step(a.step) {
+                ReplayStep::Compute { cycles, instrs } => {
+                    let (dt, e, e_j) = match cur.memo_compute {
+                        Some((c, dt, e, e_j)) if c == cycles => (dt, e, e_j),
+                        _ => {
+                            let dt = cfg.pe.clock.cycles_to_time(cycles);
+                            let e = cfg.pe.p_active * dt;
+                            let e_j = e.as_j();
+                            cur.memo_compute = Some((cycles, dt, e, e_j));
+                            (dt, e, e_j)
                         }
-                    }
-                    if !buf.is_empty() {
-                        a.time =
-                            backend.run_stream(a.time, l2_line, cfg.pe.xbar_latency, &buf, &mut wq);
-                    }
-                    // Results must be durable before the completion
-                    // message: drain the whole write queue.
-                    let drain = wq.iter().copied().fold(Picos::ZERO, Picos::max);
-                    a.time = a.time.max(drain);
-                    a.done = true;
-                    psc.sleep(a.time, idx + 1);
-                    break;
+                    };
+                    cur.compute_e += e;
+                    cur.compute_n += 1;
+                    cur.power_series.add(a.time - start, e_j);
+                    cur.ipc_series.add(a.time + dt - start, instrs as f64);
+                    self.probe.span(
+                        Track::new("pe", idx as u32 + 1),
+                        "compute",
+                        a.time,
+                        a.time + dt,
+                    );
+                    a.stats.instructions += instrs;
+                    a.stats.compute_cycles += cycles;
+                    a.stats.compute_time += dt;
+                    a.time += dt;
                 }
-                match sa.step(a.step) {
-                    ReplayStep::Compute { cycles, instrs } => {
-                        let (dt, e, e_j) = match memo_compute {
-                            Some((c, dt, e, e_j)) if c == cycles => (dt, e, e_j),
-                            _ => {
-                                let dt = cfg.pe.clock.cycles_to_time(cycles);
-                                let e = cfg.pe.p_active * dt;
-                                let e_j = e.as_j();
-                                memo_compute = Some((cycles, dt, e, e_j));
-                                (dt, e, e_j)
-                            }
-                        };
-                        compute_e += e;
-                        compute_n += 1;
-                        power_series.add(a.time - start, e_j);
-                        ipc_series.add(a.time + dt - start, instrs as f64);
-                        self.probe.span(
-                            Track::new("pe", idx as u32 + 1),
-                            "compute",
-                            a.time,
-                            a.time + dt,
-                        );
-                        a.stats.instructions += instrs;
-                        a.stats.compute_cycles += cycles;
-                        a.stats.compute_time += dt;
-                        a.time += dt;
-                    }
-                    ReplayStep::Mem { store, events } => {
-                        let t0 = a.time;
-                        'request: {
-                            // Fast path: most memory ops are a single
-                            // hit run — pure cache service time, no
-                            // backend traffic, no batch to assemble.
-                            if events == 1 {
-                                if let ReplayEvent::Hits { l1, l2 } = sa.event(a.event) {
-                                    a.event += 1;
-                                    a.time += l1_hit * l1 + l2_hit * l2;
-                                    break 'request;
-                                }
-                            }
-                            // Fold hit runs into the next request's
-                            // advance; trailing hits land after the
-                            // batch returns.
-                            let mut pending = Picos::ZERO;
-                            buf.clear();
-                            let end = a.event + events as usize;
-                            while a.event < end {
-                                match sa.event(a.event) {
-                                    ReplayEvent::Hits { l1, l2 } => {
-                                        pending += l1_hit * l1 + l2_hit * l2;
-                                    }
-                                    ReplayEvent::Fill(addr) => {
-                                        buf.push(StreamOp {
-                                            advance: pending,
-                                            addr,
-                                            write: false,
-                                        });
-                                        pending = Picos::ZERO;
-                                        bytes_from += l2_line as u64;
-                                        mem_requests += 1;
-                                    }
-                                    ReplayEvent::Writeback(addr) => {
-                                        buf.push(StreamOp {
-                                            advance: pending,
-                                            addr,
-                                            write: true,
-                                        });
-                                        pending = Picos::ZERO;
-                                        bytes_to += l2_line as u64;
-                                        mem_requests += 1;
-                                    }
-                                }
+                ReplayStep::Mem { store, events } => {
+                    let t0 = a.time;
+                    'request: {
+                        // Fast path: most memory ops are a single
+                        // hit run — pure cache service time, no
+                        // backend traffic, no batch to assemble.
+                        if events == 1 {
+                            if let ReplayEvent::Hits { l1, l2 } = sa.event(a.event) {
                                 a.event += 1;
+                                a.time += l1_hit * l1 + l2_hit * l2;
+                                break 'request;
                             }
-                            if !buf.is_empty() {
-                                a.time = backend.run_stream(
-                                    a.time,
-                                    l2_line,
-                                    cfg.pe.xbar_latency,
-                                    &buf,
-                                    &mut wq,
-                                );
+                        }
+                        // Fold hit runs into the next request's
+                        // advance; trailing hits land after the
+                        // batch returns.
+                        let mut pending = Picos::ZERO;
+                        cur.buf.clear();
+                        let end = a.event + events as usize;
+                        while a.event < end {
+                            match sa.event(a.event) {
+                                ReplayEvent::Hits { l1, l2 } => {
+                                    pending += l1_hit * l1 + l2_hit * l2;
+                                }
+                                ReplayEvent::Fill(addr) => {
+                                    cur.buf.push(StreamOp {
+                                        advance: pending,
+                                        addr,
+                                        write: false,
+                                    });
+                                    pending = Picos::ZERO;
+                                    cur.bytes_from += l2_line as u64;
+                                    cur.mem_requests += 1;
+                                }
+                                ReplayEvent::Writeback(addr) => {
+                                    cur.buf.push(StreamOp {
+                                        advance: pending,
+                                        addr,
+                                        write: true,
+                                    });
+                                    pending = Picos::ZERO;
+                                    cur.bytes_to += l2_line as u64;
+                                    cur.mem_requests += 1;
+                                }
                             }
-                            a.time += pending;
+                            a.event += 1;
                         }
-                        let dt = a.time - t0;
-                        let (e, e_j) = match memo_stall {
-                            Some((d, e, e_j)) if d == dt => (e, e_j),
-                            _ => {
-                                let e = cfg.pe.p_stall * dt;
-                                let e_j = e.as_j();
-                                memo_stall = Some((dt, e, e_j));
-                                (e, e_j)
+                        if !cur.buf.is_empty() {
+                            a.time = backend.run_stream(
+                                a.time,
+                                l2_line,
+                                cfg.pe.xbar_latency,
+                                &cur.buf,
+                                &mut cur.wq,
+                            );
+                            for op in &cur.buf {
+                                cur.stream_fp.mix_u64(op.addr);
+                                cur.stream_fp.mix_u64(op.write as u64);
                             }
-                        };
-                        stall_e += e;
-                        stall_n += 1;
-                        power_series.add(t0 - start, e_j);
-                        ipc_series.add(a.time - start, 1.0);
-                        if !dt.is_zero() {
-                            self.probe
-                                .span(Track::new("pe", idx as u32 + 1), "mem", t0, a.time);
-                            self.probe.latency("pe.mem_op", dt);
+                            cur.stream_fp.mix_u64(a.time.as_ps());
                         }
-                        a.stats.instructions += 1;
-                        a.stats.stall_time += dt;
-                        if store {
-                            a.stats.stores += 1;
-                        } else {
-                            a.stats.loads += 1;
-                        }
+                        a.time += pending;
                     }
-                }
-                a.step += 1;
-                match bound {
-                    Some((bt, bi)) if !(a.time < bt || (a.time == bt && idx < bi)) => break,
-                    _ => {}
+                    let dt = a.time - t0;
+                    let (e, e_j) = match cur.memo_stall {
+                        Some((d, e, e_j)) if d == dt => (e, e_j),
+                        _ => {
+                            let e = cfg.pe.p_stall * dt;
+                            let e_j = e.as_j();
+                            cur.memo_stall = Some((dt, e, e_j));
+                            (e, e_j)
+                        }
+                    };
+                    cur.stall_e += e;
+                    cur.stall_n += 1;
+                    cur.power_series.add(t0 - start, e_j);
+                    cur.ipc_series.add(a.time - start, 1.0);
+                    if !dt.is_zero() {
+                        self.probe
+                            .span(Track::new("pe", idx as u32 + 1), "mem", t0, a.time);
+                        self.probe.latency("pe.mem_op", dt);
+                    }
+                    a.stats.instructions += 1;
+                    a.stats.stall_time += dt;
+                    if store {
+                        a.stats.stores += 1;
+                    } else {
+                        a.stats.loads += 1;
+                    }
                 }
             }
-            times[idx] = a.time;
-            parked[idx] = a.done;
+            a.step += 1;
+            // Keep going while this agent would win the rescan: the
+            // scheduler tie-breaks equal clocks by lowest index.
+            match bound {
+                Some((bt, bi)) if !(a.time < bt || (a.time == bt && idx < bi)) => break,
+                _ => {}
+            }
         }
+        cur.times[idx] = cur.agents[idx].time;
+        cur.parked[idx] = cur.agents[idx].done;
+        true
+    }
 
-        energy.charge_many("pe.compute", compute_e, compute_n);
-        energy.charge_many("pe.stall", stall_e, stall_n);
-        let total_time = agents.iter().map(|a| a.time).fold(Picos::ZERO, Picos::max) - start;
+    /// Turns a completed cursor into the [`ExecReport`]
+    /// [`Accelerator::run_schedule_at`] would have returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor still has runnable agents.
+    pub fn finish_schedule(&self, cur: &ScheduleCursor, sched: &MemSchedule) -> ExecReport {
+        assert!(cur.is_done(), "cursor still has runnable agents");
+        let cfg = &self.config;
+        let mut energy = EnergyBook::new();
+        energy.charge_many("pe.compute", cur.compute_e, cur.compute_n);
+        energy.charge_many("pe.stall", cur.stall_e, cur.stall_n);
+        let total_time = cur
+            .agents
+            .iter()
+            .map(|a| a.time)
+            .fold(Picos::ZERO, Picos::max)
+            - cur.start;
         energy.charge("pe.server", cfg.pe.p_stall * total_time);
-        let parked = (cfg.pes - 1 - agents.len()) as u64;
+        let parked = (cfg.pes - 1 - cur.agents.len()) as u64;
         energy.charge("pe.sleep", (cfg.pe.p_sleep * total_time).scaled(parked));
 
         let mut l1 = CacheLevelStats::default();
@@ -855,18 +1072,18 @@ impl Accelerator {
 
         ExecReport {
             total_time,
-            instructions: agents.iter().map(|a| a.stats.instructions).sum(),
-            compute_time: agents.iter().map(|a| a.stats.compute_time).sum(),
-            stall_time: agents.iter().map(|a| a.stats.stall_time).sum(),
-            pe_stats: agents.iter().map(|a| a.stats).collect(),
+            instructions: cur.agents.iter().map(|a| a.stats.instructions).sum(),
+            compute_time: cur.agents.iter().map(|a| a.stats.compute_time).sum(),
+            stall_time: cur.agents.iter().map(|a| a.stats.stall_time).sum(),
+            pe_stats: cur.agents.iter().map(|a| a.stats).collect(),
             l1,
             l2,
-            ipc_series,
-            power_series,
+            ipc_series: cur.ipc_series.clone(),
+            power_series: cur.power_series.clone(),
             energy,
-            bytes_from_mem: bytes_from,
-            bytes_to_mem: bytes_to,
-            mem_requests,
+            bytes_from_mem: cur.bytes_from,
+            bytes_to_mem: cur.bytes_to,
+            mem_requests: cur.mem_requests,
         }
     }
 }
@@ -1397,5 +1614,54 @@ mod sched_replay_tests {
         let traces = stress_traces(1);
         let sched = MemSchedule::build(&traces, CacheConfig::l1_paper(), accel.config().l2);
         accel.run_schedule_at(Picos::ZERO, &sched, &mut FixedMem);
+    }
+
+    #[test]
+    fn cursor_snapshot_resume_is_byte_identical() {
+        // Snapshot cursor + backend mid-run, rebuild both fresh, restore
+        // the images, resume — the report, the backend energy and the
+        // stream fingerprint must all match the straight run exactly.
+        use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
+        use sim_core::Snapshot;
+        let accel = Accelerator::new(AccelConfig::default());
+        let traces = stress_traces(2);
+        let sched = MemSchedule::build(&traces, accel.config().l1, accel.config().l2);
+
+        // Straight run (counting its arbitration slices).
+        let mut pram_a = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 4));
+        let mut cur_a = accel.schedule_cursor(Picos::ZERO, &sched, &mut pram_a);
+        let mut slices = 0u64;
+        while accel.advance_slice(&mut cur_a, &sched, &mut pram_a) {
+            slices += 1;
+        }
+        let straight = accel.finish_schedule(&cur_a, &sched);
+        assert!(slices >= 2, "need a mid-run boundary, got {slices} slices");
+
+        // Interrupted run: stop halfway, snapshot, drop.
+        let mut pram_b = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 4));
+        let mut cur = accel.schedule_cursor(Picos::ZERO, &sched, &mut pram_b);
+        for _ in 0..slices / 2 {
+            assert!(accel.advance_slice(&mut cur, &sched, &mut pram_b));
+        }
+        let fp_mid = cur.stream_fingerprint();
+        let cur_img = cur.snapshot();
+        let backend_img = pram_b.snapshot();
+        drop(cur);
+        drop(pram_b);
+
+        // Fresh state, restore, resume to completion.
+        let mut pram_c = PramController::new(SubsystemConfig::small(SchedulerKind::Final, 4));
+        let mut cur2 = accel.schedule_cursor(Picos::ZERO, &sched, &mut pram_c);
+        pram_c.restore(&backend_img).expect("backend restore");
+        cur2.restore(&cur_img).expect("cursor restore");
+        assert_eq!(cur2.stream_fingerprint(), fp_mid);
+        while accel.advance_slice(&mut cur2, &sched, &mut pram_c) {}
+        let resumed = accel.finish_schedule(&cur2, &sched);
+
+        assert_eq!(report_json(&straight), report_json(&resumed));
+        assert_eq!(
+            pram_a.energy().to_json().render(false),
+            pram_c.energy().to_json().render(false)
+        );
     }
 }

@@ -47,6 +47,14 @@ pub struct PowerSleepController {
     transitions: u64,
 }
 
+util::json_struct!(PowerSleepController {
+    params,
+    states,
+    transitions
+});
+
+sim_core::snapshot_via_json!(PowerSleepController, "accel/psc", 1);
+
 impl PowerSleepController {
     /// Creates a PSC for `pes` elements, all asleep.
     ///

@@ -256,13 +256,7 @@ impl Trace {
     /// a 2^-64 collision). Used as a content-addressed cache key for
     /// derived artifacts such as `MemSchedule`.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(PRIME);
-        };
+        let mut fp = util::fingerprint::Fnv64::new();
         // FNV-1a over 64-bit lanes: fingerprinting runs per schedule
         // lookup, and a byte-at-a-time walk of a multi-megabyte stream
         // was measurable in sweep profiles. A trailing partial lane is
@@ -270,23 +264,23 @@ impl Trace {
         // padded and genuine zero bytes cannot alias.
         let mut chunks = self.bytes.chunks_exact(8);
         for c in &mut chunks {
-            mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            fp.mix_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {
             let mut last = [0u8; 8];
             last[..rest.len()].copy_from_slice(rest);
-            mix(u64::from_le_bytes(last));
+            fp.mix_u64(u64::from_le_bytes(last));
         }
-        mix(self.bytes.len() as u64);
-        mix(self.encoded as u64);
-        mix(self.tail.is_some() as u64);
+        fp.mix_u64(self.bytes.len() as u64);
+        fp.mix_u64(self.encoded as u64);
+        fp.mix_u64(self.tail.is_some() as u64);
         if let Some(t) = &self.tail {
             for v in [t.m, t.l, t.s, t.d] {
-                mix(v);
+                fp.mix_u64(v);
             }
         }
-        h
+        fp.value()
     }
 
     /// Number of operations.

@@ -8,9 +8,11 @@
 //! dramless-sim --list-systems
 //! ```
 
+use dramless::replay::{self, Recording};
 use dramless::{
     FaultPlan, FidelityTier, RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec,
 };
+use std::ops::Range;
 use std::process::ExitCode;
 use util::json::{FromJson, ToJson};
 use util::telemetry::MetricValue;
@@ -30,6 +32,8 @@ struct Options {
     trace_out: Option<String>,
     faults: Option<FaultPlan>,
     tier: Option<FidelityTier>,
+    out: Option<String>,
+    checkpoint_every: Option<u64>,
 }
 
 fn usage() -> &'static str {
@@ -42,6 +46,21 @@ fn usage() -> &'static str {
                     [--json <path>] [--metrics]\n\
                     [--faults <file.json>] [--trace-out <path>]\n\
                     [--list] [--list-systems]\n\
+       dramless-sim record [selection flags as above] [--out <run.json>]\n\
+                    [--checkpoint-every <n>]\n\
+       dramless-sim replay <run.json> [--window <a>..<b>] [--cell <i>]\n\
+     \n\
+     SUBCOMMANDS:\n\
+       record          run the selected cells deterministically, emitting a\n\
+                       recording: per-cell run fingerprints (schedule\n\
+                       content-address, chained request-stream digest, report\n\
+                       hash) plus state checkpoints every --checkpoint-every\n\
+                       backend requests (default 50000); writes --out\n\
+                       [default: run.json]\n\
+       replay          re-execute a recording and fail loudly on any\n\
+                       fingerprint divergence; with --window <a>..<b>, restore\n\
+                       the nearest checkpoint at or before request <a> of cell\n\
+                       --cell [default: 0] and re-execute just [a, b)\n\
      \n\
      OPTIONS:\n\
        --system        a Table I system (e.g. dram-less, hetero, page-buffer),\n\
@@ -150,6 +169,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         trace_out: None,
         faults: None,
         tier: None,
+        out: None,
+        checkpoint_every: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -208,6 +229,17 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 });
             }
             "--json" => opts.json = Some(value("--json")?),
+            "--out" => opts.out = Some(value("--out")?),
+            "--checkpoint-every" => {
+                let v = value("--checkpoint-every")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad checkpoint cadence `{v}`"))?;
+                if n == 0 {
+                    return Err("checkpoint cadence must be >= 1".into());
+                }
+                opts.checkpoint_every = Some(n);
+            }
             "--metrics" => opts.metrics = true,
             "--faults" => {
                 let v = value("--faults")?;
@@ -287,15 +319,10 @@ fn print_row(out: &RunOutcome) {
     );
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse(&args) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Expands parsed options into the cell grid every subcommand runs
+/// over: `(id, spec)` pairs with the tier/telemetry/fault knobs
+/// applied, the workload list, and the system parameters.
+fn grid(opts: &Options) -> (Vec<(SystemId, SystemSpec)>, Vec<Workload>, SystemParams) {
     let params = SystemParams {
         seed: opts.seed,
         agents: opts.agents,
@@ -332,6 +359,31 @@ fn main() -> ExitCode {
             spec.faults = Some(plan.clone());
         }
     }
+    (systems, workloads, params)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => cmd_run(&args),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.out.is_some() || opts.checkpoint_every.is_some() {
+        eprintln!("error: --out/--checkpoint-every belong to the `record` subcommand");
+        return ExitCode::FAILURE;
+    }
+    let (systems, workloads, params) = grid(&opts);
     // A trace run is a single cell: one system, one kernel, with the
     // full event trace kept and exported.
     if let Some(path) = &opts.trace_out {
@@ -409,6 +461,182 @@ fn main() -> ExitCode {
         println!("\nwrote {} outcomes to {path}", result.outcomes.len());
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_record(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json.is_some() || opts.metrics || opts.trace_out.is_some() {
+        eprintln!(
+            "error: record emits a recording via --out; \
+             --json/--metrics/--trace-out do not apply"
+        );
+        return ExitCode::FAILURE;
+    }
+    let (systems, workloads, params) = grid(&opts);
+    let every = opts
+        .checkpoint_every
+        .unwrap_or(replay::DEFAULT_CHECKPOINT_EVERY);
+    let rec = match replay::record_run(&systems, &workloads, &params, every) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = opts.out.as_deref().unwrap_or("run.json");
+    if let Err(e) = std::fs::write(out, rec.to_json_string()) {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{:<22} {:<10} {:>12} {:>12} {:>18} {:>18}",
+        "system", "kernel", "requests", "checkpoints", "stream", "report"
+    );
+    for cell in &rec.cells {
+        println!(
+            "{:<22} {:<10} {:>12} {:>12} {:>#18x} {:>#18x}",
+            cell.outcome.system.name(),
+            cell.outcome.kernel.label(),
+            cell.fingerprint.requests,
+            cell.checkpoints.len(),
+            cell.fingerprint.stream,
+            cell.fingerprint.report
+        );
+    }
+    println!(
+        "\nwrote {} cell(s) to {out} (checkpoint every {every} requests)",
+        rec.cells.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Parsed `replay` subcommand options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ReplayOptions {
+    path: String,
+    window: Option<Range<u64>>,
+    cell: usize,
+}
+
+/// Parses a `<a>..<b>` request window.
+fn parse_window(s: &str) -> Result<Range<u64>, String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("bad window `{s}` (want <a>..<b>)"))?;
+    let start: u64 = a.parse().map_err(|_| format!("bad window start `{a}`"))?;
+    let end: u64 = b.parse().map_err(|_| format!("bad window end `{b}`"))?;
+    if start >= end {
+        return Err(format!("empty window `{s}`"));
+    }
+    Ok(start..end)
+}
+
+fn parse_replay(args: &[String]) -> Result<ReplayOptions, String> {
+    let mut path: Option<String> = None;
+    let mut window = None;
+    let mut cell = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--window" => window = Some(parse_window(&value("--window")?)?),
+            "--cell" => {
+                let v = value("--cell")?;
+                cell = v.parse().map_err(|_| format!("bad cell index `{v}`"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown replay argument `{other}`"))
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err("replay takes exactly one recording file".into());
+                }
+            }
+        }
+    }
+    Ok(ReplayOptions {
+        path: path.ok_or("replay needs a recording file (dramless-sim replay <run.json>)")?,
+        window,
+        cell,
+    })
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let opts = match parse_replay(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&opts.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let rec = match Recording::from_json_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: parsing {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    match &opts.window {
+        Some(w) => match replay::replay(&rec, opts.cell, w.clone()) {
+            Ok(r) => {
+                println!(
+                    "{}: resumed at request {} (nearest checkpoint), replayed to \
+                     {}, re-verified {} checkpoint(s){}",
+                    r.cell,
+                    r.resumed_at,
+                    r.replayed_to,
+                    r.verified_checkpoints,
+                    if r.completed {
+                        "; ran to completion — final stream and report fingerprints match"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: replay FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => match replay::verify(&rec) {
+            Ok(reports) => {
+                for r in &reports {
+                    println!(
+                        "{}: verified — {} request(s), {} checkpoint(s), report matches",
+                        r.cell, r.replayed_to, r.verified_checkpoints
+                    );
+                }
+                println!("\n{} cell(s) verified against {}", reports.len(), opts.path);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: replay FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
 }
 
 #[cfg(test)]
@@ -517,5 +745,62 @@ mod tests {
         assert!(parse(&["--frobnicate".into()]).is_err());
         assert!(parse(&["--seed".into()]).is_err());
         assert!(parse(&["--spec".into(), "/no/such/file.json".into()]).is_err());
+    }
+
+    #[test]
+    fn parses_record_flags() {
+        let o = parse(&[
+            "--out".to_string(),
+            "rec.json".to_string(),
+            "--checkpoint-every".to_string(),
+            "500".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(o.out.as_deref(), Some("rec.json"));
+        assert_eq!(o.checkpoint_every, Some(500));
+        // Typed errors, not panics: missing values, zero cadence, junk.
+        assert!(parse(&["--out".into()]).is_err());
+        assert!(parse(&["--checkpoint-every".into()]).is_err());
+        assert!(parse(&["--checkpoint-every".into(), "0".into()]).is_err());
+        assert!(parse(&["--checkpoint-every".into(), "soon".into()]).is_err());
+    }
+
+    #[test]
+    fn parses_windows() {
+        assert_eq!(parse_window("80..140"), Ok(80..140));
+        assert_eq!(parse_window("0..1"), Ok(0..1));
+        assert!(parse_window("80").is_err());
+        assert!(parse_window("80..").is_err());
+        assert!(parse_window("..140").is_err());
+        assert!(parse_window("140..80").is_err(), "backwards window");
+        assert!(parse_window("80..80").is_err(), "empty window");
+        assert!(parse_window("a..b").is_err());
+    }
+
+    #[test]
+    fn parses_replay_command_lines() {
+        let args: Vec<String> = ["run.json", "--window", "80..140", "--cell", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_replay(&args).unwrap();
+        assert_eq!(
+            o,
+            ReplayOptions {
+                path: "run.json".into(),
+                window: Some(80..140),
+                cell: 3,
+            }
+        );
+        // Defaults: whole-recording verify of cell 0.
+        let o = parse_replay(&["run.json".to_string()]).unwrap();
+        assert_eq!(o.window, None);
+        assert_eq!(o.cell, 0);
+        // Typed errors, not panics.
+        assert!(parse_replay(&[]).is_err(), "missing recording file");
+        assert!(parse_replay(&["a.json".into(), "b.json".into()]).is_err());
+        assert!(parse_replay(&["run.json".into(), "--window".into()]).is_err());
+        assert!(parse_replay(&["run.json".into(), "--cell".into(), "x".into()]).is_err());
+        assert!(parse_replay(&["run.json".into(), "--bogus".into()]).is_err());
     }
 }

@@ -59,12 +59,14 @@
 
 pub mod analytic;
 pub mod config;
+pub mod replay;
 pub mod report;
 pub mod spec;
 pub mod sweep;
 pub mod system;
 
 pub use config::{SystemId, SystemKind, SystemParams};
+pub use replay::{CellRecording, Checkpoint, Recording, ReplayError, RunFingerprint, WindowReport};
 pub use report::{Breakdown, RunOutcome, SuiteResult};
 pub use sim_core::fault::{FaultCounters, FaultPlan};
 pub use sim_core::mem::FidelityTier;

@@ -22,7 +22,7 @@
 use crate::config::{SystemId, SystemKind, SystemParams};
 use crate::report::{Breakdown, RunOutcome};
 use crate::spec::{Buffer, Control, Datapath, Medium, SpecError, SystemSpec, TelemetrySpec};
-use accel::exec::{AccelConfig, Accelerator};
+use accel::exec::{AccelConfig, Accelerator, ExecReport};
 use accel::kernel::{KernelImage, Segment};
 use flash::{FlashDevice, FlashGeometry, FlashTiming};
 use host::stack::HostStackParams;
@@ -33,6 +33,7 @@ use sim_core::energy::{EnergyBook, Watts};
 use sim_core::fault::{FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::{Probe, Telemetry};
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use storage::cache::PageStore;
 use storage::dram::DramParams;
@@ -68,9 +69,38 @@ impl PageAdapter {
     }
 }
 
+/// Image tag for [`PageAdapter`] snapshots.
+const ADAPTER_KIND: &str = "dramless/page-adapter";
+/// Schema version of [`ADAPTER_KIND`] images.
+const ADAPTER_VERSION: u32 = 1;
+
 impl PageStore for PageAdapter {
     fn page_bytes(&self) -> u32 {
         self.page_bytes
+    }
+
+    fn store_snapshot(&self) -> Result<StateImage, SnapshotError> {
+        use util::json::ToJson;
+        let data = util::json::Json::Obj(vec![
+            ("page_bytes".to_string(), self.page_bytes.to_json()),
+            ("inner".to_string(), self.inner.snapshot_state()?.to_json()),
+        ]);
+        Ok(StateImage::new(ADAPTER_KIND, ADAPTER_VERSION, data))
+    }
+
+    fn store_restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        use util::json::field;
+        let data = image.expect(ADAPTER_KIND, ADAPTER_VERSION)?;
+        let m = |e| SnapshotError::malformed(ADAPTER_KIND, e);
+        let page_bytes: u32 = field(data, "page_bytes").map_err(m)?;
+        if page_bytes != self.page_bytes {
+            return Err(SnapshotError::shape(
+                ADAPTER_KIND,
+                "image was recorded under a different page size",
+            ));
+        }
+        let inner: StateImage = field(data, "inner").map_err(m)?;
+        self.inner.restore_state(&inner)
     }
 
     fn fetch_page(&mut self, at: Picos, page: u64) -> Access {
@@ -137,9 +167,44 @@ impl HeteroStore {
     }
 }
 
+/// Image tag for [`HeteroStore`] snapshots.
+const HETERO_KIND: &str = "dramless/hetero-store";
+/// Schema version of [`HETERO_KIND`] images.
+const HETERO_VERSION: u32 = 1;
+
 impl PageStore for HeteroStore {
     fn page_bytes(&self) -> u32 {
         self.page_bytes
+    }
+
+    fn store_snapshot(&self) -> Result<StateImage, SnapshotError> {
+        use util::json::ToJson;
+        let data = util::json::Json::Obj(vec![
+            ("page_bytes".to_string(), self.page_bytes.to_json()),
+            (
+                "stager".to_string(),
+                sim_core::Snapshot::snapshot(&self.stager).to_json(),
+            ),
+            ("ssd".to_string(), self.ssd.snapshot_state()?.to_json()),
+        ]);
+        Ok(StateImage::new(HETERO_KIND, HETERO_VERSION, data))
+    }
+
+    fn store_restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        use util::json::field;
+        let data = image.expect(HETERO_KIND, HETERO_VERSION)?;
+        let m = |e| SnapshotError::malformed(HETERO_KIND, e);
+        let page_bytes: u32 = field(data, "page_bytes").map_err(m)?;
+        if page_bytes != self.page_bytes {
+            return Err(SnapshotError::shape(
+                HETERO_KIND,
+                "image was recorded under a different page size",
+            ));
+        }
+        let stager: StateImage = field(data, "stager").map_err(m)?;
+        let ssd: StateImage = field(data, "ssd").map_err(m)?;
+        sim_core::Snapshot::restore(&mut self.stager, &stager)?;
+        self.ssd.restore_state(&ssd)
     }
 
     fn fetch_page(&mut self, at: Picos, page: u64) -> Access {
@@ -510,18 +575,43 @@ fn offload(
     t
 }
 
-/// The one phase-driven runner every configuration goes through:
-/// offload → stage-in → execution → stage-out, with the energy ledger
-/// merged across all components.
-fn run_composed(
-    id: SystemId,
+/// The explicit state handoff between the deterministic preparation
+/// phases (1: offload, 2: initial staging) and the execution phase: the
+/// composed system with its phase clocks advanced, the offload link's
+/// energy ledger, and the accelerator configuration execution will run
+/// under.
+///
+/// Factoring the handoff out of the runner is what lets the
+/// record/replay layer re-derive phases 1–2 cheaply on resume (they are
+/// pure functions of the spec and workload) and then restore only the
+/// execution-phase images over the freshly prepared state.
+pub(crate) struct PreparedRun {
+    /// The composed system, post-offload and post-stage-in.
+    pub(crate) sys: ComposedSystem,
+    /// The PCIe link the offload crossed (its energy joins the ledger).
+    pub(crate) link: PcieLink,
+    /// Phase 1 wall-clock.
+    pub(crate) offload_done: Picos,
+    /// Phase 2 wall-clock (zero for integrated datapaths).
+    pub(crate) staging_in: Picos,
+    /// Absolute start time of the execution phase.
+    pub(crate) exec_start: Picos,
+    /// Internal-buffer capacity derived from footprint pressure.
+    pub(crate) buffer_bytes: u64,
+    /// The accelerator configuration execution runs under.
+    pub(crate) cfg: AccelConfig,
+}
+
+/// Phases 1–2 of the runner: probe wiring, kernel offload, and the
+/// initial bulk stage-in. Deterministic and cheap relative to
+/// execution, which is why resume re-runs them instead of imaging their
+/// transient state.
+pub(crate) fn prepare_phases(
     mut sys: ComposedSystem,
     built: &BuiltWorkload,
     params: &SystemParams,
     telemetry: Option<&Telemetry>,
-    faults_armed: bool,
-    analytic: Option<&crate::analytic::ExecModel>,
-) -> RunOutcome {
+) -> PreparedRun {
     let mut link = PcieLink::new(Default::default());
 
     // Hand live probes to every component before anything runs; the
@@ -562,17 +652,42 @@ fn run_composed(
         exec_start = r.done;
     }
 
-    // Phase 3: execution. (The engine starts its own clock at zero; the
-    // phases compose as wall-clock segments.) The analytic tier swaps
-    // only this phase: offload and staging above already ran the real
-    // models, so the closed form replaces exactly the per-request work.
     let cfg = AccelConfig {
         pes: params.agents + 1,
         sample_bucket: Picos::from_us(params.sample_bucket_us),
         ..Default::default()
     };
+    PreparedRun {
+        sys,
+        link,
+        offload_done,
+        staging_in,
+        exec_start,
+        buffer_bytes,
+        cfg,
+    }
+}
+
+/// The one phase-driven runner every configuration goes through:
+/// offload → stage-in → execution → stage-out, with the energy ledger
+/// merged across all components.
+fn run_composed(
+    id: SystemId,
+    sys: ComposedSystem,
+    built: &BuiltWorkload,
+    params: &SystemParams,
+    telemetry: Option<&Telemetry>,
+    faults_armed: bool,
+    analytic: Option<&crate::analytic::ExecModel>,
+) -> RunOutcome {
+    let mut prep = prepare_phases(sys, built, params, telemetry);
+
+    // Phase 3: execution. (The engine starts its own clock at zero; the
+    // phases compose as wall-clock segments.) The analytic tier swaps
+    // only this phase: offload and staging above already ran the real
+    // models, so the closed form replaces exactly the per-request work.
     let exec = match analytic {
-        Some(model) => model.exec(&cfg),
+        Some(model) => model.exec(&prep.cfg),
         None => {
             // Schedule-driven replay: the backend request stream is a
             // pure function of (traces, cache geometry), so the sweep
@@ -580,14 +695,36 @@ fn run_composed(
             // replays it here through the real cycle-level backend —
             // bit-identical reports, no per-cell trace decode or cache
             // simulation.
-            let sched = workloads::cache::schedule_for(built, cfg.l1, cfg.l2);
-            let mut accel = Accelerator::new(cfg);
+            let sched = workloads::cache::schedule_for(built, prep.cfg.l1, prep.cfg.l2);
+            let mut accel = Accelerator::new(prep.cfg);
             if let Some(tel) = telemetry {
                 accel.set_probe(tel.probe());
             }
-            accel.run_schedule_at(exec_start, &sched, sys.backend.as_mut())
+            accel.run_schedule_at(prep.exec_start, &sched, prep.sys.backend.as_mut())
         }
     };
+
+    finalize_run(id, prep, built, telemetry, faults_armed, exec)
+}
+
+/// Phase 4 plus the ledger merge: stages results out, folds energy,
+/// metrics and fault counters across every component, and assembles the
+/// [`RunOutcome`]. Consumes the prepared state — after this the run is
+/// fully accounted.
+pub(crate) fn finalize_run(
+    id: SystemId,
+    mut prep: PreparedRun,
+    built: &BuiltWorkload,
+    telemetry: Option<&Telemetry>,
+    faults_armed: bool,
+    exec: ExecReport,
+) -> RunOutcome {
+    let sys = &mut prep.sys;
+    let link = &prep.link;
+    let offload_done = prep.offload_done;
+    let staging_in = prep.staging_in;
+    let exec_start = prep.exec_start;
+    let buffer_bytes = prep.buffer_bytes;
 
     // Phase 4: staging out the final results (dirty pages evicted during
     // execution already crossed the path inside the backend).

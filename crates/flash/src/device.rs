@@ -29,6 +29,13 @@ pub struct FlashStats {
     pub erases: u64,
 }
 
+util::json_struct!(FlashStats {
+    page_reads,
+    page_writes,
+    gc_moves,
+    erases
+});
+
 /// A timing + functional model of one NAND device (SSD back end or the
 /// embedded flash of the Integrated-* accelerators).
 ///
@@ -58,6 +65,19 @@ pub struct FlashDevice {
     stats: FlashStats,
     energy: EnergyBook,
 }
+
+util::json_struct!(FlashDevice {
+    ftl,
+    timing,
+    kind,
+    dies,
+    bus,
+    data,
+    stats,
+    energy
+});
+
+sim_core::snapshot_via_json!(FlashDevice, "flash/device", 1);
 
 impl FlashDevice {
     /// Creates a device of the given geometry and cell kind with Table I

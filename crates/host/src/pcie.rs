@@ -58,6 +58,15 @@ pub struct PcieLink {
     transfers: u64,
 }
 
+util::json_struct!(PcieLink {
+    params,
+    lanes,
+    energy,
+    transfers
+});
+
+sim_core::snapshot_via_json!(PcieLink, "host/pcie", 1);
+
 impl PcieLink {
     /// Creates a link.
     pub fn new(params: PcieParams) -> Self {

@@ -87,6 +87,16 @@ pub struct HostStack {
     bytes_copied: u64,
 }
 
+util::json_struct!(HostStack {
+    params,
+    cpu,
+    energy,
+    requests,
+    bytes_copied
+});
+
+sim_core::snapshot_via_json!(HostStack, "host/stack", 1);
+
 impl HostStack {
     /// Creates the stack model.
     pub fn new(params: HostStackParams) -> Self {

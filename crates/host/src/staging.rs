@@ -15,6 +15,7 @@ use crate::stack::HostStack;
 use sim_core::energy::EnergyBook;
 use sim_core::mem::MemoryBackend;
 use sim_core::probe::Probe;
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use util::telemetry::{MetricSet, Track};
 
@@ -74,6 +75,36 @@ pub struct Stager {
 
 /// The staging datapath's single trace lane.
 const STAGING_TRACK: Track = Track::new("staging", 0);
+
+/// Image tag for [`Stager`] snapshots.
+const STAGING_KIND: &str = "host/staging";
+/// Schema version of [`STAGING_KIND`] images.
+const STAGING_VERSION: u32 = 1;
+
+impl sim_core::Snapshot for Stager {
+    fn snapshot(&self) -> StateImage {
+        use util::json::ToJson;
+        let data = util::json::Json::Obj(vec![
+            ("stack".to_string(), self.stack.to_json()),
+            ("link_ssd".to_string(), self.link_ssd.to_json()),
+            ("link_accel".to_string(), self.link_accel.to_json()),
+            ("path".to_string(), self.path.to_json()),
+        ]);
+        StateImage::new(STAGING_KIND, STAGING_VERSION, data)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        use util::json::field;
+        let data = image.expect(STAGING_KIND, STAGING_VERSION)?;
+        let m = |e| SnapshotError::malformed(STAGING_KIND, e);
+        self.stack = field(data, "stack").map_err(m)?;
+        self.link_ssd = field(data, "link_ssd").map_err(m)?;
+        self.link_accel = field(data, "link_accel").map_err(m)?;
+        self.path = field(data, "path").map_err(m)?;
+        // `probe` is a runtime attachment, deliberately left untouched.
+        Ok(())
+    }
+}
 
 impl Stager {
     /// Creates a stager over `path` with default host parameters.

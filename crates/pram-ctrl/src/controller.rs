@@ -32,6 +32,7 @@ use sim_core::energy::{EnergyAccount, EnergyBook, Joules};
 use sim_core::fault::{domain, FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use util::fxhash::{FxHashMap, FxHashSet};
 use util::rng::stream_unit;
@@ -163,6 +164,13 @@ struct LineFaultState {
     errors: u32,
 }
 
+util::json_struct!(LineFaultState {
+    reads,
+    writes,
+    reads_since_write,
+    errors
+});
+
 /// Runtime fault-injection + resilience state for one controller.
 ///
 /// Every fault decision is a stateless hash of
@@ -186,6 +194,16 @@ struct FaultState {
     slot_writes: Vec<Vec<FxHashMap<u64, u64>>>,
     counters: FaultCounters,
 }
+
+util::json_struct!(FaultState {
+    plan,
+    ecc,
+    retry,
+    retire,
+    lines,
+    slot_writes,
+    counters
+});
 
 /// The FPGA PRAM controller: translator + command generator + datapath
 /// over two channels of PRAM modules.
@@ -883,6 +901,76 @@ impl PramController {
     }
 }
 
+/// Image tag for [`PramController`] snapshots.
+const CTRL_KIND: &str = "pram-ctrl/controller";
+/// Schema version of [`CTRL_KIND`] images.
+const CTRL_VERSION: u32 = 1;
+
+impl sim_core::Snapshot for PramController {
+    fn snapshot(&self) -> StateImage {
+        use util::json::ToJson;
+        let mut announced: Vec<u64> = self.announced.iter().copied().collect();
+        announced.sort_unstable();
+        let faults = match &self.faults {
+            Some(fs) => FaultState::to_json(fs),
+            None => util::json::Json::Null,
+        };
+        let data = util::json::Json::Obj(vec![
+            ("cfg".to_string(), self.cfg.to_json()),
+            ("channels".to_string(), self.channels.to_json()),
+            ("channel_serial".to_string(), self.channel_serial.to_json()),
+            (
+                "program_buffer_free".to_string(),
+                self.program_buffer_free.to_json(),
+            ),
+            ("announced".to_string(), announced.to_json()),
+            (
+                "last_touch".to_string(),
+                sim_core::snapshot::sorted_pairs(self.last_touch.iter().map(|(k, v)| (*k, *v))),
+            ),
+            ("wear".to_string(), self.wear.to_json()),
+            ("faults".to_string(), faults),
+            ("stats".to_string(), self.stats.to_json()),
+            ("ctrl_energy".to_string(), self.ctrl_energy.to_json()),
+        ]);
+        StateImage::new(CTRL_KIND, CTRL_VERSION, data)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        use util::json::field;
+        let data = image.expect(CTRL_KIND, CTRL_VERSION)?;
+        let m = |e| SnapshotError::malformed(CTRL_KIND, e);
+        let cfg: SubsystemConfig = field(data, "cfg").map_err(m)?;
+        if cfg != self.cfg {
+            return Err(SnapshotError::shape(
+                CTRL_KIND,
+                "image was recorded under a different subsystem configuration",
+            ));
+        }
+        let channels: Vec<PramChannel> = field(data, "channels").map_err(m)?;
+        if channels.len() != self.channels.len() {
+            return Err(SnapshotError::shape(CTRL_KIND, "channel count differs"));
+        }
+        let announced: Vec<u64> = field(data, "announced").map_err(m)?;
+        let last_touch = sim_core::snapshot::pairs_from::<Picos>(
+            data.get("last_touch").unwrap_or(&util::json::Json::Null),
+        )
+        .map_err(m)?;
+        let faults: Option<FaultState> = field(data, "faults").map_err(m)?;
+        self.channels = channels;
+        self.channel_serial = field(data, "channel_serial").map_err(m)?;
+        self.program_buffer_free = field(data, "program_buffer_free").map_err(m)?;
+        self.announced = announced.into_iter().collect();
+        self.last_touch = last_touch.into_iter().collect();
+        self.wear = field(data, "wear").map_err(m)?;
+        self.faults = faults.map(Box::new);
+        self.stats = field(data, "stats").map_err(m)?;
+        self.ctrl_energy = field(data, "ctrl_energy").map_err(m)?;
+        // `probe` is a runtime attachment, deliberately left untouched.
+        Ok(())
+    }
+}
+
 impl MemoryBackend for PramController {
     fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access {
         // Timing-only: identical device walk to `read_bytes` (same burst,
@@ -990,6 +1078,14 @@ impl MemoryBackend for PramController {
         if let Some(fs) = &self.faults {
             out.merge(&fs.counters);
         }
+    }
+
+    fn snapshot_state(&self) -> Result<StateImage, SnapshotError> {
+        Ok(sim_core::Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        sim_core::Snapshot::restore(self, image)
     }
 }
 
@@ -1497,6 +1593,70 @@ mod extension_tests {
             assert_eq!(back, vec![9u8.wrapping_add(w as u8).max(1); 32], "word {w}");
         }
         assert!(c.stats().gap_moves > 0, "leveling should be active");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically_with_faults() {
+        use sim_core::Snapshot;
+        use util::json::{FromJson, ToJson};
+        let plan = sim_core::fault::FaultPlan {
+            pram: sim_core::fault::PramFaults {
+                drift_rate: 0.05,
+                read_disturb_rate: 0.02,
+                program_failure_rate: 0.02,
+                rdb_corruption_rate: 0.01,
+                stuck_at_threshold: 6,
+                ..Default::default()
+            },
+            resilience: sim_core::fault::ResiliencePolicy {
+                line_error_budget: 1,
+                ..Default::default()
+            },
+            ..sim_core::fault::FaultPlan::seeded(3)
+        };
+        let cfg = SubsystemConfig {
+            wear_leveling: Some(4),
+            ..SubsystemConfig::small(SchedulerKind::Final, 13)
+        };
+        let mk = || PramController::new(cfg).with_faults(&plan);
+        let drive = |c: &mut PramController, mut t: Picos, rounds: std::ops::Range<u8>| {
+            for _round in rounds {
+                for w in 0..8u64 {
+                    t = c.write(t, w * 64, 64).end + Picos::from_us(25);
+                    t = c.read(t, w * 64, 64).end + Picos::from_us(5);
+                }
+            }
+            t
+        };
+
+        let mut straight = mk();
+        let t_end = drive(&mut straight, Picos::ZERO, 0..8);
+
+        let mut recorded = mk();
+        let t_mid = drive(&mut recorded, Picos::ZERO, 0..4);
+        let img = recorded.snapshot();
+        // Round-trip the image through JSON text, as record/replay does.
+        let img = StateImage::from_json_str(&img.to_json_string()).unwrap();
+
+        let mut resumed = mk();
+        resumed.restore(&img).unwrap();
+        let t_res = drive(&mut resumed, t_mid, 4..8);
+
+        assert_eq!(t_res, t_end, "resumed clock must match the straight run");
+        assert_eq!(resumed.stats(), straight.stats());
+        assert_eq!(resumed.energy(), straight.energy());
+        assert_eq!(
+            resumed.fault_counters().unwrap(),
+            straight.fault_counters().unwrap()
+        );
+
+        // Restoring onto a differently-configured controller fails loudly.
+        let other = SubsystemConfig::small(SchedulerKind::Interleaving, 13);
+        let mut wrong = PramController::new(other);
+        assert!(matches!(
+            wrong.restore(&img),
+            Err(SnapshotError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use sim_core::energy::{EnergyBook, Watts};
 use sim_core::fault::FaultCounters;
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::{Freq, Picos};
 use sim_core::timeline::TimelineBank;
 use util::telemetry::MetricSet;
@@ -119,6 +120,41 @@ impl FirmwareController {
     }
 }
 
+/// Image tag for [`FirmwareController`] snapshots.
+const FW_KIND: &str = "pram-ctrl/firmware";
+/// Schema version of [`FW_KIND`] images.
+const FW_VERSION: u32 = 1;
+
+impl sim_core::Snapshot for FirmwareController {
+    fn snapshot(&self) -> StateImage {
+        use util::json::ToJson;
+        let data = util::json::Json::Obj(vec![
+            (
+                "inner".to_string(),
+                sim_core::Snapshot::snapshot(&self.inner).to_json(),
+            ),
+            ("params".to_string(), self.params.to_json()),
+            ("cores".to_string(), self.cores.to_json()),
+            ("energy".to_string(), self.energy.to_json()),
+            ("requests".to_string(), self.requests.to_json()),
+        ]);
+        StateImage::new(FW_KIND, FW_VERSION, data)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        use util::json::field;
+        let data = image.expect(FW_KIND, FW_VERSION)?;
+        let m = |e| SnapshotError::malformed(FW_KIND, e);
+        let inner_img: StateImage = field(data, "inner").map_err(m)?;
+        self.inner.restore(&inner_img)?;
+        self.params = field(data, "params").map_err(m)?;
+        self.cores = field(data, "cores").map_err(m)?;
+        self.energy = field(data, "energy").map_err(m)?;
+        self.requests = field(data, "requests").map_err(m)?;
+        Ok(())
+    }
+}
+
 impl MemoryBackend for FirmwareController {
     fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access {
         let fw_done = self.run_handler(at, self.params.read_exec());
@@ -163,6 +199,14 @@ impl MemoryBackend for FirmwareController {
 
     fn collect_faults(&self, out: &mut FaultCounters) {
         self.inner.collect_faults(out);
+    }
+
+    fn snapshot_state(&self) -> Result<StateImage, SnapshotError> {
+        Ok(sim_core::Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        sim_core::Snapshot::restore(self, image)
     }
 }
 

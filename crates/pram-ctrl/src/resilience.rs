@@ -32,6 +32,8 @@ pub struct EccModel {
     pub strength: u32,
 }
 
+util::json_struct!(EccModel { strength });
+
 impl EccModel {
     /// Creates a model correcting up to `strength` bit flips per word.
     pub fn new(strength: u32) -> Self {
@@ -63,6 +65,11 @@ pub struct RetryPolicy {
     /// the shift capped at [`RetryPolicy::MAX_DOUBLINGS`].
     pub backoff: Picos,
 }
+
+util::json_struct!(RetryPolicy {
+    max_retries,
+    backoff
+});
 
 impl RetryPolicy {
     /// Exponential-backoff doublings are capped here so the wait stays
@@ -112,6 +119,14 @@ pub struct RetireMap {
     remap: HashMap<u64, u64>,
     retired: u64,
 }
+
+util::json_struct!(RetireMap {
+    lines,
+    spare_base,
+    next_spare,
+    remap,
+    retired
+});
 
 impl RetireMap {
     /// Creates a map over `lines` lines with the top `spares` reserved.

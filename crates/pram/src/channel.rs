@@ -30,6 +30,15 @@ pub struct PramChannel {
     timing: PramTiming,
 }
 
+util::json_struct!(PramChannel {
+    modules,
+    cmd_bus,
+    dq_bus,
+    timing
+});
+
+sim_core::snapshot_via_json!(PramChannel, "pram/channel", 1);
+
 impl PramChannel {
     /// Creates a channel of `n` modules.
     ///

@@ -150,6 +150,14 @@ struct ModuleEnergy {
     erase: EnergyAccount,
 }
 
+util::json_struct!(ModuleEnergy {
+    rab,
+    sense,
+    bus,
+    program,
+    erase
+});
+
 impl ModuleEnergy {
     fn book(&self) -> EnergyBook {
         let mut book = EnergyBook::new();
@@ -191,6 +199,23 @@ pub struct PramModule {
     /// Per-partition window of the most recent in-flight program.
     program_windows: Vec<Option<PhaseTiming>>,
 }
+
+util::json_struct!(PramModule {
+    timing,
+    geometry,
+    cells,
+    buffers,
+    overlay,
+    partitions,
+    rng,
+    energy,
+    stats,
+    program_done_at,
+    write_pausing,
+    program_windows
+});
+
+sim_core::snapshot_via_json!(PramModule, "pram/module", 1);
 
 impl PramModule {
     /// Creates a module with the paper geometry and the given timing.

@@ -21,6 +21,10 @@
 //! * [`probe`] — the runtime-switchable telemetry facade ([`Probe`] /
 //!   [`Telemetry`]) over [`util::telemetry`]; disabled probes cost one
 //!   `Option` check per call site.
+//! * [`snapshot`] — the [`Snapshot`] trait and versioned
+//!   [`StateImage`]s behind deterministic record/replay: every
+//!   stateful layer can checkpoint its complete state and resume
+//!   byte-identically.
 //!
 //! # Examples
 //!
@@ -39,6 +43,7 @@ pub mod fault;
 pub mod mem;
 pub mod probe;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod timeline;
@@ -49,6 +54,7 @@ pub use fault::{FaultCounters, FaultPlan, PramFaults, ResiliencePolicy, SsdFault
 pub use mem::{Access, FidelityTier, MemoryBackend};
 pub use probe::{Probe, Telemetry};
 pub use rng::SimRng;
+pub use snapshot::{Snapshot, SnapshotError, StateImage};
 pub use stats::{Counter, Histogram, TimeSeries};
 pub use time::Picos;
 pub use timeline::Timeline;

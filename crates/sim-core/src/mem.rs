@@ -14,6 +14,7 @@
 use crate::energy::EnergyBook;
 use crate::fault::FaultCounters;
 use crate::probe::Probe;
+use crate::snapshot::{SnapshotError, StateImage};
 use crate::time::Picos;
 use util::telemetry::MetricSet;
 
@@ -195,6 +196,30 @@ pub trait MemoryBackend {
     /// default); calibrated closed-form backends override.
     fn tier(&self) -> FidelityTier {
         FidelityTier::Accurate
+    }
+
+    /// Serializes the backend's complete mutable state (the object-safe
+    /// face of [`crate::snapshot::Snapshot`] for boxed backends).
+    ///
+    /// # Errors
+    ///
+    /// The default implementation reports the backend as
+    /// [`SnapshotError::Unsupported`]; every shipping backend
+    /// overrides, test doubles need not.
+    fn snapshot_state(&self) -> Result<StateImage, SnapshotError> {
+        Err(SnapshotError::unsupported(self.label()))
+    }
+
+    /// Restores state previously captured by
+    /// [`MemoryBackend::snapshot_state`] on an identically constructed
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on kind/version mismatch, malformed
+    /// payloads, or (the default) an unsupporting backend.
+    fn restore_state(&mut self, _image: &StateImage) -> Result<(), SnapshotError> {
+        Err(SnapshotError::unsupported(self.label()))
     }
 }
 

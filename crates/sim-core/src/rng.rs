@@ -24,6 +24,10 @@ pub struct SimRng {
     inner: Rng64,
 }
 
+// Serializes the raw generator state so snapshots capture a source
+// mid-stream: a restored generator continues the exact sequence.
+util::json_struct!(SimRng { inner });
+
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {

@@ -1,0 +1,308 @@
+//! Snapshotable simulation state: the [`Snapshot`] contract.
+//!
+//! Every stateful layer of the simulator — PRAM modules, the
+//! controller, FTLs, page caches, the host staging stack, the execution
+//! engine's cursor — implements [`Snapshot`]: it can serialize its
+//! *complete* mutable state into a versioned, JSON-serializable
+//! [`StateImage`] and later restore from one, such that a restored
+//! instance continues byte-identically to the original. This is the
+//! substrate of deterministic record/replay (checkpoint every N
+//! requests, re-execute a window, compare fingerprints) and the
+//! prerequisite for sharding one huge run across processes.
+//!
+//! Contract:
+//!
+//! * `restore(snapshot())` must be a semantic no-op: every subsequent
+//!   access, energy charge and metric is identical to the uninterrupted
+//!   run.
+//! * Images are self-describing: a `kind` tag names the producing
+//!   layer and a `version` gates schema evolution. Restoring a wrong
+//!   kind or unknown version fails loudly with a typed
+//!   [`SnapshotError`], never by silently misinterpreting fields.
+//! * Derived state (probes, memoized pure caches, materialized energy
+//!   ledgers) is *not* captured; restore leaves it untouched or resets
+//!   it, and the contract above pins that this cannot change outputs.
+
+use util::json::{FromJson, Json, JsonError, ToJson};
+
+/// A versioned, JSON-serializable image of one component's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateImage {
+    /// Schema version of `data` for this `kind`.
+    pub version: u32,
+    /// Which layer produced the image (e.g. `"pram-ctrl/controller"`).
+    pub kind: String,
+    /// The layer's serialized state.
+    pub data: Json,
+}
+
+util::json_struct!(StateImage {
+    version,
+    kind,
+    data
+});
+
+impl StateImage {
+    /// Assembles an image.
+    pub fn new(kind: &str, version: u32, data: Json) -> Self {
+        StateImage {
+            version,
+            kind: kind.to_string(),
+            data,
+        }
+    }
+
+    /// Validates the envelope and hands back the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::KindMismatch`] / [`SnapshotError::VersionMismatch`]
+    /// when the image belongs to a different layer or schema revision.
+    pub fn expect(&self, kind: &str, version: u32) -> Result<&Json, SnapshotError> {
+        if self.kind != kind {
+            return Err(SnapshotError::KindMismatch {
+                expected: kind.to_string(),
+                got: self.kind.clone(),
+            });
+        }
+        if self.version != version {
+            return Err(SnapshotError::VersionMismatch {
+                kind: kind.to_string(),
+                expected: version,
+                got: self.version,
+            });
+        }
+        Ok(&self.data)
+    }
+}
+
+/// Why a snapshot could not be restored (or taken).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The image belongs to a different layer.
+    KindMismatch {
+        /// The kind the restoring component expected.
+        expected: String,
+        /// The kind found in the image.
+        got: String,
+    },
+    /// The image's schema revision is not the one this build writes.
+    VersionMismatch {
+        /// The image kind.
+        kind: String,
+        /// The schema version this build understands.
+        expected: u32,
+        /// The version found in the image.
+        got: u32,
+    },
+    /// A payload field failed to parse back.
+    Malformed {
+        /// The image kind.
+        kind: String,
+        /// The underlying JSON conversion error.
+        error: JsonError,
+    },
+    /// The component does not support snapshotting.
+    Unsupported {
+        /// A label naming the component.
+        component: String,
+    },
+    /// The image's shape disagrees with the restoring component's
+    /// static configuration (e.g. a different channel/module count).
+    ShapeMismatch {
+        /// The image kind.
+        kind: String,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl SnapshotError {
+    /// Convenience constructor for [`SnapshotError::Malformed`].
+    pub fn malformed(kind: &str, error: JsonError) -> Self {
+        SnapshotError::Malformed {
+            kind: kind.to_string(),
+            error,
+        }
+    }
+
+    /// Convenience constructor for [`SnapshotError::Unsupported`].
+    pub fn unsupported(component: &str) -> Self {
+        SnapshotError::Unsupported {
+            component: component.to_string(),
+        }
+    }
+
+    /// Convenience constructor for [`SnapshotError::ShapeMismatch`].
+    pub fn shape(kind: &str, detail: impl Into<String>) -> Self {
+        SnapshotError::ShapeMismatch {
+            kind: kind.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::KindMismatch { expected, got } => {
+                write!(f, "state image kind mismatch: expected {expected:?}, got {got:?}")
+            }
+            SnapshotError::VersionMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "state image {kind:?} version mismatch: this build writes v{expected}, image is v{got}"
+            ),
+            SnapshotError::Malformed { kind, error } => {
+                write!(f, "malformed {kind:?} state image: {error}")
+            }
+            SnapshotError::Unsupported { component } => {
+                write!(f, "{component} does not support state snapshots")
+            }
+            SnapshotError::ShapeMismatch { kind, detail } => {
+                write!(f, "state image {kind:?} shape mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A component whose complete mutable state can round-trip through a
+/// [`StateImage`].
+pub trait Snapshot {
+    /// Serializes the component's state.
+    fn snapshot(&self) -> StateImage;
+
+    /// Restores the component from `image`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the image belongs to a
+    /// different layer, carries an unknown schema version, or fails to
+    /// parse; the component is left unchanged on error where the
+    /// implementation can afford it (envelope checks always precede
+    /// mutation).
+    fn restore(&mut self, image: &StateImage) -> Result<(), SnapshotError>;
+}
+
+/// Implements [`Snapshot`] for a type whose `ToJson`/`FromJson` pair
+/// covers its complete mutable state: snapshot serializes `self`,
+/// restore parses and replaces `*self` wholesale.
+///
+/// Only use this for types with no unserialized runtime attachments
+/// (probes are the usual offender — types carrying one need a manual
+/// impl that preserves it across restore).
+#[macro_export]
+macro_rules! snapshot_via_json {
+    ($ty:ty, $kind:expr, $version:expr) => {
+        impl $crate::snapshot::Snapshot for $ty {
+            fn snapshot(&self) -> $crate::snapshot::StateImage {
+                $crate::snapshot::StateImage::new(
+                    $kind,
+                    $version,
+                    util::json::ToJson::to_json(self),
+                )
+            }
+
+            fn restore(
+                &mut self,
+                image: &$crate::snapshot::StateImage,
+            ) -> Result<(), $crate::snapshot::SnapshotError> {
+                let data = image.expect($kind, $version)?;
+                *self = <$ty as util::json::FromJson>::from_json(data)
+                    .map_err(|e| $crate::snapshot::SnapshotError::malformed($kind, e))?;
+                Ok(())
+            }
+        }
+    };
+}
+
+/// Serializes any map-like sequence of `(u64, V)` pairs sorted by key,
+/// so images are byte-stable regardless of hash-map iteration order.
+pub fn sorted_pairs<V: ToJson>(iter: impl Iterator<Item = (u64, V)>) -> Json {
+    let mut pairs: Vec<(u64, V)> = iter.collect();
+    pairs.sort_by_key(|(k, _)| *k);
+    Json::Arr(
+        pairs
+            .into_iter()
+            .map(|(k, v)| Json::Arr(vec![Json::U64(k), v.to_json()]))
+            .collect(),
+    )
+}
+
+/// Parses what [`sorted_pairs`] wrote.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the value is not an array of
+/// `[key, value]` pairs.
+pub fn pairs_from<V: FromJson>(v: &Json) -> Result<Vec<(u64, V)>, JsonError> {
+    Vec::<(u64, V)>::from_json(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Counter {
+        count: u64,
+        total: u64,
+    }
+    util::json_struct!(Counter { count, total });
+    crate::snapshot_via_json!(Counter, "test/counter", 1);
+
+    #[test]
+    fn round_trip_is_identity() {
+        let mut c = Counter { count: 3, total: 9 };
+        let img = c.snapshot();
+        c.count = 100;
+        c.restore(&img).unwrap();
+        assert_eq!(c, Counter { count: 3, total: 9 });
+    }
+
+    #[test]
+    fn envelope_mismatches_are_loud_typed_errors() {
+        let c = Counter { count: 1, total: 2 };
+        let mut img = c.snapshot();
+        img.kind = "test/other".into();
+        let mut d = c.clone();
+        assert!(matches!(
+            d.restore(&img),
+            Err(SnapshotError::KindMismatch { .. })
+        ));
+
+        let mut img = c.snapshot();
+        img.version = 99;
+        assert!(matches!(
+            d.restore(&img),
+            Err(SnapshotError::VersionMismatch { got: 99, .. })
+        ));
+
+        let mut img = c.snapshot();
+        img.data = Json::Str("garbage".into());
+        let err = d.restore(&img).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }));
+        assert!(err.to_string().contains("test/counter"), "{err}");
+    }
+
+    #[test]
+    fn images_round_trip_through_json_text() {
+        let img = StateImage::new("test/counter", 1, Json::U64(7));
+        let back = StateImage::from_json_str(&img.to_json_string()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn sorted_pairs_are_order_independent() {
+        let a = sorted_pairs([(3u64, 30u64), (1, 10), (2, 20)].into_iter());
+        let b = sorted_pairs([(1u64, 10u64), (2, 20), (3, 30)].into_iter());
+        assert_eq!(a, b);
+        let back = pairs_from::<u64>(&a).unwrap();
+        assert_eq!(back, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+}

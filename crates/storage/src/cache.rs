@@ -15,8 +15,10 @@ use sim_core::energy::EnergyBook;
 use sim_core::fault::FaultCounters;
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
+use sim_core::snapshot::{Snapshot, SnapshotError, StateImage};
 use sim_core::time::Picos;
 use util::fxhash::FxHashMap;
+use util::json::{field, Json, ToJson};
 use util::telemetry::{MetricSet, Track};
 
 /// A page-addressed backing store (flash device, PRAM page adapter …).
@@ -45,6 +47,27 @@ pub trait PageStore {
 
     /// Contributes this store's fault-injection ledger into `out`.
     fn collect_faults(&self, _out: &mut FaultCounters) {}
+
+    /// Serializes the store's complete mutable state (the object-safe
+    /// face of [`Snapshot`] for stores behind a cache).
+    ///
+    /// # Errors
+    ///
+    /// The default implementation reports the store as
+    /// [`SnapshotError::Unsupported`]; snapshot-capable stores override.
+    fn store_snapshot(&self) -> Result<StateImage, SnapshotError> {
+        Err(SnapshotError::unsupported(self.store_label()))
+    }
+
+    /// Restores state captured by [`PageStore::store_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on kind/version mismatch, malformed
+    /// payloads, or (the default) an unsupporting store.
+    fn store_restore(&mut self, _image: &StateImage) -> Result<(), SnapshotError> {
+        Err(SnapshotError::unsupported(self.store_label()))
+    }
 }
 
 /// Cache statistics.
@@ -57,6 +80,12 @@ pub struct CacheStats {
     /// Dirty pages written back on eviction.
     pub writebacks: u64,
 }
+
+util::json_struct!(CacheStats {
+    hits,
+    misses,
+    writebacks
+});
 
 impl CacheStats {
     /// Hit ratio in `0.0..=1.0` (1.0 when no accesses yet).
@@ -190,6 +219,58 @@ impl<P: PageStore> CachedStore<P> {
         }
         t
     }
+
+    /// Wraps the cache's own state around an already-captured store
+    /// image (shared by the [`Snapshot`] impl and the fallible
+    /// [`MemoryBackend::snapshot_state`] hook).
+    fn own_image(&self, store: StateImage) -> StateImage {
+        let data = Json::Obj(vec![
+            ("store".to_string(), store.to_json()),
+            ("dram".to_string(), self.dram.to_json()),
+            ("capacity_pages".to_string(), self.capacity_pages.to_json()),
+            (
+                "resident".to_string(),
+                sim_core::snapshot::sorted_pairs(self.resident.iter().map(|(k, v)| (*k, *v))),
+            ),
+            ("clock".to_string(), self.clock.to_json()),
+            ("stats".to_string(), self.stats.to_json()),
+        ]);
+        StateImage::new(CACHE_KIND, CACHE_VERSION, data)
+    }
+
+    /// Restores the cache's own fields, handing back the nested store
+    /// image for the caller to apply. The probe stays attached.
+    fn restore_own(&mut self, image: &StateImage) -> Result<StateImage, SnapshotError> {
+        let data = image.expect(CACHE_KIND, CACHE_VERSION)?;
+        let m = |e| SnapshotError::malformed(CACHE_KIND, e);
+        let store: StateImage = field(data, "store").map_err(m)?;
+        let resident = sim_core::snapshot::pairs_from::<(bool, u64)>(
+            data.get("resident").unwrap_or(&Json::Null),
+        )
+        .map_err(m)?;
+        self.dram = field(data, "dram").map_err(m)?;
+        self.capacity_pages = field(data, "capacity_pages").map_err(m)?;
+        self.resident = resident.into_iter().collect();
+        self.clock = field(data, "clock").map_err(m)?;
+        self.stats = field(data, "stats").map_err(m)?;
+        Ok(store)
+    }
+}
+
+/// Image tag for [`CachedStore`] snapshots.
+const CACHE_KIND: &str = "storage/cache";
+/// Schema version of [`CACHE_KIND`] images.
+const CACHE_VERSION: u32 = 1;
+
+impl<P: PageStore + Snapshot> Snapshot for CachedStore<P> {
+    fn snapshot(&self) -> StateImage {
+        self.own_image(self.store.snapshot())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        let store = self.restore_own(image)?;
+        self.store.restore(&store)
+    }
 }
 
 impl<P: PageStore> MemoryBackend for CachedStore<P> {
@@ -251,6 +332,15 @@ impl<P: PageStore> MemoryBackend for CachedStore<P> {
     fn collect_faults(&self, out: &mut FaultCounters) {
         self.store.collect_faults(out);
     }
+
+    fn snapshot_state(&self) -> Result<StateImage, SnapshotError> {
+        Ok(self.own_image(self.store.store_snapshot()?))
+    }
+
+    fn restore_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        let store = self.restore_own(image)?;
+        self.store.store_restore(&store)
+    }
 }
 
 /// [`PageStore`] for a flash device: logical pages map 1:1.
@@ -278,6 +368,14 @@ impl PageStore for flash::FlashDevice {
             flash::CellKind::Mlc => "integrated-mlc",
             flash::CellKind::Tlc => "integrated-tlc",
         }
+    }
+
+    fn store_snapshot(&self) -> Result<StateImage, SnapshotError> {
+        Ok(Snapshot::snapshot(self))
+    }
+
+    fn store_restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        Snapshot::restore(self, image)
     }
 }
 

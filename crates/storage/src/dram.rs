@@ -8,6 +8,7 @@
 
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{Access, MemoryBackend};
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use sim_core::timeline::Timeline;
 
@@ -63,6 +64,15 @@ pub struct DramModel {
     accesses: u64,
 }
 
+util::json_struct!(DramModel {
+    params,
+    bus,
+    energy,
+    accesses
+});
+
+sim_core::snapshot_via_json!(DramModel, "storage/dram", 1);
+
 impl DramModel {
     /// Creates a DRAM with the given parameters.
     pub fn new(params: DramParams) -> Self {
@@ -116,6 +126,14 @@ impl MemoryBackend for DramModel {
 
     fn label(&self) -> &'static str {
         "dram"
+    }
+
+    fn snapshot_state(&self) -> Result<StateImage, SnapshotError> {
+        Ok(sim_core::Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        sim_core::Snapshot::restore(self, image)
     }
 }
 

@@ -18,6 +18,7 @@
 
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{Access, MemoryBackend};
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
 
@@ -79,6 +80,16 @@ pub struct NorPram {
     reads: u64,
     writes: u64,
 }
+
+util::json_struct!(NorPram {
+    params,
+    chips,
+    energy,
+    reads,
+    writes
+});
+
+sim_core::snapshot_via_json!(NorPram, "storage/nor-intf", 1);
 
 impl NorPram {
     /// Builds the device bank.
@@ -156,6 +167,14 @@ impl MemoryBackend for NorPram {
 
     fn label(&self) -> &'static str {
         "nor-intf"
+    }
+
+    fn snapshot_state(&self) -> Result<StateImage, SnapshotError> {
+        Ok(sim_core::Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        sim_core::Snapshot::restore(self, image)
     }
 }
 

@@ -11,6 +11,7 @@
 
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{Access, MemoryBackend};
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
 use std::collections::HashSet;
@@ -116,6 +117,40 @@ impl PramSsd {
     }
 }
 
+/// Image tag for [`PramSsd`] snapshots.
+const PRAM_SSD_KIND: &str = "storage/pram-ssd";
+/// Schema version of [`PRAM_SSD_KIND`] images.
+const PRAM_SSD_VERSION: u32 = 1;
+
+impl sim_core::Snapshot for PramSsd {
+    fn snapshot(&self) -> StateImage {
+        use util::json::ToJson;
+        let mut written: Vec<u64> = self.written.iter().copied().collect();
+        written.sort_unstable();
+        let data = util::json::Json::Obj(vec![
+            ("params".to_string(), self.params.to_json()),
+            ("lanes".to_string(), self.lanes.to_json()),
+            ("written".to_string(), written.to_json()),
+            ("energy".to_string(), self.energy.to_json()),
+            ("requests".to_string(), self.requests.to_json()),
+        ]);
+        StateImage::new(PRAM_SSD_KIND, PRAM_SSD_VERSION, data)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        use util::json::field;
+        let data = image.expect(PRAM_SSD_KIND, PRAM_SSD_VERSION)?;
+        let m = |e| SnapshotError::malformed(PRAM_SSD_KIND, e);
+        let written: Vec<u64> = field(data, "written").map_err(m)?;
+        self.params = field(data, "params").map_err(m)?;
+        self.lanes = field(data, "lanes").map_err(m)?;
+        self.written = written.into_iter().collect();
+        self.energy = field(data, "energy").map_err(m)?;
+        self.requests = field(data, "requests").map_err(m)?;
+        Ok(())
+    }
+}
+
 impl MemoryBackend for PramSsd {
     fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access {
         self.requests += 1;
@@ -159,6 +194,14 @@ impl MemoryBackend for PramSsd {
 
     fn label(&self) -> &'static str {
         "pram-ssd"
+    }
+
+    fn snapshot_state(&self) -> Result<StateImage, SnapshotError> {
+        Ok(sim_core::Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        sim_core::Snapshot::restore(self, image)
     }
 }
 

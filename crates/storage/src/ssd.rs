@@ -13,6 +13,7 @@ use sim_core::energy::{EnergyBook, Watts};
 use sim_core::fault::{domain, FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
 use sim_core::probe::Probe;
+use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
 use util::rng::stream_unit;
@@ -117,6 +118,13 @@ struct SsdFaultState {
     counters: FaultCounters,
 }
 
+util::json_struct!(SsdFaultState {
+    seed,
+    rate,
+    max_replays,
+    counters
+});
+
 /// The SSD datapath's single trace lane.
 const SSD_TRACK: Track = Track::new("ssd", 0);
 
@@ -188,6 +196,44 @@ impl FlashSsd {
             self.params.command_overhead,
         );
         start + self.params.command_overhead
+    }
+}
+
+/// Image tag for [`FlashSsd`] snapshots.
+const SSD_KIND: &str = "storage/ssd";
+/// Schema version of [`SSD_KIND`] images.
+const SSD_VERSION: u32 = 1;
+
+impl sim_core::Snapshot for FlashSsd {
+    fn snapshot(&self) -> StateImage {
+        use util::json::ToJson;
+        let data = util::json::Json::Obj(vec![
+            (
+                "cache".to_string(),
+                sim_core::Snapshot::snapshot(&self.cache).to_json(),
+            ),
+            ("params".to_string(), self.params.to_json()),
+            ("contexts".to_string(), self.contexts.to_json()),
+            ("ctrl_energy".to_string(), self.ctrl_energy.to_json()),
+            ("requests".to_string(), self.requests.to_json()),
+            ("faults".to_string(), self.faults.to_json()),
+        ]);
+        StateImage::new(SSD_KIND, SSD_VERSION, data)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        use util::json::field;
+        let data = image.expect(SSD_KIND, SSD_VERSION)?;
+        let m = |e| SnapshotError::malformed(SSD_KIND, e);
+        let cache_img: StateImage = field(data, "cache").map_err(m)?;
+        sim_core::Snapshot::restore(&mut self.cache, &cache_img)?;
+        self.params = field(data, "params").map_err(m)?;
+        self.contexts = field(data, "contexts").map_err(m)?;
+        self.ctrl_energy = field(data, "ctrl_energy").map_err(m)?;
+        self.requests = field(data, "requests").map_err(m)?;
+        self.faults = field(data, "faults").map_err(m)?;
+        // `probe` is a runtime attachment, deliberately left untouched.
+        Ok(())
     }
 }
 
@@ -272,6 +318,14 @@ impl MemoryBackend for FlashSsd {
         if let Some(fs) = &self.faults {
             out.merge(&fs.counters);
         }
+    }
+
+    fn snapshot_state(&self) -> Result<StateImage, SnapshotError> {
+        Ok(sim_core::Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        sim_core::Snapshot::restore(self, image)
     }
 }
 

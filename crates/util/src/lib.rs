@@ -11,6 +11,9 @@
 //!   derive macros (replaces `serde`/`serde_json`);
 //! * [`rng`] — a seeded SplitMix64/xoshiro256++ generator (replaces
 //!   `rand`);
+//! * [`fingerprint`] — the shared 64-bit FNV-1a accumulator behind
+//!   every content fingerprint (trace streams, schedule cache keys,
+//!   record/replay run commitments);
 //! * [`bytes`] — a cheap slice-able byte buffer pair
 //!   [`Bytes`](bytes::Bytes)/[`BytesMut`](bytes::BytesMut) (replaces
 //!   the `bytes` crate);
@@ -29,6 +32,7 @@
 pub mod bench;
 pub mod bytes;
 pub mod cases;
+pub mod fingerprint;
 pub mod fxhash;
 pub mod json;
 pub mod pool;

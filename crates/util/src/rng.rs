@@ -73,6 +73,11 @@ pub struct Rng64 {
     s: [u64; 4],
 }
 
+// The raw xoshiro state serializes so snapshot/restore can capture a
+// generator mid-stream — a restored generator continues the exact draw
+// sequence the original would have produced.
+crate::json_struct!(Rng64 { s });
+
 impl Rng64 {
     /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
     pub fn seed(seed: u64) -> Self {

@@ -139,6 +139,23 @@ fn sched_cache() -> &'static Mutex<HashMap<SchedKey, SchedSlot>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// The content address of a built workload's traces: an FNV-1a
+/// combination of the per-trace fingerprints in agent order
+/// (byte-at-a-time mixing — the granularity these cache keys have
+/// always used).
+///
+/// This is the same value [`schedule_for`] keys its memo table with;
+/// the record/replay layer embeds it in every `RunFingerprint` so a
+/// replay can prove it is re-deriving the *same* request stream before
+/// comparing anything downstream.
+pub fn traces_fingerprint(built: &BuiltWorkload) -> u64 {
+    let mut fp = util::fingerprint::Fnv64::new();
+    for t in &built.traces {
+        fp.mix_bytes(&t.fingerprint().to_le_bytes());
+    }
+    fp.value()
+}
+
 /// The process-wide memoized [`MemSchedule`] for `built`'s traces under
 /// `l1`/`l2` geometry: the exact backend request stream the accurate
 /// engine produces, plus its packed replay program.
@@ -149,14 +166,7 @@ fn sched_cache() -> &'static Mutex<HashMap<SchedKey, SchedSlot>> {
 /// times. First caller replays the cache walk; concurrent and later
 /// callers share the `Arc`.
 pub fn schedule_for(built: &BuiltWorkload, l1: CacheConfig, l2: CacheConfig) -> Arc<MemSchedule> {
-    // FNV-1a combination of the per-trace fingerprints.
-    let mut traces_fp = 0xcbf2_9ce4_8422_2325u64;
-    for t in &built.traces {
-        for b in t.fingerprint().to_le_bytes() {
-            traces_fp ^= b as u64;
-            traces_fp = traces_fp.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
+    let traces_fp = traces_fingerprint(built);
     let key = SchedKey {
         traces: traces_fp,
         agents: built.traces.len(),

@@ -1,0 +1,233 @@
+//! Record/replay equivalence: recording must not perturb a run, and a
+//! checkpoint-resume must be byte-identical to the straight run — for
+//! every Table I preset, both fidelity tiers, faults on and off.
+//!
+//! The divergence direction is pinned too: tampering with a recorded
+//! checkpoint must fail the replay loudly instead of letting it run
+//! through to a silently different answer.
+
+use dramless::replay::{self, RECORDING_VERSION};
+use dramless::system::simulate_spec_as;
+use dramless::{
+    sweep, FaultPlan, FidelityTier, ReplayError, SystemId, SystemKind, SystemParams, SystemSpec,
+};
+use util::json::ToJson;
+use workloads::{Kernel, Scale, Workload};
+
+fn params() -> SystemParams {
+    SystemParams::default()
+}
+
+fn small() -> Workload {
+    Workload::of(Kernel::Gemver, Scale(0.25))
+}
+
+fn all_presets() -> Vec<SystemKind> {
+    let mut all = SystemKind::EVALUATED.to_vec();
+    all.push(SystemKind::Ideal);
+    all
+}
+
+/// Records one cell and proves the recorded outcome is byte-identical
+/// to the straight runner's, then replays it end to end (resume from
+/// the request-zero checkpoint, cross-check every recorded checkpoint,
+/// final stream digest and report fingerprint).
+fn record_and_verify(spec: &SystemSpec, id: SystemId, every: u64) -> replay::CellRecording {
+    let p = params();
+    let w = small();
+    let rec = replay::record_cell(id.clone(), spec, &w, &p, every)
+        .unwrap_or_else(|e| panic!("{id}: record failed: {e}"));
+    let built = w.build_cached(p.agents);
+    let mut straight_spec = spec.clone();
+    straight_spec.telemetry = None;
+    let straight = simulate_spec_as(id.clone(), &straight_spec, &built, &p)
+        .unwrap_or_else(|e| panic!("{id}: straight run failed: {e}"));
+    assert_eq!(
+        rec.outcome.to_json_string(),
+        straight.to_json_string(),
+        "{id}: recording perturbed the run"
+    );
+    let rep = replay::verify_cell(&rec, &p).unwrap_or_else(|e| panic!("{id}: replay failed: {e}"));
+    assert!(rep.completed, "{id}: replay did not complete");
+    rec
+}
+
+#[test]
+fn every_preset_records_and_replays_byte_identically() {
+    for kind in all_presets() {
+        let rec = record_and_verify(&kind.spec(), SystemId::Preset(kind), 50);
+        if rec.fingerprint.requests > 0 {
+            assert!(
+                !rec.checkpoints.is_empty(),
+                "{kind}: accurate cells must carry the request-zero checkpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn recorded_suite_matches_the_sweep_cell_for_cell() {
+    // The same grid through the recorder and through the production
+    // sweep engine: outcomes and aggregate metrics must agree byte for
+    // byte (record_run reports in the sweep's workload-major order).
+    let p = params();
+    let w = small();
+    let systems: Vec<(SystemId, SystemSpec)> = all_presets()
+        .into_iter()
+        .map(|k| (SystemId::Preset(k), k.spec()))
+        .collect();
+    let rec = replay::record_run(&systems, &[w], &p, 500).unwrap();
+    let (swept, _) = sweep::sweep_systems_with_stats(&systems, &[w], &p).unwrap();
+    assert_eq!(rec.cells.len(), swept.outcomes.len());
+    for (cell, out) in rec.cells.iter().zip(&swept.outcomes) {
+        assert_eq!(
+            cell.outcome.to_json_string(),
+            out.to_json_string(),
+            "{}: recorded cell differs from the swept cell",
+            out.system.name()
+        );
+    }
+    let recorded_suite = dramless::SuiteResult {
+        outcomes: rec.cells.iter().map(|c| c.outcome.clone()).collect(),
+    };
+    assert_eq!(
+        recorded_suite.aggregate_metrics().to_json_string(),
+        swept.aggregate_metrics().to_json_string(),
+        "aggregate metrics diverged"
+    );
+}
+
+#[test]
+fn faulted_runs_record_and_resume_mid_cell_byte_identically() {
+    // The acceptance case: resuming mid-cell with fault injection armed
+    // must land on the exact bytes of the straight faulted run. Fault
+    // draws are stateless hashes over per-line counters that live in
+    // the controller images, so they replay for free.
+    let mut spec = SystemKind::DramLess.spec();
+    spec.faults = Some(FaultPlan::seeded(7));
+    let rec = record_and_verify(&spec, SystemId::Preset(SystemKind::DramLess), 40);
+    assert!(
+        rec.outcome.degraded.is_some(),
+        "fault ledger missing from the recorded outcome"
+    );
+    assert!(
+        rec.checkpoints.len() >= 3,
+        "want mid-run checkpoints, got {}",
+        rec.checkpoints.len()
+    );
+    // Resume from every mid-run checkpoint in turn; each resumed run
+    // must complete and re-verify the final report fingerprint (FNV
+    // over the full report JSON — byte identity).
+    let p = params();
+    for c in &rec.checkpoints[1..] {
+        let rep = replay::replay_window(&rec, &p, c.requests..u64::MAX)
+            .unwrap_or_else(|e| panic!("resume at {}: {e}", c.requests));
+        assert_eq!(rep.resumed_at, c.requests);
+        assert!(rep.completed, "resume at {} did not complete", c.requests);
+    }
+}
+
+#[test]
+fn window_replay_reproduces_recorded_fingerprints_and_rejects_tampering() {
+    let mut spec = SystemKind::DramLess.spec();
+    spec.faults = Some(FaultPlan::seeded(11));
+    let p = params();
+    let w = small();
+    let rec =
+        replay::record_cell(SystemId::Preset(SystemKind::DramLess), &spec, &w, &p, 40).unwrap();
+    assert!(rec.checkpoints.len() >= 3);
+    // A bounded window crosses and re-verifies the checkpoints inside it.
+    let a = rec.checkpoints[1].requests;
+    let b = rec.checkpoints[2].requests;
+    let rep = replay::replay_window(&rec, &p, a..(b + 1)).unwrap();
+    assert_eq!(rep.resumed_at, a);
+    assert!(rep.verified_checkpoints >= 1);
+    // Tampered stream digest: caught immediately at restore.
+    let mut bad = rec.clone();
+    bad.checkpoints[1].stream ^= 0xdead_beef;
+    assert!(matches!(
+        replay::replay_window(&bad, &p, a..u64::MAX),
+        Err(ReplayError::Divergence { .. })
+    ));
+    // Tampered backend image (stale state under a valid envelope):
+    // caught at the next crossed fingerprint, never run through.
+    let mut bad = rec.clone();
+    bad.checkpoints[1].backend = bad.checkpoints[0].backend.clone();
+    let err = replay::replay_window(&bad, &p, a..u64::MAX).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ReplayError::Divergence { .. } | ReplayError::ReportMismatch { .. }
+        ),
+        "tampering slipped through: {err}"
+    );
+}
+
+#[test]
+fn recordings_round_trip_through_json_files() {
+    let rec = replay::record_run(
+        &[(
+            SystemId::Preset(SystemKind::DramLess),
+            SystemKind::DramLess.spec(),
+        )],
+        &[small()],
+        &params(),
+        60,
+    )
+    .unwrap();
+    assert_eq!(rec.version, RECORDING_VERSION);
+    let text = rec.to_json_string();
+    let back = <replay::Recording as util::json::FromJson>::from_json_str(&text).unwrap();
+    assert_eq!(back.to_json_string(), text, "recording JSON is not stable");
+    let reports = replay::verify(&back).unwrap();
+    assert!(reports.iter().all(|r| r.completed));
+}
+
+#[test]
+fn prop_checkpoint_restore_resume_equals_straight_run() {
+    // The full knob matrix on the real controller — both fidelity
+    // tiers, faults on and off — with a seeded-random checkpoint
+    // cadence and resume point per case.
+    let p = params();
+    let w = small();
+    util::for_each_case!(4, |rng| {
+        for tier in [FidelityTier::Accurate, FidelityTier::Analytic] {
+            for faulted in [false, true] {
+                if faulted && tier == FidelityTier::Analytic {
+                    // The analytic tier rejects fault plans by design.
+                    continue;
+                }
+                let mut spec = SystemKind::DramLess.spec();
+                spec.tier = tier;
+                if faulted {
+                    spec.faults = Some(FaultPlan::seeded(rng.range_u64(1, 1 << 20)));
+                }
+                let every = rng.range_u64(20, 120);
+                let id = SystemId::Preset(SystemKind::DramLess);
+                let rec = replay::record_cell(id.clone(), &spec, &w, &p, every).unwrap();
+                let built = w.build_cached(p.agents);
+                let straight = simulate_spec_as(id, &spec, &built, &p).unwrap();
+                assert_eq!(
+                    rec.fingerprint.report,
+                    replay::report_fingerprint(&straight),
+                    "tier {tier:?} faulted {faulted}: recording perturbed the run"
+                );
+                match tier {
+                    FidelityTier::Accurate => {
+                        // Resume from a random checkpoint and run to the
+                        // end: the replay layer itself asserts stream and
+                        // report byte-identity, diverging loudly otherwise.
+                        let i = rng.range_u64(0, rec.checkpoints.len() as u64 - 1) as usize;
+                        let start = rec.checkpoints[i].requests.max(1);
+                        let rep = replay::replay_window(&rec, &p, start..u64::MAX).unwrap();
+                        assert!(rep.completed);
+                    }
+                    FidelityTier::Analytic => {
+                        let rep = replay::verify_cell(&rec, &p).unwrap();
+                        assert!(rep.completed);
+                    }
+                }
+            }
+        }
+    });
+}
