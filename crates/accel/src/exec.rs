@@ -18,7 +18,7 @@ use crate::trace::{Trace, TraceIter, TraceOp};
 use crate::xbar::{Crossbar, XbarConfig};
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::mem::{MemoryBackend, StreamOp};
-use sim_core::probe::Probe;
+use sim_core::probe::{AttrScope, Probe};
 use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::stats::TimeSeries;
 use sim_core::time::Picos;
@@ -525,12 +525,14 @@ impl Accelerator {
                     for addr in l1_dirty {
                         let out = a.l2.access(addr, true);
                         if let Some(fill) = out.fill {
+                            self.probe.attr_tag(AttrScope::Exec, mem_requests);
                             let acc = backend.read(a.time, fill, l2_line);
                             a.time = acc.end + cfg.pe.xbar_latency;
                             bytes_from += l2_line as u64;
                             mem_requests += 1;
                         }
                         if let Some(wb) = out.writeback {
+                            self.probe.attr_tag(AttrScope::Exec, mem_requests);
                             let free_at = wq.post(backend, a.time, wb, l2_line);
                             a.time = a.time.max(free_at);
                             bytes_to += l2_line as u64;
@@ -538,6 +540,7 @@ impl Accelerator {
                         }
                     }
                     for addr in a.l2.flush() {
+                        self.probe.attr_tag(AttrScope::Exec, mem_requests);
                         let free_at = wq.post(backend, a.time, addr, l2_line);
                         a.time = a.time.max(free_at);
                         bytes_to += l2_line as u64;
@@ -590,12 +593,14 @@ impl Accelerator {
                             if let Some(wb) = l1_out.writeback {
                                 let out = a.l2.access(wb, true);
                                 if let Some(fill) = out.fill {
+                                    self.probe.attr_tag(AttrScope::Exec, mem_requests);
                                     let acc = backend.read(a.time, fill, l2_line);
                                     a.time = cross(acc.end, l2_line, cfg.pe.xbar_latency);
                                     bytes_from += l2_line as u64;
                                     mem_requests += 1;
                                 }
                                 if let Some(l2wb) = out.writeback {
+                                    self.probe.attr_tag(AttrScope::Exec, mem_requests);
                                     let free_at = wq.post(backend, a.time, l2wb, l2_line);
                                     a.time = a.time.max(free_at);
                                     bytes_to += l2_line as u64;
@@ -608,12 +613,14 @@ impl Accelerator {
                                 a.time += cfg.pe.clock.cycles_to_time(cfg.pe.l2_hit_cycles);
                             } else {
                                 if let Some(l2wb) = out.writeback {
+                                    self.probe.attr_tag(AttrScope::Exec, mem_requests);
                                     let free_at = wq.post(backend, a.time, l2wb, l2_line);
                                     a.time = a.time.max(free_at);
                                     bytes_to += l2_line as u64;
                                     mem_requests += 1;
                                 }
                                 let fill = out.fill.expect("miss always fills");
+                                self.probe.attr_tag(AttrScope::Exec, mem_requests);
                                 let acc = backend.read(a.time, fill, l2_line);
                                 a.time = cross(acc.end, l2_line, cfg.pe.xbar_latency);
                                 bytes_from += l2_line as u64;
@@ -885,6 +892,11 @@ impl Accelerator {
                     }
                 }
                 if !cur.buf.is_empty() {
+                    // The batch base ordinal; `run_stream` steps the
+                    // attribution cursor between ops, so per-request
+                    // indices match the per-op engine path.
+                    self.probe
+                        .attr_tag(AttrScope::Exec, cur.mem_requests - cur.buf.len() as u64);
                     a.time = backend.run_stream(
                         a.time,
                         l2_line,
@@ -981,6 +993,10 @@ impl Accelerator {
                             a.event += 1;
                         }
                         if !cur.buf.is_empty() {
+                            self.probe.attr_tag(
+                                AttrScope::Exec,
+                                cur.mem_requests - cur.buf.len() as u64,
+                            );
                             a.time = backend.run_stream(
                                 a.time,
                                 l2_line,

@@ -291,5 +291,57 @@ fn main() -> ExitCode {
              process-wide memoization is not being consulted",
         );
     }
+
+    // Check 4: latency attribution conserves. Re-run the smoke grid
+    // with attribution on and require every cell's per-request cause
+    // decompositions to sum exactly to the end-to-end latencies.
+    let (kinds, workloads, params) = smoke_grid();
+    let specs: Vec<SystemSpec> = kinds
+        .iter()
+        .map(|k| SystemSpec {
+            telemetry: Some(TelemetrySpec {
+                attribution: true,
+                ..Default::default()
+            }),
+            ..k.spec()
+        })
+        .collect();
+    let suite = sweep_specs(&specs, &workloads, &params).expect("attributed smoke sweep composes");
+    for out in &suite.outcomes {
+        let Some(a) = &out.attr else {
+            return fail(&format!(
+                "{}/{}: attribution was on but the report has no \
+                 latency_attribution block",
+                out.system.name(),
+                out.kernel.label()
+            ));
+        };
+        if a.records == 0 {
+            return fail(&format!(
+                "{}/{}: attribution recorded no requests",
+                out.system.name(),
+                out.kernel.label()
+            ));
+        }
+        if !a.conserves() {
+            return fail(&format!(
+                "{}/{}: attribution does not conserve — {} violation(s), \
+                 {} ps attributed vs {} ps wall",
+                out.system.name(),
+                out.kernel.label(),
+                a.violations,
+                a.attributed_ps,
+                a.wall_ps
+            ));
+        }
+        println!(
+            "telemetry-guard: {}/{} attribution OK — {} requests, \
+             {} ps wall, conserving",
+            out.system.name(),
+            out.kernel.label(),
+            a.records,
+            a.wall_ps
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -12,6 +12,9 @@ use dramless::replay::{self, Recording};
 use dramless::{
     FaultPlan, FidelityTier, RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec,
 };
+use sim_core::fault::FaultCounters;
+use sim_core::probe::{AttrScope, AttrSummary, Cause};
+use sim_core::time::Picos;
 use std::ops::Range;
 use std::process::ExitCode;
 use util::json::{FromJson, ToJson};
@@ -23,14 +26,20 @@ use workloads::{Kernel, Scale, Workload};
 struct Options {
     systems: Vec<SystemKind>,
     specs: Vec<SystemSpec>,
+    /// The `--spec` file paths, kept so `top` can print a
+    /// copy-pasteable `record` command line.
+    spec_paths: Vec<String>,
     kernels: Vec<Kernel>,
     scale: Scale,
     seed: u64,
     agents: usize,
     json: Option<String>,
     metrics: bool,
+    attr: bool,
     trace_out: Option<String>,
     faults: Option<FaultPlan>,
+    /// The `--faults` file path (same purpose as `spec_paths`).
+    faults_path: Option<String>,
     tier: Option<FidelityTier>,
     out: Option<String>,
     checkpoint_every: Option<u64>,
@@ -43,12 +52,13 @@ fn usage() -> &'static str {
        dramless-sim [--system <name>|all] [--spec <file.json>]\n\
                     [--kernel <name>|all] [--scale <f>] [--seed <n>]\n\
                     [--agents <n>] [--tier accurate|analytic]\n\
-                    [--json <path>] [--metrics]\n\
+                    [--json <path>] [--metrics] [--attr]\n\
                     [--faults <file.json>] [--trace-out <path>]\n\
                     [--list] [--list-systems]\n\
        dramless-sim record [selection flags as above] [--out <run.json>]\n\
                     [--checkpoint-every <n>]\n\
        dramless-sim replay <run.json> [--window <a>..<b>] [--cell <i>]\n\
+       dramless-sim top [selection flags for ONE system x ONE kernel]\n\
      \n\
      SUBCOMMANDS:\n\
        record          run the selected cells deterministically, emitting a\n\
@@ -61,6 +71,11 @@ fn usage() -> &'static str {
                        fingerprint divergence; with --window <a>..<b>, restore\n\
                        the nearest checkpoint at or before request <a> of cell\n\
                        --cell [default: 0] and re-execute just [a, b)\n\
+       top             tail forensics: run ONE system x ONE kernel with\n\
+                       attribution on and print the cause breakdown, per-phase\n\
+                       totals, and the top-K worst requests — each exec-phase\n\
+                       entry names the request window to hand to\n\
+                       `dramless-sim replay --window` for isolation\n\
      \n\
      OPTIONS:\n\
        --system        a Table I system (e.g. dram-less, hetero, page-buffer),\n\
@@ -82,6 +97,12 @@ fn usage() -> &'static str {
        --metrics       switch on telemetry for every cell: per-component\n\
                        counters and latency histograms, printed after the\n\
                        table and embedded in --json output\n\
+       --attr          also attribute every memory request's latency to\n\
+                       typed causes (queue wait, partition conflict,\n\
+                       erase-blocked, buffer hit vs. array access, bursts,\n\
+                       retry stalls, ...); prints a per-cell summary and adds\n\
+                       a `latency_attribution` block to --json reports;\n\
+                       implies --metrics\n\
        --faults        a FaultPlan JSON file: arm seeded, deterministic\n\
                        fault injection (PRAM drift/disturb/wear, SSD\n\
                        transients) plus ECC/retry/retirement for every\n\
@@ -160,14 +181,17 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         systems: Vec::new(),
         specs: Vec::new(),
+        spec_paths: Vec::new(),
         kernels: vec![Kernel::Gemver],
         scale: Scale::paper(),
         seed: 42,
         agents: 7,
         json: None,
         metrics: false,
+        attr: false,
         trace_out: None,
         faults: None,
+        faults_path: None,
         tier: None,
         out: None,
         checkpoint_every: None,
@@ -191,6 +215,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--spec" => {
                 let v = value("--spec")?;
                 opts.specs.push(load_spec(&v)?);
+                opts.spec_paths.push(v);
             }
             "--kernel" => {
                 let v = value("--kernel")?;
@@ -241,9 +266,14 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.checkpoint_every = Some(n);
             }
             "--metrics" => opts.metrics = true,
+            "--attr" => {
+                opts.attr = true;
+                opts.metrics = true;
+            }
             "--faults" => {
                 let v = value("--faults")?;
                 opts.faults = Some(load_faults(&v)?);
+                opts.faults_path = Some(v);
             }
             "--trace-out" => {
                 opts.trace_out = Some(value("--trace-out")?);
@@ -319,6 +349,71 @@ fn print_row(out: &RunOutcome) {
     );
 }
 
+/// The chaos-tier human summary: what was injected and what it cost,
+/// readable without digging through the JSON `degraded` block.
+fn print_degraded(d: &FaultCounters) {
+    println!("\ndegraded:");
+    println!(
+        "  {} injected; ecc: {} corrected, {} uncorrectable; \
+         {} retries, {} lines retired",
+        d.injected, d.ecc_corrected, d.ecc_uncorrectable, d.retries, d.retired_lines
+    );
+    println!(
+        "  ssd: {} transient faults, {} replays",
+        d.ssd_transient_faults, d.ssd_retries
+    );
+    println!(
+        "  retry stall: {} of request latency spent in retry/recovery",
+        Picos::from_ps(d.retry_stall_ps)
+    );
+}
+
+/// Percentage rendering that keeps tiny-but-nonzero shares visible.
+fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        return "0.0%".to_string();
+    }
+    format!("{:.1}%", part as f64 * 100.0 / whole as f64)
+}
+
+/// One compact cause breakdown line: nonzero causes in declaration
+/// order, each with its share of `whole`.
+fn cause_line(causes: &[u64; sim_core::probe::NUM_CAUSES], whole: u64) -> String {
+    Cause::ALL
+        .into_iter()
+        .filter(|&c| causes[c as usize] > 0)
+        .map(|c| format!("{} {}", c.key(), pct(causes[c as usize], whole)))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// The per-cell attribution summary printed under `--attr`.
+fn print_attr(out: &RunOutcome) {
+    let Some(a) = &out.attr else { return };
+    println!(
+        "\nlatency attribution ({}/{}): {} requests, {} wall, {}",
+        out.system.name(),
+        out.kernel.label(),
+        a.records,
+        Picos::from_ps(a.wall_ps),
+        if a.conserves() {
+            "conserving".to_string()
+        } else {
+            format!("{} violation(s)", a.violations)
+        }
+    );
+    println!("  causes: {}", cause_line(&a.total_causes(), a.wall_ps));
+    for s in &a.scopes {
+        println!(
+            "  {:<9} {:>8} req {:>10}  {}",
+            s.scope.key(),
+            s.records,
+            format!("{}", Picos::from_ps(s.wall_ps)),
+            cause_line(&s.causes, s.wall_ps)
+        );
+    }
+}
+
 /// Expands parsed options into the cell grid every subcommand runs
 /// over: `(id, spec)` pairs with the tier/telemetry/fault knobs
 /// applied, the workload list, and the system parameters.
@@ -351,7 +446,10 @@ fn grid(opts: &Options) -> (Vec<(SystemId, SystemSpec)>, Vec<Workload>, SystemPa
     }
     if opts.metrics {
         for (_, spec) in systems.iter_mut() {
-            spec.telemetry.get_or_insert_with(Default::default);
+            let tel = spec.telemetry.get_or_insert_with(Default::default);
+            if opts.attr {
+                tel.attribution = true;
+            }
         }
     }
     if let Some(plan) = &opts.faults {
@@ -367,6 +465,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         _ => cmd_run(&args),
     }
 }
@@ -411,6 +510,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
         print_header();
         print_row(&out);
         print_metrics(&out.metrics);
+        if let Some(d) = &out.degraded {
+            print_degraded(d);
+        }
+        print_attr(&out);
         println!(
             "\nwrote {} trace events to {path} (open in https://ui.perfetto.dev)",
             events.len()
@@ -452,6 +555,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
     );
     if opts.metrics {
         print_metrics(&result.aggregate_metrics());
+        if let Some(d) = result.aggregate_degraded() {
+            print_degraded(&d);
+        }
+    }
+    if opts.attr {
+        for out in &result.outcomes {
+            print_attr(out);
+        }
     }
     if let Some(path) = &opts.json {
         if let Err(e) = std::fs::write(path, result.to_json()) {
@@ -514,6 +625,128 @@ fn cmd_record(args: &[String]) -> ExitCode {
         rec.cells.len()
     );
     ExitCode::SUCCESS
+}
+
+/// Re-renders the selection flags so `top` can print a copy-pasteable
+/// `record` command line that reproduces the same cell (attribution is
+/// passive, so a recording made without `--attr` carries the identical
+/// request stream).
+fn selection_args(opts: &Options) -> String {
+    let mut s = String::new();
+    for k in &opts.systems {
+        let alias = k
+            .label()
+            .to_ascii_lowercase()
+            .replace([' ', '(', ')'], "-")
+            .trim_matches('-')
+            .to_string();
+        s.push_str(&format!(" --system {alias}"));
+    }
+    for p in &opts.spec_paths {
+        s.push_str(&format!(" --spec {p}"));
+    }
+    for k in &opts.kernels {
+        s.push_str(&format!(" --kernel {}", k.label()));
+    }
+    s.push_str(&format!(" --scale {}", opts.scale.0));
+    s.push_str(&format!(" --seed {}", opts.seed));
+    s.push_str(&format!(" --agents {}", opts.agents));
+    if let Some(tier) = opts.tier {
+        s.push_str(match tier {
+            FidelityTier::Accurate => " --tier accurate",
+            FidelityTier::Analytic => " --tier analytic",
+        });
+    }
+    if let Some(p) = &opts.faults_path {
+        s.push_str(&format!(" --faults {p}"));
+    }
+    s
+}
+
+/// `top` — tail forensics for one cell: run it with attribution on and
+/// print the cause breakdown plus the top-K worst requests, each with
+/// the replay handle that isolates it.
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json.is_some()
+        || opts.trace_out.is_some()
+        || opts.out.is_some()
+        || opts.checkpoint_every.is_some()
+    {
+        eprintln!(
+            "error: top prints to stdout; --json/--trace-out/--out/\
+             --checkpoint-every do not apply"
+        );
+        return ExitCode::FAILURE;
+    }
+    opts.attr = true;
+    opts.metrics = true;
+    let (systems, workloads, params) = grid(&opts);
+    if systems.len() != 1 || workloads.len() != 1 {
+        eprintln!(
+            "error: top profiles exactly one cell; pick one system \
+             (or one --spec) and one kernel"
+        );
+        return ExitCode::FAILURE;
+    }
+    let (result, _) = match dramless::sweep::sweep_systems_with_stats(&systems, &workloads, &params)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = &result.outcomes[0];
+    let Some(a) = &out.attr else {
+        eprintln!("error: the run produced no attribution summary");
+        return ExitCode::FAILURE;
+    };
+    print_header();
+    print_row(out);
+    print_attr(out);
+    if let Some(d) = &out.degraded {
+        print_degraded(d);
+    }
+    print_top_table(a);
+    if let Some(worst) = a.top.iter().find(|t| t.scope == AttrScope::Exec) {
+        let sel = selection_args(&opts);
+        println!(
+            "\nisolate the worst exec-phase request without re-running the sweep:\n  \
+             dramless-sim record{sel} --out run.json\n  \
+             dramless-sim replay run.json --window {}..{}",
+            worst.index,
+            worst.index + 1
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The tail-forensics table: worst requests first, full decomposition.
+fn print_top_table(a: &AttrSummary) {
+    println!("\ntop {} worst requests:", a.top.len());
+    println!(
+        "{:>3} {:<10} {:>10} {:<14} {:>12} {:>12}  causes",
+        "#", "scope", "index", "source", "start", "duration"
+    );
+    for (i, t) in a.top.iter().enumerate() {
+        println!(
+            "{:>3} {:<10} {:>10} {:<14} {:>12} {:>12}  {}",
+            i + 1,
+            t.scope.key(),
+            t.index,
+            t.source,
+            format!("{}", Picos::from_ps(t.start_ps)),
+            format!("{}", Picos::from_ps(t.dur_ps)),
+            cause_line(&t.causes, t.dur_ps)
+        );
+    }
 }
 
 /// Parsed `replay` subcommand options.
@@ -723,6 +956,38 @@ mod tests {
         assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.json"));
         assert!(o.metrics, "--trace-out implies --metrics");
         assert!(parse(&["--trace-out".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parses_attr_flag() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.attr);
+        let o = parse(&["--attr".to_string()]).unwrap();
+        assert!(o.attr);
+        assert!(o.metrics, "--attr implies --metrics");
+    }
+
+    #[test]
+    fn selection_args_round_trips_through_parse() {
+        let args: Vec<String> = [
+            "--system", "dram-less", "--kernel", "trisolv", "--scale", "0.25", "--seed", "7",
+            "--agents", "3", "--tier", "analytic",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse(&args).unwrap();
+        let rendered: Vec<String> = selection_args(&o)
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let o2 = parse(&rendered).unwrap();
+        assert_eq!(o2.systems, o.systems);
+        assert_eq!(o2.kernels, o.kernels);
+        assert_eq!(o2.scale.0, o.scale.0);
+        assert_eq!(o2.seed, o.seed);
+        assert_eq!(o2.agents, o.agents);
+        assert_eq!(o2.tier, o.tier);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::config::{SystemId, SystemKind};
 use accel::exec::ExecReport;
 use sim_core::energy::{EnergyBook, Joules};
 use sim_core::fault::FaultCounters;
+use sim_core::probe::AttrSummary;
 use sim_core::time::Picos;
 use util::json::{field, FromJson, Json, JsonError, ToJson};
 use util::telemetry::MetricSet;
@@ -85,6 +86,12 @@ pub struct RunOutcome {
     /// counters under an inert plan still serialize, recording that
     /// injection was armed.
     pub degraded: Option<FaultCounters>,
+    /// Per-request latency attribution: cause totals, per-scope
+    /// breakdowns, the top-K worst requests and the sim-time windowed
+    /// series. `None` — and absent from the JSON report (where it
+    /// serializes as `latency_attribution`) — unless the spec's
+    /// telemetry knob had `attribution` on.
+    pub attr: Option<AttrSummary>,
 }
 
 // Hand-written (not `json_struct!`) so the `metrics` key is *omitted*
@@ -107,6 +114,9 @@ impl ToJson for RunOutcome {
         if let Some(d) = &self.degraded {
             fields.push(("degraded".to_string(), d.to_json()));
         }
+        if let Some(a) = &self.attr {
+            fields.push(("latency_attribution".to_string(), a.to_json()));
+        }
         Json::Obj(fields)
     }
 }
@@ -123,6 +133,7 @@ impl FromJson for RunOutcome {
             energy: field(v, "energy")?,
             metrics: field::<Option<MetricSet>>(v, "metrics")?.unwrap_or_default(),
             degraded: field(v, "degraded")?,
+            attr: field(v, "latency_attribution")?,
         })
     }
 }

@@ -113,14 +113,40 @@ pub struct TelemetrySpec {
     /// Ring-buffer capacity of the event tracer: the trace keeps the
     /// *last* `trace_events` events and counts the overflow.
     pub trace_events: usize,
+    /// Per-request latency attribution: every memory request carries a
+    /// [`sim_core::probe::LatencySpan`] and the report gains a
+    /// `latency_attribution` block (cause totals, top-K worst requests,
+    /// sim-time windows). Off by default.
+    pub attribution: bool,
 }
 
-util::json_struct!(TelemetrySpec { trace_events });
+// Hand-written (not `json_struct!`) so `attribution` is omitted when
+// false: telemetry specs (and their reports) from before the knob
+// existed parse and serialize byte-identically.
+impl ToJson for TelemetrySpec {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("trace_events".to_string(), self.trace_events.to_json())];
+        if self.attribution {
+            fields.push(("attribution".to_string(), self.attribution.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for TelemetrySpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TelemetrySpec {
+            trace_events: field(v, "trace_events")?,
+            attribution: field::<Option<bool>>(v, "attribution")?.unwrap_or(false),
+        })
+    }
+}
 
 impl Default for TelemetrySpec {
     fn default() -> Self {
         TelemetrySpec {
             trace_events: 65_536,
+            attribution: false,
         }
     }
 }
@@ -623,7 +649,10 @@ mod tests {
         assert!(!off.to_json_string().contains("telemetry"));
 
         let on = SystemSpec {
-            telemetry: Some(TelemetrySpec { trace_events: 1024 }),
+            telemetry: Some(TelemetrySpec {
+                trace_events: 1024,
+                ..Default::default()
+            }),
             ..off.clone()
         };
         let text = on.to_json_pretty();

@@ -32,7 +32,7 @@ use pram_ctrl::{FirmwareController, PramController, SchedulerKind};
 use sim_core::energy::{EnergyBook, Watts};
 use sim_core::fault::{FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
-use sim_core::probe::{Probe, Telemetry};
+use sim_core::probe::{AttrScope, Probe, Telemetry};
 use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use storage::cache::PageStore;
@@ -563,6 +563,8 @@ fn offload(
     let mut t = irq.end;
     if image_via_backend {
         for seg in parsed.segments() {
+            // Each segment write is one attributed offload unit.
+            backend.probe().attr_tag_next(AttrScope::Offload);
             let a = backend.write(t, seg.load_addr, seg.payload.len() as u32);
             t = a.end;
         }
@@ -811,6 +813,7 @@ pub(crate) fn finalize_run(
         energy,
         metrics: MetricSet::new(),
         degraded,
+        attr: None,
     }
 }
 
@@ -849,8 +852,13 @@ pub(crate) fn run_cell_with_model(
             Vec::new(),
         )),
         Some(t) => {
-            let tel = Telemetry::new(t.trace_events);
+            let tel = if t.attribution {
+                Telemetry::with_attribution(t.trace_events)
+            } else {
+                Telemetry::new(t.trace_events)
+            };
             let mut out = run_composed(id, sys, built, params, Some(&tel), armed, model);
+            out.attr = tel.attribution();
             let (events, metrics) = tel.finish();
             out.metrics = metrics;
             Ok((out, events))

@@ -14,7 +14,7 @@ use crate::pcie::PcieLink;
 use crate::stack::HostStack;
 use sim_core::energy::EnergyBook;
 use sim_core::mem::MemoryBackend;
-use sim_core::probe::Probe;
+use sim_core::probe::{AttrScope, AttrSpan, Cause, Probe};
 use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use util::telemetry::{MetricSet, Track};
@@ -172,6 +172,12 @@ impl Stager {
         inbound: bool,
     ) -> StagingReport {
         assert!(bytes > 0, "empty staging transfer");
+        let attr_on = self.probe.attr_on();
+        let scope = if inbound {
+            AttrScope::StageIn
+        } else {
+            AttrScope::StageOut
+        };
         let chunk = self.stack.params().io_request_bytes;
         let mut t = at;
         let mut requests = 0;
@@ -179,6 +185,17 @@ impl Stager {
         while off < bytes {
             let n = chunk.min(bytes - off);
             let chunk_start = t;
+            // Each chunked I/O request is one attributed unit; tagging
+            // before the SSD call makes the device's own record share
+            // this chunk's (scope, index).
+            if attr_on {
+                self.probe.attr_tag_next(scope);
+            }
+            let mut span = if attr_on {
+                Some(AttrSpan::new(chunk_start))
+            } else {
+                None
+            };
             match self.path {
                 StagingPath::HostMediated => {
                     // Submission path through the kernel.
@@ -199,6 +216,12 @@ impl Stager {
                     };
                     // DMA across the accelerator link.
                     let dma = self.link_accel.dma(t2, n);
+                    if let Some(sp) = span.as_mut() {
+                        sp.advance(Cause::SoftwareStack, sw_done);
+                        sp.advance(Cause::Media, io.end);
+                        sp.advance(Cause::SoftwareStack, t2);
+                        sp.advance(Cause::Dma, dma.end);
+                    }
                     t = dma.end;
                 }
                 StagingPath::P2pDma => {
@@ -211,8 +234,16 @@ impl Stager {
                         ssd.write(bell.end, addr + off, n as u32)
                     };
                     let dma = self.link_accel.dma(io.end, n);
+                    if let Some(sp) = span.as_mut() {
+                        sp.advance(Cause::SoftwareStack, bell.end);
+                        sp.advance(Cause::Media, io.end);
+                        sp.advance(Cause::Dma, dma.end);
+                    }
                     t = dma.end;
                 }
+            }
+            if let Some(sp) = &span {
+                self.probe.attr_record("staging.chunk", sp);
             }
             self.probe.span_args(
                 STAGING_TRACK,

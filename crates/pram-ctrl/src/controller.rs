@@ -31,7 +31,7 @@ use pram::PramChannel;
 use sim_core::energy::{EnergyAccount, EnergyBook, Joules};
 use sim_core::fault::{domain, FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
-use sim_core::probe::Probe;
+use sim_core::probe::{AttrSpan, Cause, Probe};
 use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use util::fxhash::{FxHashMap, FxHashSet};
@@ -40,6 +40,16 @@ use util::telemetry::{MetricSet, Track};
 
 /// Per-word-operation FPGA logic energy (translator + command generator).
 const E_CTRL_OP: Joules = Joules::from_pj(200);
+
+/// Advances an optional latency-attribution span. A no-op when
+/// attribution is off (`attr` is `None`), so the fragment paths pay one
+/// predictable branch per site instead of a probe dispatch.
+#[inline]
+fn adv(attr: &mut Option<&mut AttrSpan>, cause: Cause, to: Picos) {
+    if let Some(a) = attr {
+        a.advance(cause, to);
+    }
+}
 
 /// Construction parameters of the PRAM subsystem.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -424,37 +434,55 @@ impl PramController {
     /// [`MemoryBackend::write`] uses a non-zero filler pattern).
     pub fn write_bytes(&mut self, at: Picos, addr: u64, data: &[u8]) -> Access {
         assert!(!data.is_empty(), "empty write");
+        let attr_on = self.probe.attr_on();
         let map = self.cfg.map;
         let mut start = Picos::MAX;
         let mut end = Picos::ZERO;
+        let mut worst: Option<AttrSpan> = None;
         let mut off = 0usize;
         for frag in map.frags(addr, data.len() as u32) {
             let chunk = &data[off..off + frag.len as usize];
-            let a = self.write_frag(at, &frag, Some(chunk));
+            let mut span = if attr_on { Some(AttrSpan::new(at)) } else { None };
+            let a = self.write_frag(at, &frag, Some(chunk), span.as_mut());
             start = start.min(a.start);
+            if a.end > end || worst.is_none() {
+                worst = span;
+            }
             end = end.max(a.end);
             off += frag.len as usize;
         }
         self.stats.writes += 1;
         self.stats.write_latency_sum += end.saturating_sub(at);
         self.probe.latency("pram.write", end.saturating_sub(at));
+        if let Some(span) = &worst {
+            self.probe.attr_record("pram.write", span);
+        }
         Access { start, end }
     }
 
     /// Functional read returning the stored bytes.
     pub fn read_bytes(&mut self, at: Picos, addr: u64, len: u32) -> (Access, Vec<u8>) {
+        let attr_on = self.probe.attr_on();
         let map = self.cfg.map;
         let mut out = Vec::with_capacity(len as usize);
         let mut start = Picos::MAX;
         let mut end = Picos::ZERO;
+        let mut worst: Option<AttrSpan> = None;
         for frag in map.frags(addr, len) {
-            let a = self.read_frag(at, &frag, Some(&mut out));
+            let mut span = if attr_on { Some(AttrSpan::new(at)) } else { None };
+            let a = self.read_frag(at, &frag, Some(&mut out), span.as_mut());
             start = start.min(a.start);
+            if a.end > end || worst.is_none() {
+                worst = span;
+            }
             end = end.max(a.end);
         }
         self.stats.reads += 1;
         self.stats.read_latency_sum += end.saturating_sub(at);
         self.probe.latency("pram.read", end.saturating_sub(at));
+        if let Some(span) = &worst {
+            self.probe.attr_record("pram.read", span);
+        }
         (Access { start, end }, out)
     }
 
@@ -464,7 +492,13 @@ impl PramController {
     /// (functional read); with `None` only timing advances — the device
     /// still runs the identical burst (same RNG preamble draw, stats and
     /// energy), it just skips materializing the data copy.
-    fn read_frag(&mut self, at: Picos, frag: &Fragment, out: Option<&mut Vec<u8>>) -> Access {
+    fn read_frag(
+        &mut self,
+        at: Picos,
+        frag: &Fragment,
+        out: Option<&mut Vec<u8>>,
+        mut attr: Option<&mut AttrSpan>,
+    ) -> Access {
         let interleaves = self.cfg.scheduler.interleaves();
         let ch_idx = frag.target.channel;
         if !interleaves && self.channel_serial[ch_idx] > at {
@@ -478,6 +512,7 @@ impl PramController {
         } else {
             at.max(self.channel_serial[ch_idx])
         };
+        adv(&mut attr, Cause::QueueWait, earliest);
         let md = frag.target.module;
         let rdb_track = self.rdb_track(ch_idx, md);
         let sync = self.cfg.phy.sync_latency;
@@ -503,6 +538,7 @@ impl PramController {
         };
         let ba = plan.ba();
         let mut t = earliest + sync;
+        adv(&mut attr, Cause::ArrayAccess, t);
 
         let ch = &mut self.channels[ch_idx];
         let (module, _cmd_bus, dq_bus) = ch.module_and_buses(frag.target.module);
@@ -516,6 +552,9 @@ impl PramController {
             self.probe.instant(part_track, "rab_hit", t);
         } else {
             let pre = module.pre_active(t + tck, ba, row.upper(lower_bits));
+            adv(&mut attr, Cause::ArrayAccess, t + tck);
+            adv(&mut attr, Cause::PartitionConflict, pre.start);
+            adv(&mut attr, Cause::ArrayAccess, pre.end);
             self.probe
                 .span(part_track, "pre_active", pre.start, pre.end);
             t = pre.end;
@@ -525,6 +564,9 @@ impl PramController {
             self.probe.instant(part_track, "rdb_hit", t);
         } else {
             let act = module.activate(t + tck, ba, row.lower(lower_bits));
+            adv(&mut attr, Cause::ArrayAccess, t + tck);
+            adv(&mut attr, Cause::PartitionConflict, act.start);
+            adv(&mut attr, Cause::ArrayAccess, act.end);
             self.probe.span(part_track, "activate", act.start, act.end);
             t = act.end;
         }
@@ -548,6 +590,17 @@ impl PramController {
         };
         let tburst = self.cfg.timing.tburst(bl);
         dq_bus.reserve(rt.end - tburst, tburst);
+        // Full RAB+RDB hit ⇒ the pre-burst window is buffer read-out, not
+        // an array sense; otherwise the sense amps are doing the work.
+        let sense = if plan.skips_pre_active() && plan.skips_activate() {
+            Cause::BufferHit
+        } else {
+            Cause::ArrayAccess
+        };
+        adv(&mut attr, Cause::ArrayAccess, t + tck);
+        adv(&mut attr, Cause::BurstWait, rt.start);
+        adv(&mut attr, sense, rt.end - tburst);
+        adv(&mut attr, Cause::DataBurst, rt.end);
         self.probe.span_args(
             rdb_track,
             "read",
@@ -669,6 +722,13 @@ impl PramController {
                 }
             }
         }
+        if data_ready > rt.end {
+            let stall = data_ready - rt.end;
+            if let Some(fs) = self.faults.as_mut() {
+                fs.counters.retry_stall_ps += stall.as_ps();
+            }
+            adv(&mut attr, Cause::RetryStall, data_ready);
+        }
 
         self.stats.words_read += 1;
         self.ctrl_energy.charge(E_CTRL_OP);
@@ -695,7 +755,13 @@ impl PramController {
     }
 
     /// One word-fragment write through the overlay-window sequence.
-    fn write_frag(&mut self, at: Picos, frag: &Fragment, data: Option<&[u8]>) -> Access {
+    fn write_frag(
+        &mut self,
+        at: Picos,
+        frag: &Fragment,
+        data: Option<&[u8]>,
+        mut attr: Option<&mut AttrSpan>,
+    ) -> Access {
         let ch_idx = frag.target.channel;
         let md = frag.target.module;
         let interleaves = self.cfg.scheduler.interleaves();
@@ -714,9 +780,15 @@ impl PramController {
         let treset = self.cfg.timing.t_reset_extra + self.cfg.timing.twra;
         let wi = self.cfg.map.word_index(frag.global_addr);
 
+        adv(&mut attr, Cause::QueueWait, earliest);
+
         // The module's single program buffer gates the next write.
         let pb_free = self.program_buffer_free[ch_idx][md];
         let t0 = earliest.max(pb_free) + sync;
+        // Waiting on the previous cell program to release the buffer is
+        // the PRAM write wall — the erase/program-blocked bucket.
+        adv(&mut attr, Cause::EraseBlocked, earliest.max(pb_free));
+        adv(&mut attr, Cause::ArrayAccess, t0);
 
         let wb = self.cfg.map.word_bytes;
         let line = frag.target.module_addr / wb;
@@ -774,6 +846,8 @@ impl PramController {
         for (offset, bytes) in reg_writes {
             let issue = (t + tck).max(dq_bus.probe(Picos::ZERO));
             let w = module.write_overlay(issue, offset, bytes);
+            adv(&mut attr, Cause::BurstWait, issue);
+            adv(&mut attr, Cause::DataBurst, w.end);
             let bl = BurstLen::covering(bytes.len() as u32);
             let tburst = self.cfg.timing.tburst(bl);
             dq_bus.reserve(w.end - tburst, tburst);
@@ -799,6 +873,8 @@ impl PramController {
         }
         let issue = (t + tck).max(dq_bus.probe(Picos::ZERO));
         let fill = module.write_overlay(issue, regs::PROGRAM_BUFFER, &word);
+        adv(&mut attr, Cause::BurstWait, issue);
+        adv(&mut attr, Cause::DataBurst, fill.end);
         let tburst = self.cfg.timing.tburst(BurstLen::Bl16);
         dq_bus.reserve(fill.end - tburst, tburst);
         t = fill.end;
@@ -806,6 +882,7 @@ impl PramController {
         // Execute: one more command packet, then the array program runs in
         // the background; the program buffer frees when it completes.
         let exec_accepted = t + tck * 2;
+        adv(&mut attr, Cause::ArrayAccess, exec_accepted);
         let prog = module.execute_program(exec_accepted);
 
         // Fault injection: SET/RESET program failures and stuck-at wear.
@@ -976,33 +1053,51 @@ impl MemoryBackend for PramController {
         // Timing-only: identical device walk to `read_bytes` (same burst,
         // RNG draws, stats and energy), minus the data materialization —
         // this is the accurate engine's hot path.
+        let attr_on = self.probe.attr_on();
         let map = self.cfg.map;
         let mut start = Picos::MAX;
         let mut end = Picos::ZERO;
+        let mut worst: Option<AttrSpan> = None;
         for frag in map.frags(addr, len) {
-            let a = self.read_frag(at, &frag, None);
+            let mut span = if attr_on { Some(AttrSpan::new(at)) } else { None };
+            let a = self.read_frag(at, &frag, None, span.as_mut());
             start = start.min(a.start);
+            if a.end > end || worst.is_none() {
+                worst = span;
+            }
             end = end.max(a.end);
         }
         self.stats.reads += 1;
         self.stats.read_latency_sum += end.saturating_sub(at);
         self.probe.latency("pram.read", end.saturating_sub(at));
+        if let Some(span) = &worst {
+            self.probe.attr_record("pram.read", span);
+        }
         Access { start, end }
     }
 
     fn write(&mut self, at: Picos, addr: u64, len: u32) -> Access {
         assert!(len > 0, "empty write");
+        let attr_on = self.probe.attr_on();
         let map = self.cfg.map;
         let mut start = Picos::MAX;
         let mut end = Picos::ZERO;
+        let mut worst: Option<AttrSpan> = None;
         for frag in map.frags(addr, len) {
-            let a = self.write_frag(at, &frag, None);
+            let mut span = if attr_on { Some(AttrSpan::new(at)) } else { None };
+            let a = self.write_frag(at, &frag, None, span.as_mut());
             start = start.min(a.start);
+            if a.end > end || worst.is_none() {
+                worst = span;
+            }
             end = end.max(a.end);
         }
         self.stats.writes += 1;
         self.stats.write_latency_sum += end.saturating_sub(at);
         self.probe.latency("pram.write", end.saturating_sub(at));
+        if let Some(span) = &worst {
+            self.probe.attr_record("pram.write", span);
+        }
         Access { start, end }
     }
 
@@ -1045,6 +1140,10 @@ impl MemoryBackend for PramController {
         self.probe = probe;
     }
 
+    fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
     fn collect_metrics(&self, out: &mut MetricSet) {
         let s = &self.stats;
         out.add("pram.reads", s.reads);
@@ -1071,6 +1170,7 @@ impl MemoryBackend for PramController {
             out.add("pram.ecc_uncorrectable", f.ecc_uncorrectable);
             out.add("pram.retries", f.retries);
             out.add("pram.retired_lines", f.retired_lines);
+            out.add("pram.retry_stall_ns", f.retry_stall_ps / 1000);
         }
     }
 

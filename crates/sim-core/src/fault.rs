@@ -235,6 +235,11 @@ pub struct FaultCounters {
     pub ssd_transient_faults: u64,
     /// SSD read replays issued.
     pub ssd_retries: u64,
+    /// Picoseconds of request latency added by the retry/recovery
+    /// paths (PRAM re-senses and backoff, SSD replays) — the time cost
+    /// of the counters above, so chaos runs are readable as wall time
+    /// and not just event counts.
+    pub retry_stall_ps: u64,
 }
 
 util::json_struct!(FaultCounters {
@@ -245,6 +250,7 @@ util::json_struct!(FaultCounters {
     retired_lines,
     ssd_transient_faults,
     ssd_retries,
+    retry_stall_ps,
 });
 
 impl FaultCounters {
@@ -257,6 +263,7 @@ impl FaultCounters {
         self.retired_lines += other.retired_lines;
         self.ssd_transient_faults += other.ssd_transient_faults;
         self.ssd_retries += other.ssd_retries;
+        self.retry_stall_ps += other.retry_stall_ps;
     }
 
     /// True if nothing was injected or absorbed.

@@ -148,7 +148,15 @@ pub trait MemoryBackend {
         ops: &[StreamOp],
         wq: &mut [Picos],
     ) -> Picos {
-        for op in ops {
+        // Step the attribution cursor between ops so the records the
+        // inner read/write calls commit keep the per-op backend-request
+        // ordinals (`replay --window` units). The issuer tags the batch
+        // base ordinal before calling in; timing is untouched.
+        let probe = self.probe().clone();
+        for (i, op) in ops.iter().enumerate() {
+            if i > 0 {
+                probe.attr_advance();
+            }
             now += op.advance;
             if op.write {
                 // First earliest-free slot (`min_by_key` semantics: strict
@@ -180,6 +188,15 @@ pub trait MemoryBackend {
     /// points ignore it; the default probe everywhere is disabled, so
     /// uninstrumented backends simply record nothing.
     fn set_probe(&mut self, _probe: Probe) {}
+
+    /// The probe installed by [`set_probe`](Self::set_probe).
+    /// Instrumented backends override so the batched
+    /// [`run_stream`](Self::run_stream) path can step the
+    /// latency-attribution cursor between requests; the default is the
+    /// disabled probe (a no-op cursor).
+    fn probe(&self) -> &Probe {
+        Probe::disabled_ref()
+    }
 
     /// Contributes this backend's end-of-run metrics (hit/miss
     /// counters, occupancy gauges) into `out`. Uninstrumented backends

@@ -13,16 +13,34 @@
 //! any worker-thread count: each cell's events and metrics are a pure
 //! function of that cell's simulation.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
-use util::telemetry::{EventTracer, MetricSet, TraceEvent, Track};
+use util::telemetry::{AttrCollector, AttrRecord, EventTracer, MetricSet, TraceEvent, Track};
 
 use crate::time::Picos;
+
+pub use util::telemetry::{AttrScope, AttrSummary, Cause, LatencySpan, NUM_CAUSES, NUM_SCOPES};
+
+/// Latency-attribution state: the collector plus the `(scope, index)`
+/// cursor issuing layers tag before servicing layers record. Atomics
+/// only because the hub is `Sync`; within a cell everything is
+/// single-threaded, so `Relaxed` ordering suffices.
+#[derive(Debug)]
+struct AttrState {
+    collector: Mutex<AttrCollector>,
+    scope: AtomicU8,
+    index: AtomicU64,
+    /// Per-scope next-ordinal counters for layers that number their own
+    /// requests (offload segments, staging chunks).
+    next: [AtomicU64; NUM_SCOPES],
+}
 
 #[derive(Debug)]
 struct Hub {
     tracer: Mutex<EventTracer>,
     metrics: Mutex<MetricSet>,
+    attr: Option<AttrState>,
 }
 
 /// A per-run telemetry hub: the owning side of a set of [`Probe`]s.
@@ -40,10 +58,26 @@ impl Telemetry {
     /// events (metrics are unbounded — they are a small fixed set of
     /// names).
     pub fn new(trace_capacity: usize) -> Self {
+        Self::build(trace_capacity, false)
+    }
+
+    /// A hub that additionally collects per-request latency
+    /// attribution ([`Probe::attr_record`] and friends become live).
+    pub fn with_attribution(trace_capacity: usize) -> Self {
+        Self::build(trace_capacity, true)
+    }
+
+    fn build(trace_capacity: usize, attribution: bool) -> Self {
         Telemetry {
             hub: Arc::new(Hub {
                 tracer: Mutex::new(EventTracer::new(trace_capacity)),
                 metrics: Mutex::new(MetricSet::new()),
+                attr: attribution.then(|| AttrState {
+                    collector: Mutex::new(AttrCollector::default()),
+                    scope: AtomicU8::new(AttrScope::Offload as u8),
+                    index: AtomicU64::new(0),
+                    next: [const { AtomicU64::new(0) }; NUM_SCOPES],
+                }),
             }),
         }
     }
@@ -76,7 +110,21 @@ impl Telemetry {
         metrics.add("trace.events_dropped", tracer.dropped());
         (tracer.finish(), metrics)
     }
+
+    /// The latency-attribution summary, when this hub was created with
+    /// [`with_attribution`](Self::with_attribution). Does not drain —
+    /// callable alongside [`finish`](Self::finish) in either order.
+    pub fn attribution(&self) -> Option<AttrSummary> {
+        self.hub
+            .attr
+            .as_ref()
+            .map(|a| a.collector.lock().expect("attr lock").summarize())
+    }
 }
+
+/// The lone disabled probe with a `'static` home, for trait default
+/// methods that hand out `&Probe` without storing one.
+static DISABLED_PROBE: Probe = Probe(None);
 
 /// A cheap, cloneable recording handle.
 ///
@@ -91,6 +139,12 @@ impl Probe {
     /// The no-op probe — what every component starts with.
     pub fn disabled() -> Self {
         Probe(None)
+    }
+
+    /// A `'static` disabled probe, for trait default methods returning
+    /// `&Probe`.
+    pub fn disabled_ref() -> &'static Probe {
+        &DISABLED_PROBE
     }
 
     /// Whether recording calls will actually store anything.
@@ -165,6 +219,122 @@ impl Probe {
             hub.metrics.lock().expect("metrics lock").add(name, delta);
         }
     }
+
+    // --- latency attribution -----------------------------------------
+    //
+    // The protocol: the layer that *issues* a request tags the cursor
+    // (`attr_tag` with an explicit ordinal, or `attr_tag_next` for
+    // self-numbering scopes), then the layer(s) that *service* it call
+    // `attr_span` at issue time, bucket every advance of the returned
+    // builder, and commit with `attr_record`. Nested servicing layers
+    // record under the same cursor, so an SSD read inside a staging
+    // chunk shares that chunk's (scope, index).
+
+    /// Whether latency attribution is collected. A single check on the
+    /// hot path: `None` hub short-circuits like every other probe call.
+    #[inline]
+    pub fn attr_on(&self) -> bool {
+        matches!(&self.0, Some(hub) if hub.attr.is_some())
+    }
+
+    /// Sets the attribution cursor to `(scope, index)` — called by the
+    /// issuing layer before the serviced request records.
+    #[inline]
+    pub fn attr_tag(&self, scope: AttrScope, index: u64) {
+        if let Some(attr) = self.0.as_ref().and_then(|h| h.attr.as_ref()) {
+            attr.scope.store(scope as u8, Ordering::Relaxed);
+            attr.index.store(index, Ordering::Relaxed);
+        }
+    }
+
+    /// Tags the cursor with `scope`'s next self-numbered ordinal.
+    #[inline]
+    pub fn attr_tag_next(&self, scope: AttrScope) {
+        if let Some(attr) = self.0.as_ref().and_then(|h| h.attr.as_ref()) {
+            let index = attr.next[scope as usize].fetch_add(1, Ordering::Relaxed);
+            attr.scope.store(scope as u8, Ordering::Relaxed);
+            attr.index.store(index, Ordering::Relaxed);
+        }
+    }
+
+    /// Advances the cursor's request ordinal by one, keeping the scope
+    /// — the batched-stream path's per-op step.
+    #[inline]
+    pub fn attr_advance(&self) {
+        if let Some(attr) = self.0.as_ref().and_then(|h| h.attr.as_ref()) {
+            attr.index.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a conserving span builder at `start`, or `None` when
+    /// attribution is off — the servicing layer's single check.
+    #[inline]
+    pub fn attr_span(&self, start: Picos) -> Option<AttrSpan> {
+        if self.attr_on() {
+            Some(AttrSpan::new(start))
+        } else {
+            None
+        }
+    }
+
+    /// Commits a finished span under the current cursor. The builder's
+    /// cursor position is the request's completion time, so the record
+    /// conserves by construction.
+    pub fn attr_record(&self, source: &'static str, span: &AttrSpan) {
+        if let Some(attr) = self.0.as_ref().and_then(|h| h.attr.as_ref()) {
+            let rec = AttrRecord {
+                scope: AttrScope::from_u8(attr.scope.load(Ordering::Relaxed)),
+                index: attr.index.load(Ordering::Relaxed),
+                source,
+                start_ps: span.start.as_ps(),
+                dur_ps: span.cursor.as_ps().saturating_sub(span.start.as_ps()),
+                span: span.span,
+            };
+            attr.collector.lock().expect("attr lock").record(rec);
+        }
+    }
+}
+
+/// A conserving per-request span builder: a monotone time cursor whose
+/// every advance is bucketed into a [`Cause`], so the committed record's
+/// causes sum exactly to its wall time by construction.
+#[derive(Debug, Clone)]
+pub struct AttrSpan {
+    start: Picos,
+    cursor: Picos,
+    span: LatencySpan,
+}
+
+impl AttrSpan {
+    /// A builder whose request was issued at `start`.
+    pub fn new(start: Picos) -> Self {
+        AttrSpan {
+            start,
+            cursor: start,
+            span: LatencySpan::new(),
+        }
+    }
+
+    /// Advances the cursor to `to`, attributing the elapsed time to
+    /// `cause`. A `to` at or before the cursor attributes nothing (the
+    /// resource was already free / the phase was skipped).
+    #[inline]
+    pub fn advance(&mut self, cause: Cause, to: Picos) {
+        if to > self.cursor {
+            self.span.add(cause, (to - self.cursor).as_ps());
+            self.cursor = to;
+        }
+    }
+
+    /// The cursor's current position.
+    pub fn cursor(&self) -> Picos {
+        self.cursor
+    }
+
+    /// The decomposition accumulated so far.
+    pub fn span(&self) -> &LatencySpan {
+        &self.span
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +389,45 @@ mod tests {
         let (_, m) = hub.finish();
         assert_eq!(m.counter("pram.reads"), Some(5));
         assert_eq!(m.counter("pram.rab_hits"), Some(7));
+    }
+
+    #[test]
+    fn attribution_records_under_the_tagged_cursor() {
+        let hub = Telemetry::with_attribution(4);
+        let p = hub.probe();
+        assert!(p.attr_on());
+        // Plain hubs and disabled probes stay inert.
+        assert!(!Telemetry::new(4).probe().attr_on());
+        assert!(Probe::disabled().attr_span(Picos::ZERO).is_none());
+        assert!(!Probe::disabled_ref().attr_on());
+
+        // Issue side tags, service side buckets a monotone cursor.
+        p.attr_tag(AttrScope::Exec, 41);
+        p.attr_advance(); // batched path steps to 42
+        let at = Picos::from_ns(100);
+        let mut span = p.attr_span(at).expect("attr on");
+        span.advance(Cause::QueueWait, Picos::from_ns(130));
+        span.advance(Cause::QueueWait, Picos::from_ns(120)); // backwards: no-op
+        span.advance(Cause::ArrayAccess, Picos::from_ns(180));
+        span.advance(Cause::DataBurst, Picos::from_ns(200));
+        p.attr_record("pram.read", &span);
+
+        // Self-numbering scopes hand out 0, 1, 2, ...
+        p.attr_tag_next(AttrScope::StageIn);
+        let mut s2 = p.attr_span(Picos::ZERO).expect("attr on");
+        s2.advance(Cause::Media, Picos::from_ns(10));
+        p.attr_record("ssd.read", &s2);
+
+        let a = hub.attribution().expect("attribution collected");
+        assert!(a.conserves(), "{a:?}");
+        assert_eq!(a.records, 2);
+        assert_eq!(a.wall_ps, 100_000 + 10_000);
+        let exec = a.scopes.iter().find(|s| s.scope == AttrScope::Exec);
+        assert_eq!(exec.expect("exec scope").records, 1);
+        assert_eq!(a.top[0].index, 42, "tag + advance = batched ordinal");
+        assert_eq!(a.top[0].source, "pram.read");
+        assert_eq!(a.top[1].index, 0, "stage_in numbered itself");
+        assert!(Telemetry::new(4).attribution().is_none());
     }
 
     #[test]

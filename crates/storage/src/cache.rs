@@ -14,7 +14,7 @@ use crate::dram::{DramModel, DramParams};
 use sim_core::energy::EnergyBook;
 use sim_core::fault::FaultCounters;
 use sim_core::mem::{Access, MemoryBackend};
-use sim_core::probe::Probe;
+use sim_core::probe::{AttrSpan, Cause, Probe};
 use sim_core::snapshot::{Snapshot, SnapshotError, StateImage};
 use sim_core::time::Picos;
 use util::fxhash::FxHashMap;
@@ -166,7 +166,15 @@ impl<P: PageStore> CachedStore<P> {
     }
 
     /// Ensures `page` is resident, returning when it became available.
-    fn ensure_resident(&mut self, at: Picos, page: u64, dirty: bool) -> Picos {
+    /// Miss costs (victim write-back, page fetch, DRAM landing) advance
+    /// the request's attribution span when one is being kept.
+    fn ensure_resident(
+        &mut self,
+        at: Picos,
+        page: u64,
+        dirty: bool,
+        attr: &mut Option<AttrSpan>,
+    ) -> Picos {
         if self.resident.contains_key(&page) {
             self.stats.hits += 1;
             self.touch(page, dirty);
@@ -189,6 +197,9 @@ impl<P: PageStore> CachedStore<P> {
                 let a = self.store.store_page(t, victim);
                 self.probe.span(CACHE_TRACK, "page_wb", a.start, a.end);
                 self.stats.writebacks += 1;
+                if let Some(sp) = attr {
+                    sp.advance(Cause::Media, a.end);
+                }
                 t = a.end;
             }
         }
@@ -197,6 +208,10 @@ impl<P: PageStore> CachedStore<P> {
         self.probe.latency("cache.fetch", a.end.saturating_sub(t));
         // Landing the page in DRAM.
         let d = self.dram.write(a.end, 0, self.store.page_bytes());
+        if let Some(sp) = attr {
+            sp.advance(Cause::Media, a.end);
+            sp.advance(Cause::DataBurst, d.end);
+        }
         self.touch(page, dirty);
         d.end
     }
@@ -278,12 +293,17 @@ impl<P: PageStore> MemoryBackend for CachedStore<P> {
         let pb = self.store.page_bytes() as u64;
         let first = addr / pb;
         let last = (addr + len as u64 - 1) / pb;
+        let mut attr = self.probe.attr_on().then(|| AttrSpan::new(at));
         let mut t = at;
         for page in first..=last {
-            t = self.ensure_resident(t, page, false);
+            t = self.ensure_resident(t, page, false, &mut attr);
         }
         // Serve the bytes from DRAM.
         let a = self.dram.read(t, 0, len);
+        if let Some(sp) = attr.as_mut() {
+            sp.advance(Cause::BufferHit, a.end);
+            self.probe.attr_record("cache.read", sp);
+        }
         Access {
             start: at,
             end: a.end,
@@ -294,13 +314,18 @@ impl<P: PageStore> MemoryBackend for CachedStore<P> {
         let pb = self.store.page_bytes() as u64;
         let first = addr / pb;
         let last = (addr + len as u64 - 1) / pb;
+        let mut attr = self.probe.attr_on().then(|| AttrSpan::new(at));
         let mut t = at;
         for page in first..=last {
             // A partial-page write still needs the page resident
             // (read-modify-write at page granularity).
-            t = self.ensure_resident(t, page, true);
+            t = self.ensure_resident(t, page, true, &mut attr);
         }
         let a = self.dram.write(t, 0, len);
+        if let Some(sp) = attr.as_mut() {
+            sp.advance(Cause::BufferHit, a.end);
+            self.probe.attr_record("cache.write", sp);
+        }
         Access {
             start: at,
             end: a.end,
@@ -320,6 +345,10 @@ impl<P: PageStore> MemoryBackend for CachedStore<P> {
     fn set_probe(&mut self, probe: Probe) {
         self.store.set_probe(probe.clone());
         self.probe = probe;
+    }
+
+    fn probe(&self) -> &Probe {
+        &self.probe
     }
 
     fn collect_metrics(&self, out: &mut MetricSet) {

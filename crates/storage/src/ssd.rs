@@ -12,7 +12,7 @@ use flash::{CellKind, FlashDevice, FlashGeometry, FlashTiming};
 use sim_core::energy::{EnergyBook, Watts};
 use sim_core::fault::{domain, FaultCounters, FaultPlan};
 use sim_core::mem::{Access, MemoryBackend};
-use sim_core::probe::Probe;
+use sim_core::probe::{AttrSpan, Cause, Probe};
 use sim_core::snapshot::{SnapshotError, StateImage};
 use sim_core::time::Picos;
 use sim_core::timeline::TimelineBank;
@@ -181,8 +181,9 @@ impl FlashSsd {
         self.requests
     }
 
-    /// Runs the controller front end, returning when the media phase may
-    /// start.
+    /// Runs the controller front end, returning when a command context
+    /// picked the request up (queueing resolved; command processing
+    /// still ahead of it).
     fn admit(&mut self, at: Picos) -> Picos {
         self.requests += 1;
         let ctx = self.contexts.first_free(at);
@@ -195,7 +196,7 @@ impl FlashSsd {
             Watts::from_mw(500.0),
             self.params.command_overhead,
         );
-        start + self.params.command_overhead
+        start
     }
 }
 
@@ -239,7 +240,13 @@ impl sim_core::Snapshot for FlashSsd {
 
 impl MemoryBackend for FlashSsd {
     fn read(&mut self, at: Picos, addr: u64, len: u32) -> Access {
-        let t = self.admit(at);
+        let mut attr = if self.probe.attr_on() {
+            Some(AttrSpan::new(at))
+        } else {
+            None
+        };
+        let start = self.admit(at);
+        let t = start + self.params.command_overhead;
         let a = self.cache.read(t, addr, len);
         // Transient read failures: the controller replays the request
         // (command overhead + media time again) until a replay draw
@@ -261,20 +268,44 @@ impl MemoryBackend for FlashSsd {
                     fs.counters.injected += 1;
                     fs.counters.ssd_transient_faults += 1;
                 }
+                fs.counters.retry_stall_ps += (end - a.end).as_ps();
             }
+        }
+        if let Some(sp) = attr.as_mut() {
+            sp.advance(Cause::QueueWait, start);
+            sp.advance(Cause::SoftwareStack, t);
+            sp.advance(Cause::Media, a.end);
+            sp.advance(Cause::RetryStall, end);
         }
         self.probe
             .span_args(SSD_TRACK, "read", at, end, &[("bytes", len as u64)]);
         self.probe.latency("ssd.read", end.saturating_sub(at));
+        if let Some(sp) = &attr {
+            self.probe.attr_record("ssd.read", sp);
+        }
         Access { start: at, end }
     }
 
     fn write(&mut self, at: Picos, addr: u64, len: u32) -> Access {
-        let t = self.admit(at);
+        let mut attr = if self.probe.attr_on() {
+            Some(AttrSpan::new(at))
+        } else {
+            None
+        };
+        let start = self.admit(at);
+        let t = start + self.params.command_overhead;
         let a = self.cache.write(t, addr, len);
+        if let Some(sp) = attr.as_mut() {
+            sp.advance(Cause::QueueWait, start);
+            sp.advance(Cause::SoftwareStack, t);
+            sp.advance(Cause::Media, a.end);
+        }
         self.probe
             .span_args(SSD_TRACK, "write", at, a.end, &[("bytes", len as u64)]);
         self.probe.latency("ssd.write", a.end.saturating_sub(at));
+        if let Some(sp) = &attr {
+            self.probe.attr_record("ssd.write", sp);
+        }
         Access {
             start: at,
             end: a.end,
@@ -299,6 +330,10 @@ impl MemoryBackend for FlashSsd {
         self.probe = probe;
     }
 
+    fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
     fn collect_metrics(&self, out: &mut MetricSet) {
         // The internal buffer cache reports under `ssd.` so it never
         // collides with an accelerator-side page cache in the same
@@ -311,6 +346,7 @@ impl MemoryBackend for FlashSsd {
             out.add("fault.injected", fs.counters.injected);
             out.add("ssd.transient_faults", fs.counters.ssd_transient_faults);
             out.add("ssd.retries", fs.counters.ssd_retries);
+            out.add("ssd.retry_stall_ns", fs.counters.retry_stall_ps / 1000);
         }
     }
 

@@ -132,11 +132,14 @@ impl EventTracer {
     }
 
     /// Consumes the tracer, returning the surviving events in a
-    /// deterministic order (by time, then track, then name).
+    /// deterministic order (by time, then track, then name, then
+    /// duration, then args — a total order, so the output is a pure
+    /// function of the event *set*, independent of recording order).
     pub fn finish(self) -> Vec<TraceEvent> {
         let mut events = self.events;
         events.sort_by(|a, b| {
-            (a.ts_ps, a.track, a.name, a.dur_ps).cmp(&(b.ts_ps, b.track, b.name, b.dur_ps))
+            (a.ts_ps, a.track, a.name, a.dur_ps, &a.args)
+                .cmp(&(b.ts_ps, b.track, b.name, b.dur_ps, &b.args))
         });
         events
     }
@@ -186,13 +189,29 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Upper-bound estimate (in ns) of the `q`-quantile, `q` in
-    /// `0.0..=1.0`. Returns 0 for an empty histogram.
+    /// Upper-bound estimate (in ns) of the `q`-quantile.
+    ///
+    /// `q` is clamped to `0.0..=1.0` (NaN reads as 0, i.e. the
+    /// minimum); the rank is clamped to `1..=count`, so every `q` maps
+    /// to an occupied bucket. Returns 0 for an empty histogram; a
+    /// histogram whose samples all share one bucket reports that
+    /// bucket's upper bound for *every* quantile.
+    ///
+    /// # Error bound
+    ///
+    /// Samples land in log2 buckets — bucket `i` holds `[2^i, 2^(i+1))`
+    /// ns — and the quantile reports the *upper* bound `2^(i+1)` of the
+    /// bucket containing the rank. The reported value therefore always
+    /// over-estimates the true sample quantile `v` by at most 2x:
+    /// `v < reported <= 2 * v`. The one exception is the last bucket,
+    /// where [`record_ps`](Self::record_ps) clamps samples beyond
+    /// `2^40` ns (~18 minutes), so `2^40` can under-estimate.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = (((self.count as f64) * q).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -200,6 +219,9 @@ impl LatencyHistogram {
                 return 1u64 << (i + 1);
             }
         }
+        // Unreachable when `count == sum(buckets)` (rank <= count), but
+        // a hand-edited histogram may claim more samples than its
+        // buckets hold: saturate at the histogram ceiling.
         1u64 << HISTOGRAM_BUCKETS
     }
 
@@ -496,7 +518,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
 
     let mut ordered: Vec<&TraceEvent> = events.iter().collect();
     ordered.sort_by(|a, b| {
-        (a.ts_ps, a.track, a.name, a.dur_ps).cmp(&(b.ts_ps, b.track, b.name, b.dur_ps))
+        (a.ts_ps, a.track, a.name, a.dur_ps, &a.args)
+            .cmp(&(b.ts_ps, b.track, b.name, b.dur_ps, &b.args))
     });
     for e in ordered {
         let mut fields = vec![
@@ -528,6 +551,690 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
         out.push(Json::Obj(fields));
     }
     Json::Arr(out)
+}
+
+// ---------------------------------------------------------------------
+// Latency attribution: typed causes, per-request spans, and the
+// collector that aggregates them into scope totals, a sim-time window
+// series, and a top-K tail-forensics list.
+// ---------------------------------------------------------------------
+
+/// Number of attribution causes (the length of [`Cause::ALL`]).
+pub const NUM_CAUSES: usize = 11;
+
+/// A typed cause a slice of request wall time is attributed to.
+///
+/// The variants cover every place the simulated request paths spend
+/// time: controller-side queueing and phase timing, the PRAM write wall,
+/// host software, media access, and resilience stalls. The enum order is
+/// the serialization order and is append-only — report JSON keys are
+/// derived from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cause {
+    /// Waiting for a serialized resource before service starts: the
+    /// channel serialization point of a non-interleaving PRAM
+    /// scheduler, or a full SSD command-context queue.
+    QueueWait,
+    /// Waiting for a busy partition/module before a phase could issue.
+    PartitionConflict,
+    /// Blocked behind an in-flight cell program (the PRAM write wall —
+    /// a posted write's program buffer was still busy).
+    EraseBlocked,
+    /// Row-buffer-resident access time: both address phases were
+    /// skipped (RAB + RDB hit) and the data came from the buffer.
+    BufferHit,
+    /// Array access time: address phases plus cell sensing (and fixed
+    /// command/sync overheads on the device path).
+    ArrayAccess,
+    /// Data transfer over the channel DQ bus (or register writes of the
+    /// overlay-window sequence, which share it).
+    DataBurst,
+    /// Waiting for the shared DQ bus before a transfer could start.
+    BurstWait,
+    /// Host software: storage-stack submission, copies, deserialize,
+    /// doorbells, and SSD command processing.
+    SoftwareStack,
+    /// Storage-media access time (flash/DRAM behind an SSD or page
+    /// store), as seen by the requester.
+    Media,
+    /// DMA transfer across a PCIe link.
+    Dma,
+    /// ECC/retry/retirement stalls: time added by fault recovery.
+    RetryStall,
+}
+
+impl Cause {
+    /// Every cause, in serialization order.
+    pub const ALL: [Cause; NUM_CAUSES] = [
+        Cause::QueueWait,
+        Cause::PartitionConflict,
+        Cause::EraseBlocked,
+        Cause::BufferHit,
+        Cause::ArrayAccess,
+        Cause::DataBurst,
+        Cause::BurstWait,
+        Cause::SoftwareStack,
+        Cause::Media,
+        Cause::Dma,
+        Cause::RetryStall,
+    ];
+
+    /// Stable snake_case key used in report JSON and CLI output.
+    pub fn key(self) -> &'static str {
+        match self {
+            Cause::QueueWait => "queue_wait",
+            Cause::PartitionConflict => "partition_conflict",
+            Cause::EraseBlocked => "erase_blocked",
+            Cause::BufferHit => "buffer_hit",
+            Cause::ArrayAccess => "array_access",
+            Cause::DataBurst => "data_burst",
+            Cause::BurstWait => "burst_wait",
+            Cause::SoftwareStack => "software_stack",
+            Cause::Media => "media",
+            Cause::Dma => "dma",
+            Cause::RetryStall => "retry_stall",
+        }
+    }
+
+    /// Inverse of [`key`](Self::key).
+    pub fn from_key(key: &str) -> Option<Cause> {
+        Cause::ALL.into_iter().find(|c| c.key() == key)
+    }
+}
+
+/// Which end-to-end phase of a run a request belongs to. Tagged by the
+/// *issuing* layer (offload loop, stager, execution engine) before the
+/// serviced request records its span, so layered records — an SSD read
+/// inside a staging chunk, a PRAM word request inside an execution
+/// memory operation — share the same `(scope, index)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttrScope {
+    /// Initial image placement into the backend.
+    Offload,
+    /// Bulk staging into accelerator memory.
+    StageIn,
+    /// Kernel execution. The request index is the backend-request
+    /// ordinal — the same unit `replay --window` windows are in.
+    Exec,
+    /// Result write-back to storage.
+    StageOut,
+}
+
+/// Number of attribution scopes.
+pub const NUM_SCOPES: usize = 4;
+
+impl AttrScope {
+    /// Every scope, in serialization order.
+    pub const ALL: [AttrScope; NUM_SCOPES] = [
+        AttrScope::Offload,
+        AttrScope::StageIn,
+        AttrScope::Exec,
+        AttrScope::StageOut,
+    ];
+
+    /// Stable snake_case key used in report JSON and CLI output.
+    pub fn key(self) -> &'static str {
+        match self {
+            AttrScope::Offload => "offload",
+            AttrScope::StageIn => "stage_in",
+            AttrScope::Exec => "exec",
+            AttrScope::StageOut => "stage_out",
+        }
+    }
+
+    /// Inverse of [`key`](Self::key).
+    pub fn from_key(key: &str) -> Option<AttrScope> {
+        AttrScope::ALL.into_iter().find(|s| s.key() == key)
+    }
+
+    /// Inverse of `as u8` (the atomic-cursor encoding).
+    pub fn from_u8(v: u8) -> AttrScope {
+        AttrScope::ALL[(v as usize).min(NUM_SCOPES - 1)]
+    }
+}
+
+/// The per-request latency decomposition: picoseconds attributed to
+/// each [`Cause`]. A conserving span's causes sum exactly to the
+/// request's wall time — accumulation sites guarantee this by bucketing
+/// every advance of a monotone time cursor, and the collector counts
+/// any violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySpan {
+    causes: [u64; NUM_CAUSES],
+}
+
+impl LatencySpan {
+    /// An empty span.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attributes `ps` picoseconds to `cause`.
+    #[inline]
+    pub fn add(&mut self, cause: Cause, ps: u64) {
+        self.causes[cause as usize] += ps;
+    }
+
+    /// Picoseconds attributed to `cause`.
+    pub fn get(&self, cause: Cause) -> u64 {
+        self.causes[cause as usize]
+    }
+
+    /// Sum over all causes.
+    pub fn total(&self) -> u64 {
+        self.causes.iter().sum()
+    }
+
+    /// The raw cause array, indexed by `Cause as usize`.
+    pub fn causes(&self) -> &[u64; NUM_CAUSES] {
+        &self.causes
+    }
+
+    /// Adds every cause of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencySpan) {
+        for (a, b) in self.causes.iter_mut().zip(other.causes.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// One attributed request: where it ran, which request it was, what
+/// serviced it, when, for how long, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrRecord {
+    /// Run phase the request belongs to.
+    pub scope: AttrScope,
+    /// Request ordinal within the scope (for [`AttrScope::Exec`], the
+    /// backend-request ordinal `replay --window` understands).
+    pub index: u64,
+    /// The servicing site, e.g. `"pram.read"` or `"staging.chunk"`.
+    pub source: &'static str,
+    /// Issue time in picoseconds.
+    pub start_ps: u64,
+    /// Wall time from issue to completion in picoseconds.
+    pub dur_ps: u64,
+    /// The cause decomposition; conserving when it sums to `dur_ps`.
+    pub span: LatencySpan,
+}
+
+/// Serializes a cause array as a key→ps object (non-zero entries only,
+/// in [`Cause::ALL`] order — deterministic and byte-stable).
+fn causes_to_json(causes: &[u64; NUM_CAUSES]) -> Json {
+    Json::Obj(
+        Cause::ALL
+            .into_iter()
+            .filter(|&c| causes[c as usize] > 0)
+            .map(|c| (c.key().to_string(), Json::U64(causes[c as usize])))
+            .collect(),
+    )
+}
+
+fn causes_from_json(v: &Json) -> Result<[u64; NUM_CAUSES], JsonError> {
+    let Json::Obj(pairs) = v else {
+        return Err(JsonError::new(format!(
+            "expected causes object, got {}",
+            v.kind()
+        )));
+    };
+    let mut causes = [0u64; NUM_CAUSES];
+    for (k, v) in pairs {
+        let c = Cause::from_key(k).ok_or_else(|| JsonError::new(format!("unknown cause `{k}`")))?;
+        causes[c as usize] = v
+            .as_u64()
+            .ok_or_else(|| JsonError::new(format!("cause `{k}` is not a u64")))?;
+    }
+    Ok(causes)
+}
+
+/// Default number of worst requests kept for tail forensics.
+pub const DEFAULT_TOP_K: usize = 8;
+/// Initial sim-time window width (50 µs) of the attribution series.
+pub const DEFAULT_WINDOW_PS: u64 = 50_000_000;
+/// Bucket-count bound of [`WindowSeries`]; beyond it the width doubles.
+pub const MAX_WINDOW_BUCKETS: usize = 512;
+
+/// One sim-time bucket of the attribution series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct WindowBucket {
+    count: u64,
+    dur_ps: u64,
+    causes: [u64; NUM_CAUSES],
+}
+
+/// Sim-time windowed series of request starts: per-bucket request
+/// count, wall time and cause sums — the data behind rate and latency
+/// curves (e.g. the erase-blocking stall cliff, which shows up as
+/// periodic buckets dominated by [`Cause::EraseBlocked`]).
+///
+/// Bounded by construction: when a request starts beyond
+/// [`MAX_WINDOW_BUCKETS`] windows, the width doubles and existing
+/// buckets fold pairwise, so memory stays fixed while the series keeps
+/// covering the whole run. Widths are powers of two times the initial
+/// width, so the final binning is a pure function of the recorded
+/// requests (deterministic regardless of arrival order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSeries {
+    width_ps: u64,
+    buckets: Vec<WindowBucket>,
+}
+
+impl WindowSeries {
+    /// An empty series with the given initial bucket width.
+    pub fn new(width_ps: u64) -> Self {
+        WindowSeries {
+            width_ps: width_ps.max(1),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Folds a request starting at `start_ps` into its bucket.
+    pub fn add(&mut self, start_ps: u64, dur_ps: u64, causes: &[u64; NUM_CAUSES]) {
+        let mut idx = (start_ps / self.width_ps) as usize;
+        while idx >= MAX_WINDOW_BUCKETS {
+            self.fold();
+            idx = (start_ps / self.width_ps) as usize;
+        }
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, WindowBucket::default());
+        }
+        let b = &mut self.buckets[idx];
+        b.count += 1;
+        b.dur_ps += dur_ps;
+        for (a, c) in b.causes.iter_mut().zip(causes.iter()) {
+            *a += c;
+        }
+    }
+
+    /// Doubles the window width, folding buckets pairwise.
+    fn fold(&mut self) {
+        self.width_ps *= 2;
+        let mut folded = Vec::with_capacity(self.buckets.len().div_ceil(2));
+        for pair in self.buckets.chunks(2) {
+            let mut b = pair[0];
+            if let Some(hi) = pair.get(1) {
+                b.count += hi.count;
+                b.dur_ps += hi.dur_ps;
+                for (a, c) in b.causes.iter_mut().zip(hi.causes.iter()) {
+                    *a += c;
+                }
+            }
+            folded.push(b);
+        }
+        self.buckets = folded;
+    }
+
+    /// The current bucket width in picoseconds.
+    pub fn width_ps(&self) -> u64 {
+        self.width_ps
+    }
+}
+
+/// Aggregates [`AttrRecord`]s into scope totals, the window series and
+/// the top-K worst-request list, enforcing the conservation invariant
+/// per record.
+#[derive(Debug)]
+pub struct AttrCollector {
+    records: u64,
+    violations: u64,
+    wall_ps: u64,
+    attributed_ps: u64,
+    scope_records: [u64; NUM_SCOPES],
+    scope_wall_ps: [u64; NUM_SCOPES],
+    scope_causes: [[u64; NUM_CAUSES]; NUM_SCOPES],
+    top_k: usize,
+    top: Vec<AttrRecord>,
+    windows: WindowSeries,
+}
+
+impl Default for AttrCollector {
+    fn default() -> Self {
+        Self::new(DEFAULT_TOP_K, DEFAULT_WINDOW_PS)
+    }
+}
+
+impl AttrCollector {
+    /// A collector keeping the `top_k` worst requests and bucketing the
+    /// series at `window_ps` initially.
+    pub fn new(top_k: usize, window_ps: u64) -> Self {
+        AttrCollector {
+            records: 0,
+            violations: 0,
+            wall_ps: 0,
+            attributed_ps: 0,
+            scope_records: [0; NUM_SCOPES],
+            scope_wall_ps: [0; NUM_SCOPES],
+            scope_causes: [[0; NUM_CAUSES]; NUM_SCOPES],
+            top_k,
+            top: Vec::new(),
+            windows: WindowSeries::new(window_ps),
+        }
+    }
+
+    /// Folds one attributed request into the aggregate.
+    pub fn record(&mut self, rec: AttrRecord) {
+        let attributed = rec.span.total();
+        self.records += 1;
+        self.wall_ps += rec.dur_ps;
+        self.attributed_ps += attributed;
+        if attributed != rec.dur_ps {
+            debug_assert_eq!(
+                attributed, rec.dur_ps,
+                "non-conserving {}: {:?}",
+                rec.source, rec.span
+            );
+            self.violations += 1;
+        }
+        let s = rec.scope as usize;
+        self.scope_records[s] += 1;
+        self.scope_wall_ps[s] += rec.dur_ps;
+        for (a, c) in self.scope_causes[s].iter_mut().zip(rec.span.causes.iter()) {
+            *a += c;
+        }
+        self.windows.add(rec.start_ps, rec.dur_ps, rec.span.causes());
+        // Top-K, worst first. Ties break toward the earlier request so
+        // the list is a pure function of the record set.
+        let key = |r: &AttrRecord| (std::cmp::Reverse(r.dur_ps), r.start_ps, r.scope, r.index);
+        if self.top.len() < self.top_k || key(&rec) < key(self.top.last().expect("non-empty")) {
+            let pos = self.top.partition_point(|r| key(r) <= key(&rec));
+            self.top.insert(pos, rec);
+            self.top.truncate(self.top_k);
+        }
+    }
+
+    /// Records recorded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Drains the collector into its serializable summary.
+    pub fn summarize(&self) -> AttrSummary {
+        AttrSummary {
+            records: self.records,
+            violations: self.violations,
+            wall_ps: self.wall_ps,
+            attributed_ps: self.attributed_ps,
+            scopes: AttrScope::ALL
+                .into_iter()
+                .filter(|&s| self.scope_records[s as usize] > 0)
+                .map(|s| ScopeSummary {
+                    scope: s,
+                    records: self.scope_records[s as usize],
+                    wall_ps: self.scope_wall_ps[s as usize],
+                    causes: self.scope_causes[s as usize],
+                })
+                .collect(),
+            top: self
+                .top
+                .iter()
+                .map(|r| TopRequest {
+                    scope: r.scope,
+                    index: r.index,
+                    source: r.source.to_string(),
+                    start_ps: r.start_ps,
+                    dur_ps: r.dur_ps,
+                    causes: r.span.causes,
+                })
+                .collect(),
+            windows: WindowSummary {
+                width_ps: self.windows.width_ps,
+                buckets: self
+                    .windows
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.count > 0)
+                    .map(|(i, b)| WindowRow {
+                        index: i as u64,
+                        count: b.count,
+                        wall_ps: b.dur_ps,
+                        causes: b.causes,
+                    })
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Per-scope attribution totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeSummary {
+    /// The run phase.
+    pub scope: AttrScope,
+    /// Requests attributed in this scope.
+    pub records: u64,
+    /// Total wall time of those requests.
+    pub wall_ps: u64,
+    /// Cause sums, indexed by `Cause as usize`.
+    pub causes: [u64; NUM_CAUSES],
+}
+
+/// One tail-forensics entry: a worst request with full attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopRequest {
+    /// The run phase.
+    pub scope: AttrScope,
+    /// Request ordinal within the scope — for [`AttrScope::Exec`] the
+    /// window unit of `dramless-sim replay --window`.
+    pub index: u64,
+    /// The servicing site.
+    pub source: String,
+    /// Issue time in picoseconds.
+    pub start_ps: u64,
+    /// Wall time in picoseconds.
+    pub dur_ps: u64,
+    /// Cause sums, indexed by `Cause as usize`.
+    pub causes: [u64; NUM_CAUSES],
+}
+
+/// One non-empty bucket of the serialized window series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRow {
+    /// Bucket ordinal; the bucket covers
+    /// `[index * width_ps, (index + 1) * width_ps)`.
+    pub index: u64,
+    /// Requests starting in the bucket.
+    pub count: u64,
+    /// Their summed wall time.
+    pub wall_ps: u64,
+    /// Their summed causes.
+    pub causes: [u64; NUM_CAUSES],
+}
+
+/// The serialized window series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSummary {
+    /// Final bucket width in picoseconds.
+    pub width_ps: u64,
+    /// Non-empty buckets in index order.
+    pub buckets: Vec<WindowRow>,
+}
+
+/// The report's `latency_attribution` block: conservation ledger, scope
+/// totals, tail forensics and the sim-time series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSummary {
+    /// Attributed requests.
+    pub records: u64,
+    /// Records whose causes did not sum to their wall time (0 on any
+    /// healthy run — the conservation invariant is per-record).
+    pub violations: u64,
+    /// Summed request wall time.
+    pub wall_ps: u64,
+    /// Summed attributed time; equals `wall_ps` when conserving.
+    pub attributed_ps: u64,
+    /// Per-scope totals (scopes with records only, in scope order).
+    pub scopes: Vec<ScopeSummary>,
+    /// Worst requests, worst first.
+    pub top: Vec<TopRequest>,
+    /// Sim-time series of request starts.
+    pub windows: WindowSummary,
+}
+
+impl AttrSummary {
+    /// Whether every record's causes summed exactly to its wall time.
+    pub fn conserves(&self) -> bool {
+        self.violations == 0 && self.attributed_ps == self.wall_ps
+    }
+
+    /// Cause sums across all scopes.
+    pub fn total_causes(&self) -> [u64; NUM_CAUSES] {
+        let mut total = [0u64; NUM_CAUSES];
+        for s in &self.scopes {
+            for (a, c) in total.iter_mut().zip(s.causes.iter()) {
+                *a += c;
+            }
+        }
+        total
+    }
+}
+
+impl ToJson for AttrSummary {
+    fn to_json(&self) -> Json {
+        // `causes` is derived (the sum over scopes): ignored on parse,
+        // re-derived on serialize, so round trips stay byte-stable.
+        Json::Obj(vec![
+            ("records".into(), Json::U64(self.records)),
+            ("violations".into(), Json::U64(self.violations)),
+            ("wall_ps".into(), Json::U64(self.wall_ps)),
+            ("attributed_ps".into(), Json::U64(self.attributed_ps)),
+            ("causes".into(), causes_to_json(&self.total_causes())),
+            (
+                "scopes".into(),
+                Json::Arr(
+                    self.scopes
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("scope".into(), Json::Str(s.scope.key().into())),
+                                ("records".into(), Json::U64(s.records)),
+                                ("wall_ps".into(), Json::U64(s.wall_ps)),
+                                ("causes".into(), causes_to_json(&s.causes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "top".into(),
+                Json::Arr(
+                    self.top
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("scope".into(), Json::Str(t.scope.key().into())),
+                                ("index".into(), Json::U64(t.index)),
+                                ("source".into(), Json::Str(t.source.clone())),
+                                ("start_ps".into(), Json::U64(t.start_ps)),
+                                ("dur_ps".into(), Json::U64(t.dur_ps)),
+                                ("causes".into(), causes_to_json(&t.causes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "windows".into(),
+                Json::Obj(vec![
+                    ("width_ps".into(), Json::U64(self.windows.width_ps)),
+                    (
+                        "buckets".into(),
+                        Json::Arr(
+                            self.windows
+                                .buckets
+                                .iter()
+                                .map(|b| {
+                                    Json::Obj(vec![
+                                        ("index".into(), Json::U64(b.index)),
+                                        ("count".into(), Json::U64(b.count)),
+                                        ("wall_ps".into(), Json::U64(b.wall_ps)),
+                                        ("causes".into(), causes_to_json(&b.causes)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl FromJson for AttrSummary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let scope_of = |o: &Json| -> Result<AttrScope, JsonError> {
+            let key = o
+                .get("scope")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JsonError::new("missing scope key"))?;
+            AttrScope::from_key(key)
+                .ok_or_else(|| JsonError::new(format!("unknown scope `{key}`")))
+        };
+        let causes_of = |o: &Json| -> Result<[u64; NUM_CAUSES], JsonError> {
+            causes_from_json(
+                o.get("causes")
+                    .ok_or_else(|| JsonError::new("missing causes"))?,
+            )
+        };
+        let scopes = v
+            .get("scopes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::new("attribution missing scopes"))?
+            .iter()
+            .map(|o| {
+                Ok(ScopeSummary {
+                    scope: scope_of(o)?,
+                    records: crate::json::field(o, "records")?,
+                    wall_ps: crate::json::field(o, "wall_ps")?,
+                    causes: causes_of(o)?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let top = v
+            .get("top")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::new("attribution missing top"))?
+            .iter()
+            .map(|o| {
+                Ok(TopRequest {
+                    scope: scope_of(o)?,
+                    index: crate::json::field(o, "index")?,
+                    source: crate::json::field(o, "source")?,
+                    start_ps: crate::json::field(o, "start_ps")?,
+                    dur_ps: crate::json::field(o, "dur_ps")?,
+                    causes: causes_of(o)?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let windows = v
+            .get("windows")
+            .ok_or_else(|| JsonError::new("attribution missing windows"))?;
+        let buckets = windows
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::new("windows missing buckets"))?
+            .iter()
+            .map(|o| {
+                Ok(WindowRow {
+                    index: crate::json::field(o, "index")?,
+                    count: crate::json::field(o, "count")?,
+                    wall_ps: crate::json::field(o, "wall_ps")?,
+                    causes: causes_of(o)?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(AttrSummary {
+            records: crate::json::field(v, "records")?,
+            violations: crate::json::field(v, "violations")?,
+            wall_ps: crate::json::field(v, "wall_ps")?,
+            attributed_ps: crate::json::field(v, "attributed_ps")?,
+            scopes,
+            top,
+            windows: WindowSummary {
+                width_ps: crate::json::field(windows, "width_ps")?,
+                buckets,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -668,5 +1375,211 @@ mod tests {
             .collect();
         assert!(names.contains(&"partition/0"));
         assert!(names.contains(&"pe/3"));
+    }
+
+    #[test]
+    fn quantile_edge_behavior_is_defined() {
+        // Empty histogram: every quantile, however malformed, is 0.
+        let empty = LatencyHistogram::new();
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile_ns(q), 0);
+        }
+        // Single-bucket histogram: every quantile is that bucket's
+        // upper bound — including out-of-range and NaN q.
+        let mut single = LatencyHistogram::new();
+        for _ in 0..5 {
+            single.record_ps(300_000); // 300 ns -> bucket [256, 512)
+        }
+        for q in [0.0, 0.25, 0.5, 1.0, -3.0, 7.0, f64::NAN] {
+            assert_eq!(single.quantile_ns(q), 512, "q={q}");
+        }
+        // The documented error bound: reported in (v, 2v] for any
+        // in-range sample v.
+        let mut h = LatencyHistogram::new();
+        h.record_ps(700_000); // 700 ns
+        let rep = h.quantile_ns(0.5) as f64;
+        assert!(rep > 700.0 && rep <= 1400.0, "{rep}");
+    }
+
+    #[test]
+    fn merged_quantiles_match_concatenated_samples_within_a_bucket() {
+        // Quantile stability under merge: merging two histograms gives
+        // exactly the quantiles of the concatenated sample set, because
+        // both reduce to the same bucket counts.
+        let samples_a: Vec<u64> = (0..400).map(|i| 1_000 * (1 + i % 700)).collect();
+        let samples_b: Vec<u64> = (0..100).map(|i| 1_000_000 * (1 + i % 90)).collect();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut concat = LatencyHistogram::new();
+        for &s in &samples_a {
+            a.record_ps(s);
+            concat.record_ps(s);
+        }
+        for &s in &samples_b {
+            b.record_ps(s);
+            concat.record_ps(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, concat);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile_ns(q), concat.quantile_ns(q), "q={q}");
+        }
+        // And the reported p99 bounds the true sample p99 within one
+        // log2 bucket (<= 2x, > 1x).
+        let mut all: Vec<u64> = samples_a.iter().chain(&samples_b).map(|s| s / 1_000).collect();
+        all.sort_unstable();
+        let true_p99 = all[((all.len() as f64 * 0.99).ceil() as usize).min(all.len()) - 1];
+        let rep = a.quantile_ns(0.99);
+        assert!(rep > true_p99 && rep <= true_p99 * 2, "{rep} vs {true_p99}");
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_escapes_names() {
+        let t0 = Track::new("a", 0);
+        let t1 = Track::new("b", 1);
+        let mut events = vec![
+            ev(5, 2, t1, "phase \"two\"\nnewline"),
+            ev(5, 2, t0, "x"),
+            ev(1, 3, t0, "x"),
+            TraceEvent {
+                ts_ps: 5,
+                dur_ps: 2,
+                track: t0,
+                name: "x",
+                args: vec![("bytes", 64)],
+            },
+        ];
+        let a = crate::json::ToJson::to_json_pretty(&chrome_trace(&events));
+        // Any permutation of the same event set renders byte-identically.
+        events.reverse();
+        let b = crate::json::ToJson::to_json_pretty(&chrome_trace(&events));
+        events.swap(0, 2);
+        let c = crate::json::ToJson::to_json_pretty(&chrome_trace(&events));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // Special characters in event names are escaped, and the
+        // output still parses as JSON.
+        assert!(a.contains("phase \\\"two\\\"\\nnewline"));
+        Json::parse(&a).expect("escaped trace parses");
+    }
+
+    #[test]
+    fn latency_span_buckets_and_merges() {
+        let mut s = LatencySpan::new();
+        s.add(Cause::QueueWait, 10);
+        s.add(Cause::ArrayAccess, 30);
+        s.add(Cause::ArrayAccess, 5);
+        assert_eq!(s.get(Cause::ArrayAccess), 35);
+        assert_eq!(s.total(), 45);
+        let mut t = LatencySpan::new();
+        t.add(Cause::DataBurst, 55);
+        s.merge(&t);
+        assert_eq!(s.total(), 100);
+        assert_eq!(Cause::from_key("erase_blocked"), Some(Cause::EraseBlocked));
+        assert_eq!(Cause::from_key("nope"), None);
+        for c in Cause::ALL {
+            assert_eq!(Cause::from_key(c.key()), Some(c));
+        }
+        for sc in AttrScope::ALL {
+            assert_eq!(AttrScope::from_key(sc.key()), Some(sc));
+            assert_eq!(AttrScope::from_u8(sc as u8), sc);
+        }
+    }
+
+    #[test]
+    fn collector_enforces_conservation_and_keeps_worst_requests() {
+        let mut col = AttrCollector::new(2, 1_000);
+        let rec = |index: u64, dur: u64| {
+            let mut span = LatencySpan::new();
+            span.add(Cause::Media, dur);
+            AttrRecord {
+                scope: AttrScope::Exec,
+                index,
+                source: "test.read",
+                start_ps: index * 10,
+                dur_ps: dur,
+                span,
+            }
+        };
+        for (i, d) in [(0, 50), (1, 900), (2, 10), (3, 700)] {
+            col.record(rec(i, d));
+        }
+        let s = col.summarize();
+        assert!(s.conserves());
+        assert_eq!(s.records, 4);
+        assert_eq!(s.wall_ps, 1660);
+        assert_eq!(s.top.len(), 2, "top-K is bounded");
+        assert_eq!((s.top[0].index, s.top[0].dur_ps), (1, 900));
+        assert_eq!((s.top[1].index, s.top[1].dur_ps), (3, 700));
+        assert_eq!(s.scopes.len(), 1);
+        assert_eq!(s.scopes[0].scope, AttrScope::Exec);
+        assert_eq!(s.total_causes()[Cause::Media as usize], 1660);
+
+        // A non-conserving record is counted, not silently absorbed.
+        let mut col = AttrCollector::new(2, 1_000);
+        let mut bad = rec(9, 100);
+        bad.span = LatencySpan::new();
+        let summary = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            col.record(bad);
+            col.summarize()
+        }));
+        // Debug builds assert; release builds count the violation.
+        if let Ok(s) = summary {
+            assert_eq!(s.violations, 1);
+            assert!(!s.conserves());
+        }
+    }
+
+    #[test]
+    fn window_series_stays_bounded_by_folding() {
+        let mut w = WindowSeries::new(10);
+        // Hit a start far beyond the bucket bound: width doubles until
+        // the index fits, and earlier mass is preserved.
+        let causes = {
+            let mut s = LatencySpan::new();
+            s.add(Cause::Dma, 7);
+            *s.causes()
+        };
+        w.add(5, 7, &causes);
+        w.add(10 * (MAX_WINDOW_BUCKETS as u64) * 8, 7, &causes);
+        assert!(w.width_ps() > 10);
+        let total: u64 = w.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 2);
+        assert!(w.buckets.len() <= MAX_WINDOW_BUCKETS);
+        // Deterministic: the same two adds in the other order produce
+        // the same series.
+        let mut w2 = WindowSeries::new(10);
+        w2.add(10 * (MAX_WINDOW_BUCKETS as u64) * 8, 7, &causes);
+        w2.add(5, 7, &causes);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn attr_summary_round_trips_byte_stable() {
+        let mut col = AttrCollector::new(3, 500);
+        for i in 0..20u64 {
+            let mut span = LatencySpan::new();
+            span.add(Cause::QueueWait, 3 * i);
+            span.add(Cause::ArrayAccess, 100);
+            span.add(Cause::RetryStall, if i % 7 == 0 { 40 } else { 0 });
+            col.record(AttrRecord {
+                scope: if i % 2 == 0 {
+                    AttrScope::Exec
+                } else {
+                    AttrScope::StageIn
+                },
+                index: i,
+                source: "pram.read",
+                start_ps: i * 123,
+                dur_ps: span.total(),
+                span,
+            });
+        }
+        let s = col.summarize();
+        assert!(s.conserves());
+        let json = crate::json::ToJson::to_json_pretty(&s);
+        let back = <AttrSummary as crate::json::FromJson>::from_json_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(crate::json::ToJson::to_json_pretty(&back), json);
     }
 }

@@ -1,0 +1,172 @@
+//! Latency attribution: the conservation invariant (every request's
+//! cause decomposition sums exactly to its end-to-end latency) across
+//! the full preset x tier x fault matrix, the tail-forensics contract
+//! (a worst exec-phase request replays in isolation through the
+//! record/replay machinery), and report JSON round trips.
+
+use dramless::replay::{record_run, replay};
+use dramless::system::simulate_spec_as;
+use dramless::{
+    FaultPlan, FidelityTier, RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec,
+    TelemetrySpec,
+};
+use sim_core::probe::AttrScope;
+use util::json::{FromJson, ToJson};
+use workloads::{Kernel, Scale, Workload};
+
+fn params() -> SystemParams {
+    SystemParams {
+        agents: 2,
+        ..Default::default()
+    }
+}
+
+fn all_kinds() -> Vec<SystemKind> {
+    let mut all = SystemKind::EVALUATED.to_vec();
+    all.push(SystemKind::Ideal);
+    all
+}
+
+/// An attributed spec for `kind` at `tier`, optionally with seeded
+/// faults armed.
+fn attributed_spec(kind: SystemKind, tier: FidelityTier, faults: bool) -> SystemSpec {
+    SystemSpec {
+        telemetry: Some(TelemetrySpec {
+            attribution: true,
+            ..Default::default()
+        }),
+        tier,
+        faults: faults.then(|| FaultPlan::seeded(7)),
+        ..kind.spec()
+    }
+}
+
+fn run_attributed(kind: SystemKind, tier: FidelityTier, faults: bool) -> RunOutcome {
+    let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+    let built = w.build(params().agents);
+    simulate_spec_as(
+        SystemId::Preset(kind),
+        &attributed_spec(kind, tier, faults),
+        &built,
+        &params(),
+    )
+    .expect("attributed preset composes")
+}
+
+#[test]
+fn conservation_holds_for_every_preset_tier_and_fault_mode() {
+    // The invariant the whole layer is built on: phases sum to
+    // end-to-end latency for every request, in all 12 presets, under
+    // both fidelity tiers, with fault injection off and on. The
+    // monotone-cursor accumulation makes this true by construction;
+    // this test makes it true by contract.
+    for kind in all_kinds() {
+        for tier in [FidelityTier::Accurate, FidelityTier::Analytic] {
+            for faults in [false, true] {
+                if faults && tier == FidelityTier::Analytic {
+                    // The analytic tier rejects fault plans by contract.
+                    continue;
+                }
+                let out = run_attributed(kind, tier, faults);
+                let a = out
+                    .attr
+                    .as_ref()
+                    .expect("attribution on yields a summary");
+                assert!(
+                    a.conserves(),
+                    "{kind}/{tier:?}/faults={faults}: {} violation(s), \
+                     {} ps attributed vs {} ps wall",
+                    a.violations,
+                    a.attributed_ps,
+                    a.wall_ps
+                );
+                // Scope subtotals must account for the same ledger.
+                let scope_wall: u64 = a.scopes.iter().map(|s| s.wall_ps).sum();
+                assert_eq!(
+                    scope_wall, a.wall_ps,
+                    "{kind}/{tier:?}/faults={faults}: scope walls disagree"
+                );
+                let cause_total: u64 = a.total_causes().iter().sum();
+                assert_eq!(
+                    cause_total, a.attributed_ps,
+                    "{kind}/{tier:?}/faults={faults}: cause totals disagree"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pram_bearing_presets_attribute_requests() {
+    // Conservation over zero records is vacuous; the designs with
+    // instrumented datapaths must actually record. The accurate tier
+    // covers exec-phase requests, the staged design covers the
+    // SSD/staging path.
+    for kind in [SystemKind::DramLess, SystemKind::Hetero] {
+        let out = run_attributed(kind, FidelityTier::Accurate, false);
+        let a = out.attr.as_ref().unwrap();
+        assert!(a.records > 0, "{kind}: no attributed requests");
+        assert!(
+            !a.windows.buckets.is_empty(),
+            "{kind}: no sim-time series buckets"
+        );
+        assert!(!a.top.is_empty(), "{kind}: no tail-forensics entries");
+        // Worst-first ordering.
+        for w in a.top.windows(2) {
+            assert!(w[0].dur_ps >= w[1].dur_ps, "{kind}: top list not sorted");
+        }
+        // The window series is its own conservation ledger.
+        let bucket_wall: u64 = a.windows.buckets.iter().map(|b| b.wall_ps).sum();
+        assert_eq!(bucket_wall, a.wall_ps, "{kind}: window walls disagree");
+        let bucket_count: u64 = a.windows.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucket_count, a.records, "{kind}: window counts disagree");
+    }
+}
+
+#[test]
+fn attribution_summary_round_trips_through_report_json() {
+    let out = run_attributed(SystemKind::DramLess, FidelityTier::Accurate, true);
+    assert!(out.attr.is_some());
+    let text = out.to_json_pretty();
+    let back = RunOutcome::from_json_str(&text).expect("report parses");
+    assert_eq!(back.attr, out.attr, "attribution summary drifted in JSON");
+    assert_eq!(back.to_json_pretty(), text, "report not byte-stable");
+}
+
+#[test]
+fn worst_exec_request_replays_in_isolation() {
+    // The tail-forensics contract: exec-phase attribution indices are
+    // backend-request ordinals, so the worst request a chaos-run `top`
+    // names can be isolated with `replay --window` on a recording of
+    // the *same cell made without attribution* — no re-running the
+    // attributed sweep.
+    let kind = SystemKind::DramLess;
+    let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+    let p = params();
+
+    let out = run_attributed(kind, FidelityTier::Accurate, true);
+    let a = out.attr.as_ref().unwrap();
+    let worst = a
+        .top
+        .iter()
+        .find(|t| t.scope == AttrScope::Exec)
+        .expect("an exec-phase request among the worst");
+
+    let mut plain = kind.spec();
+    plain.faults = Some(FaultPlan::seeded(7));
+    let rec = record_run(
+        &[(SystemId::Preset(kind), plain)],
+        &[w],
+        &p,
+        40,
+    )
+    .expect("recording composes");
+    assert!(
+        worst.index < rec.cells[0].fingerprint.requests,
+        "worst index {} outside the recorded stream of {}",
+        worst.index,
+        rec.cells[0].fingerprint.requests
+    );
+    let report = replay(&rec, 0, worst.index..worst.index + 1).expect("window replays cleanly");
+    assert!(report.replayed_to >= worst.index + 1);
+}

@@ -155,6 +155,65 @@ fn telemetry_changes_nothing_but_the_metrics_key() {
 }
 
 #[test]
+fn attribution_changes_nothing_but_its_own_key() {
+    // Latency attribution is pure observation: an attributed run must
+    // differ from the plain run of the same cell only by the telemetry
+    // it adds (`metrics` + `latency_attribution`). Checked on a
+    // load/store, a staged and a page-interface design so every
+    // accumulation site is covered.
+    let w = Workload::of(Kernel::Trisolv, Scale(0.25));
+    let built = w.build(params().agents);
+    for kind in [
+        SystemKind::DramLess,
+        SystemKind::Hetero,
+        SystemKind::IntegratedMlc,
+    ] {
+        // The spec key is opt-in: preset specs must not grow an
+        // `attribution` key, and attribution-off reports must not grow
+        // a `latency_attribution` key.
+        assert!(
+            !kind.spec().to_json_pretty().contains("\"attribution\""),
+            "{kind}: preset spec grew an attribution key"
+        );
+        let off = simulate_spec_as(SystemId::Preset(kind), &kind.spec(), &built, &params())
+            .expect("preset composes");
+        let off_json = off.to_json_pretty();
+        assert!(
+            !off_json.contains("\"latency_attribution\""),
+            "{kind}: latency_attribution key present with attribution off"
+        );
+
+        let spec_on = SystemSpec {
+            telemetry: Some(TelemetrySpec {
+                attribution: true,
+                ..Default::default()
+            }),
+            ..kind.spec()
+        };
+        let mut on = simulate_spec_as(SystemId::Preset(kind), &spec_on, &built, &params())
+            .expect("preset composes with attribution");
+        let a = on.attr.as_ref().expect("attribution summary present");
+        assert!(a.records > 0, "{kind}: no attributed requests");
+        assert!(
+            a.conserves(),
+            "{kind}: attribution does not conserve ({} violations, {} of {} ps)",
+            a.violations,
+            a.attributed_ps,
+            a.wall_ps
+        );
+        assert!(on.to_json_pretty().contains("\"latency_attribution\""));
+        // Strip what attribution added; the rest must be byte-identical.
+        on.attr = None;
+        on.metrics = util::telemetry::MetricSet::new();
+        assert_eq!(
+            on.to_json_pretty(),
+            off_json,
+            "{kind}: attribution perturbed the simulation"
+        );
+    }
+}
+
+#[test]
 fn fault_free_presets_serialize_without_fault_keys() {
     // Schema pin for the fault knob: every preset's spec JSON still has
     // no `faults` key, and a run of it produces a report with no

@@ -183,3 +183,53 @@ fn suite_json_with_metrics_round_trips_byte_stable() {
         .sum();
     assert_eq!(agg.counter("pe.instructions"), Some(per_cell));
 }
+
+#[test]
+fn aggregate_metrics_quantiles_match_concatenated_samples() {
+    // Quantile stability under aggregation: because the histograms are
+    // log2-bucketed, merging per-cell histograms produces exactly the
+    // bucket counts of the concatenated sample stream — so suite-level
+    // quantiles equal single-histogram quantiles, not merely approximate
+    // them. Uses one tiny real run as an outcome template and swaps in
+    // synthetic per-cell metric sets with known samples.
+    use util::telemetry::{LatencyHistogram, MetricSet};
+    let w = Workload::of(Kernel::Trisolv, Scale(0.1));
+    let p = SystemParams {
+        agents: 2,
+        ..Default::default()
+    };
+    let built = w.build(p.agents);
+    let template = simulate_spec_built(&SystemKind::DramLess.spec(), &built, &p).unwrap();
+
+    // Three cells with samples spread across buckets, including ties
+    // within a bucket and one far-tail outlier.
+    let cells: [&[u64]; 3] = [
+        &[700_000, 800_000, 900_000, 1_000_000, 40_000_000],
+        &[1_200_000, 1_300_000, 1_400_000, 90_000_000],
+        &[500_000, 600_000, 2_000_000_000],
+    ];
+    let mut concatenated = LatencyHistogram::new();
+    let mut outcomes = Vec::new();
+    for samples in cells {
+        let mut m = MetricSet::new();
+        for &ps in samples {
+            m.record_latency_ps("guard.lat", ps);
+            concatenated.record_ps(ps);
+        }
+        let mut o = template.clone();
+        o.metrics = m;
+        outcomes.push(o);
+    }
+    let suite = SuiteResult { outcomes };
+    let agg = suite.aggregate_metrics();
+    let merged = agg.histogram("guard.lat").expect("histogram aggregated");
+    assert_eq!(merged.count(), concatenated.count());
+    assert_eq!(merged.nonzero_buckets(), concatenated.nonzero_buckets());
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(
+            merged.quantile_ns(q),
+            concatenated.quantile_ns(q),
+            "aggregated q={q} diverged from the concatenated-sample quantile"
+        );
+    }
+}
