@@ -993,10 +993,8 @@ impl Accelerator {
                             a.event += 1;
                         }
                         if !cur.buf.is_empty() {
-                            self.probe.attr_tag(
-                                AttrScope::Exec,
-                                cur.mem_requests - cur.buf.len() as u64,
-                            );
+                            self.probe
+                                .attr_tag(AttrScope::Exec, cur.mem_requests - cur.buf.len() as u64);
                             a.time = backend.run_stream(
                                 a.time,
                                 l2_line,

@@ -10,7 +10,8 @@
 
 use dramless::replay::{self, Recording};
 use dramless::{
-    FaultPlan, FidelityTier, RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec,
+    run_fleet, run_fleet_on, BalancerKind, FaultPlan, FidelityTier, FleetReport, FleetSpec,
+    RunOutcome, SystemId, SystemKind, SystemParams, SystemSpec,
 };
 use sim_core::fault::FaultCounters;
 use sim_core::probe::{AttrScope, AttrSummary, Cause};
@@ -58,6 +59,10 @@ fn usage() -> &'static str {
        dramless-sim record [selection flags as above] [--out <run.json>]\n\
                     [--checkpoint-every <n>]\n\
        dramless-sim replay <run.json> [--window <a>..<b>] [--cell <i>]\n\
+       dramless-sim serve --fleet <fleet.json> [--requests <n>]\n\
+                    [--duration <ms>] [--balancer <name>] [--seed <n>]\n\
+                    [--threads <n>] [--json <report.json>]\n\
+       dramless-sim serve --template\n\
        dramless-sim top [selection flags for ONE system x ONE kernel]\n\
      \n\
      SUBCOMMANDS:\n\
@@ -71,6 +76,16 @@ fn usage() -> &'static str {
                        fingerprint divergence; with --window <a>..<b>, restore\n\
                        the nearest checkpoint at or before request <a> of cell\n\
                        --cell [default: 0] and re-execute just [a, b)\n\
+       serve           fleet-scale multi-tenant serving: a seeded open-loop\n\
+                       arrival process (poisson, bursty, diurnal) drives\n\
+                       requests from many tenants across N simulated\n\
+                       accelerators via a pluggable balancer (round-robin,\n\
+                       least-loaded, qos-aware with admission control);\n\
+                       prints per-class and per-accelerator QoS tables plus\n\
+                       worst-request latency attribution; byte-identical at\n\
+                       any --threads count; --template prints a starter\n\
+                       FleetSpec JSON; --requests/--duration/--balancer/\n\
+                       --seed override the spec file\n\
        top             tail forensics: run ONE system x ONE kernel with\n\
                        attribution on and print the cause breakdown, per-phase\n\
                        totals, and the top-K worst requests — each exec-phase\n\
@@ -465,6 +480,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         _ => cmd_run(&args),
     }
@@ -872,6 +888,270 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parsed `serve` subcommand options.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeOptions {
+    fleet: Option<String>,
+    template: bool,
+    requests: Option<u64>,
+    duration_ms: Option<u64>,
+    balancer: Option<BalancerKind>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    json: Option<String>,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
+    let mut o = ServeOptions {
+        fleet: None,
+        template: false,
+        requests: None,
+        duration_ms: None,
+        balancer: None,
+        seed: None,
+        threads: None,
+        json: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--fleet" => o.fleet = Some(value("--fleet")?),
+            "--template" => o.template = true,
+            "--requests" => {
+                let v = value("--requests")?;
+                o.requests = Some(v.parse().map_err(|_| format!("bad request count `{v}`"))?);
+            }
+            "--duration" => {
+                let v = value("--duration")?;
+                o.duration_ms = Some(v.parse().map_err(|_| format!("bad duration `{v}` (ms)"))?);
+            }
+            "--balancer" => {
+                let v = value("--balancer")?;
+                o.balancer = Some(BalancerKind::from_label(&v).ok_or_else(|| {
+                    let known: Vec<&str> = BalancerKind::ALL.iter().map(|b| b.label()).collect();
+                    format!("unknown balancer `{v}` (one of: {})", known.join(", "))
+                })?);
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                o.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                o.threads = Some(n);
+            }
+            "--json" => o.json = Some(value("--json")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown serve argument `{other}`")),
+        }
+    }
+    if o.template {
+        if o.fleet.is_some() || o.requests.is_some() || o.duration_ms.is_some() {
+            return Err("--template prints a starter spec and takes no other flags".into());
+        }
+    } else if o.fleet.is_none() {
+        return Err("serve needs --fleet <fleet.json> (or --template for a starter spec)".into());
+    }
+    Ok(o)
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let opts = match parse_serve(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.template {
+        println!("{}", FleetSpec::example().to_json_pretty());
+        return ExitCode::SUCCESS;
+    }
+    let path = opts.fleet.as_deref().expect("checked by parse_serve");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = match FleetSpec::from_json_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: parsing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(n) = opts.requests {
+        spec.requests = n;
+    }
+    if let Some(ms) = opts.duration_ms {
+        spec.duration_ms = ms;
+    }
+    if let Some(b) = opts.balancer {
+        spec.balancer = b;
+    }
+    if let Some(s) = opts.seed {
+        spec.seed = s;
+    }
+    let started = std::time::Instant::now();
+    let report = match opts.threads {
+        Some(n) => run_fleet_on(&util::pool::Pool::new(n), &spec),
+        None => run_fleet(&spec),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+    print_fleet_report(&report);
+    println!(
+        "\nserved {} request(s) in {:.3}s wall — {:.0} req/s simulated \
+         (re-run byte-identically at any --threads from the same spec + seed)",
+        report.offered,
+        elapsed.as_secs_f64(),
+        report.offered as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    if let Err(e) = report.check_conservation() {
+        eprintln!("error: conservation check FAILED: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(json) = &opts.json {
+        if let Err(e) = std::fs::write(json, report.to_json_pretty()) {
+            eprintln!("error: writing {json}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote fleet report to {json}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints the per-class / per-tenant / per-accelerator QoS tables.
+fn print_fleet_report(r: &FleetReport) {
+    println!(
+        "fleet `{}` — {} balancer, {} accelerator(s), {} tenant(s)",
+        r.name,
+        r.balancer.label(),
+        r.accelerators,
+        r.tenants
+    );
+    println!(
+        "offered {} | completed {} | rejected {} | degraded {} | makespan {} | \
+         {:.0} req/s offered",
+        r.offered,
+        r.completed,
+        r.rejected,
+        r.degraded,
+        Picos::from_ps(r.makespan_ps),
+        r.offered_rate_per_s()
+    );
+    println!(
+        "\n{:<18} {:>8} {:>9} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "class", "offered", "completed", "rejected", "degraded", "p50", "p99", "p99.9"
+    );
+    for (class, c) in &r.classes {
+        println!(
+            "{:<18} {:>8} {:>9} {:>8} {:>8} {:>12} {:>12} {:>12}",
+            class.key(),
+            c.offered,
+            c.completed,
+            c.rejected,
+            c.degraded,
+            format!("{}", Picos::from_ns(c.latency.quantile_ns(0.50))),
+            format!("{}", Picos::from_ns(c.latency.quantile_ns(0.99))),
+            format!("{}", Picos::from_ns(c.latency.quantile_ns(0.999)))
+        );
+    }
+    println!(
+        "{:<18} {:>8} {:>9} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "all classes",
+        r.offered,
+        r.completed,
+        r.rejected,
+        r.degraded,
+        format!("{}", Picos::from_ns(r.aggregate.quantile_ns(0.50))),
+        format!("{}", Picos::from_ns(r.aggregate.quantile_ns(0.99))),
+        format!("{}", Picos::from_ns(r.aggregate.quantile_ns(0.999)))
+    );
+    // The tenants hit hardest at the tail, worst first.
+    let mut worst: Vec<_> = r.per_tenant.iter().filter(|t| t.completed > 0).collect();
+    worst.sort_by_key(|t| std::cmp::Reverse((t.latency.quantile_ns(0.999), t.tenant)));
+    if !worst.is_empty() {
+        println!("\nworst tenants by p99.9:");
+        println!(
+            "{:>8} {:<18} {:>8} {:>8} {:>12} {:>12}",
+            "tenant", "class", "offered", "rejected", "p50", "p99.9"
+        );
+        for t in worst.iter().take(5) {
+            println!(
+                "{:>8} {:<18} {:>8} {:>8} {:>12} {:>12}",
+                t.tenant,
+                t.class.key(),
+                t.offered,
+                t.rejected,
+                format!("{}", Picos::from_ns(t.latency.quantile_ns(0.50))),
+                format!("{}", Picos::from_ns(t.latency.quantile_ns(0.999)))
+            );
+        }
+    }
+    println!("\nper-accelerator:");
+    println!(
+        "{:>5} {:>9} {:>12} {:>12} {:>14} {:>7} {:>13}",
+        "accel", "requests", "busy", "queue wait", "partition wait", "erases", "erase blocked"
+    );
+    for (i, a) in r.accels.iter().enumerate() {
+        println!(
+            "{:>5} {:>9} {:>12} {:>12} {:>14} {:>7} {:>13}",
+            i,
+            a.requests,
+            format!("{}", Picos::from_ps(a.busy_ps)),
+            format!("{}", Picos::from_ps(a.queue_wait_ps)),
+            format!("{}", Picos::from_ps(a.partition_wait_ps)),
+            a.erase_windows,
+            format!("{}", Picos::from_ps(a.erase_blocked_ps))
+        );
+    }
+    print_fleet_top(&r.attr);
+}
+
+/// The fleet variant of the tail-forensics table: adds the owning tenant.
+fn print_fleet_top(a: &AttrSummary) {
+    if a.top.is_empty() {
+        return;
+    }
+    println!("\ntop {} worst requests:", a.top.len());
+    println!(
+        "{:>3} {:>8} {:>10} {:>12} {:>12}  causes",
+        "#", "tenant", "request", "start", "duration"
+    );
+    for (i, t) in a.top.iter().enumerate() {
+        println!(
+            "{:>3} {:>8} {:>10} {:>12} {:>12}  {}",
+            i + 1,
+            t.tenant.map_or("-".to_string(), |t| t.to_string()),
+            t.index,
+            format!("{}", Picos::from_ps(t.start_ps)),
+            format!("{}", Picos::from_ps(t.dur_ps)),
+            cause_line(&t.causes, t.dur_ps)
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -970,8 +1250,18 @@ mod tests {
     #[test]
     fn selection_args_round_trips_through_parse() {
         let args: Vec<String> = [
-            "--system", "dram-less", "--kernel", "trisolv", "--scale", "0.25", "--seed", "7",
-            "--agents", "3", "--tier", "analytic",
+            "--system",
+            "dram-less",
+            "--kernel",
+            "trisolv",
+            "--scale",
+            "0.25",
+            "--seed",
+            "7",
+            "--agents",
+            "3",
+            "--tier",
+            "analytic",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -1040,6 +1330,68 @@ mod tests {
         assert!(parse_window("140..80").is_err(), "backwards window");
         assert!(parse_window("80..80").is_err(), "empty window");
         assert!(parse_window("a..b").is_err());
+    }
+
+    #[test]
+    fn parses_serve_command_lines() {
+        let args: Vec<String> = [
+            "--fleet",
+            "fleet.json",
+            "--requests",
+            "10000",
+            "--duration",
+            "250",
+            "--balancer",
+            "qos-aware",
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+            "--json",
+            "report.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_serve(&args).unwrap();
+        assert_eq!(o.fleet.as_deref(), Some("fleet.json"));
+        assert_eq!(o.requests, Some(10_000));
+        assert_eq!(o.duration_ms, Some(250));
+        assert_eq!(o.balancer, Some(BalancerKind::QosAware));
+        assert_eq!(o.seed, Some(7));
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.json.as_deref(), Some("report.json"));
+        assert!(!o.template);
+        // Template mode stands alone.
+        let o = parse_serve(&["--template".to_string()]).unwrap();
+        assert!(o.template);
+        assert!(parse_serve(&["--template".into(), "--fleet".into(), "f.json".into()]).is_err());
+        // Typed errors, not panics.
+        assert!(parse_serve(&[]).is_err(), "--fleet is required");
+        assert!(parse_serve(&["--fleet".into()]).is_err());
+        assert!(parse_serve(&[
+            "--fleet".into(),
+            "f.json".into(),
+            "--threads".into(),
+            "0".into()
+        ])
+        .is_err());
+        assert!(parse_serve(&[
+            "--fleet".into(),
+            "f.json".into(),
+            "--balancer".into(),
+            "warp".into()
+        ])
+        .is_err());
+        assert!(parse_serve(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_template_spec_round_trips() {
+        let spec = FleetSpec::example();
+        let parsed = FleetSpec::from_json_str(&spec.to_json_pretty()).unwrap();
+        assert_eq!(parsed, spec);
+        assert!(spec.validate().is_ok());
     }
 
     #[test]

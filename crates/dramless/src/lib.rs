@@ -59,13 +59,16 @@
 
 pub mod analytic;
 pub mod config;
+pub mod fleet;
 pub mod replay;
 pub mod report;
 pub mod spec;
 pub mod sweep;
 pub mod system;
+pub mod traffic;
 
 pub use config::{SystemId, SystemKind, SystemParams};
+pub use fleet::{run_fleet, run_fleet_on, BalancerKind, FleetReport, FleetSpec};
 pub use replay::{CellRecording, Checkpoint, Recording, ReplayError, RunFingerprint, WindowReport};
 pub use report::{Breakdown, RunOutcome, SuiteResult};
 pub use sim_core::fault::{FaultCounters, FaultPlan};
@@ -76,3 +79,4 @@ pub use system::{
     build_system, run_suite, simulate, simulate_built, simulate_dramless_scheduler, simulate_spec,
     simulate_spec_built, simulate_spec_traced, ComposedSystem,
 };
+pub use traffic::{ArrivalGen, ArrivalProcess, ClassMix, QosClass, Request, TenantModel};

@@ -351,11 +351,14 @@ impl SystemSpec {
 // layout): unit variants as their name string, data variants as a
 // one-key object.
 
-fn tagged(tag: &str, body: Vec<(String, Json)>) -> Json {
+/// Externally-tagged variant: `{ "Tag": { ...body } }` — shared by the
+/// spec and traffic JSON layers.
+pub(crate) fn tagged(tag: &str, body: Vec<(String, Json)>) -> Json {
     Json::Obj(vec![(tag.to_string(), Json::Obj(body))])
 }
 
-fn variant<'j>(ty: &str, v: &'j Json) -> Result<(&'j str, &'j Json), JsonError> {
+/// Splits an externally-tagged value into `(tag, body)`.
+pub(crate) fn variant<'j>(ty: &str, v: &'j Json) -> Result<(&'j str, &'j Json), JsonError> {
     match v {
         Json::Obj(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
         _ => Err(JsonError::new(format!(

@@ -442,7 +442,11 @@ impl PramController {
         let mut off = 0usize;
         for frag in map.frags(addr, data.len() as u32) {
             let chunk = &data[off..off + frag.len as usize];
-            let mut span = if attr_on { Some(AttrSpan::new(at)) } else { None };
+            let mut span = if attr_on {
+                Some(AttrSpan::new(at))
+            } else {
+                None
+            };
             let a = self.write_frag(at, &frag, Some(chunk), span.as_mut());
             start = start.min(a.start);
             if a.end > end || worst.is_none() {
@@ -469,7 +473,11 @@ impl PramController {
         let mut end = Picos::ZERO;
         let mut worst: Option<AttrSpan> = None;
         for frag in map.frags(addr, len) {
-            let mut span = if attr_on { Some(AttrSpan::new(at)) } else { None };
+            let mut span = if attr_on {
+                Some(AttrSpan::new(at))
+            } else {
+                None
+            };
             let a = self.read_frag(at, &frag, Some(&mut out), span.as_mut());
             start = start.min(a.start);
             if a.end > end || worst.is_none() {
@@ -1059,7 +1067,11 @@ impl MemoryBackend for PramController {
         let mut end = Picos::ZERO;
         let mut worst: Option<AttrSpan> = None;
         for frag in map.frags(addr, len) {
-            let mut span = if attr_on { Some(AttrSpan::new(at)) } else { None };
+            let mut span = if attr_on {
+                Some(AttrSpan::new(at))
+            } else {
+                None
+            };
             let a = self.read_frag(at, &frag, None, span.as_mut());
             start = start.min(a.start);
             if a.end > end || worst.is_none() {
@@ -1084,7 +1096,11 @@ impl MemoryBackend for PramController {
         let mut end = Picos::ZERO;
         let mut worst: Option<AttrSpan> = None;
         for frag in map.frags(addr, len) {
-            let mut span = if attr_on { Some(AttrSpan::new(at)) } else { None };
+            let mut span = if attr_on {
+                Some(AttrSpan::new(at))
+            } else {
+                None
+            };
             let a = self.write_frag(at, &frag, None, span.as_mut());
             start = start.min(a.start);
             if a.end > end || worst.is_none() {

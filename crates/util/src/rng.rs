@@ -190,6 +190,26 @@ impl Rng64 {
     pub fn bytes(&mut self, len: usize) -> Vec<u8> {
         (0..len).map(|_| self.range_u64(0, 255) as u8).collect()
     }
+
+    /// Exponential draw with the given `rate` (mean `1 / rate`), via
+    /// inversion. The backbone of open-loop Poisson arrival processes:
+    /// summing draws at a fixed rate yields Poisson arrival timestamps.
+    ///
+    /// The result is always finite and strictly positive: `unit_f64`
+    /// never returns 1.0, so `ln` never sees zero, and a zero draw is
+    /// clamped to the smallest positive double.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn exp_f64(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive: {rate}"
+        );
+        let draw = -(1.0 - self.unit_f64()).ln() / rate;
+        draw.max(f64::MIN_POSITIVE)
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +288,22 @@ mod tests {
         }
         let mean = sum / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean drifted: {mean}");
+    }
+
+    #[test]
+    fn exp_draws_match_the_configured_mean() {
+        let mut r = Rng64::seed(11);
+        let rate = 250.0;
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exp_f64(rate)).sum();
+        let mean = sum / n as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean - expected).abs() < expected * 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+        let mut r = Rng64::seed(12);
+        assert!((0..10_000).all(|_| r.exp_f64(1e9) > 0.0));
     }
 
     #[test]

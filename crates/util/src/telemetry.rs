@@ -755,6 +755,9 @@ pub struct AttrRecord {
     pub dur_ps: u64,
     /// The cause decomposition; conserving when it sums to `dur_ps`.
     pub span: LatencySpan,
+    /// Owning tenant on multi-tenant (fleet) runs; `None` on
+    /// single-workload runs, which keeps their report bytes unchanged.
+    pub tenant: Option<u32>,
 }
 
 /// Serializes a cause array as a key→ps object (non-zero entries only,
@@ -930,7 +933,8 @@ impl AttrCollector {
         for (a, c) in self.scope_causes[s].iter_mut().zip(rec.span.causes.iter()) {
             *a += c;
         }
-        self.windows.add(rec.start_ps, rec.dur_ps, rec.span.causes());
+        self.windows
+            .add(rec.start_ps, rec.dur_ps, rec.span.causes());
         // Top-K, worst first. Ties break toward the earlier request so
         // the list is a pure function of the record set.
         let key = |r: &AttrRecord| (std::cmp::Reverse(r.dur_ps), r.start_ps, r.scope, r.index);
@@ -973,6 +977,7 @@ impl AttrCollector {
                     start_ps: r.start_ps,
                     dur_ps: r.dur_ps,
                     causes: r.span.causes,
+                    tenant: r.tenant,
                 })
                 .collect(),
             windows: WindowSummary {
@@ -1024,6 +1029,9 @@ pub struct TopRequest {
     pub dur_ps: u64,
     /// Cause sums, indexed by `Cause as usize`.
     pub causes: [u64; NUM_CAUSES],
+    /// Owning tenant on fleet runs. Serialized only when present, so
+    /// single-workload reports keep their exact bytes.
+    pub tenant: Option<u32>,
 }
 
 /// One non-empty bucket of the serialized window series.
@@ -1120,14 +1128,18 @@ impl ToJson for AttrSummary {
                     self.top
                         .iter()
                         .map(|t| {
-                            Json::Obj(vec![
+                            let mut fields = vec![
                                 ("scope".into(), Json::Str(t.scope.key().into())),
                                 ("index".into(), Json::U64(t.index)),
                                 ("source".into(), Json::Str(t.source.clone())),
-                                ("start_ps".into(), Json::U64(t.start_ps)),
-                                ("dur_ps".into(), Json::U64(t.dur_ps)),
-                                ("causes".into(), causes_to_json(&t.causes)),
-                            ])
+                            ];
+                            if let Some(tenant) = t.tenant {
+                                fields.push(("tenant".into(), Json::U64(u64::from(tenant))));
+                            }
+                            fields.push(("start_ps".into(), Json::U64(t.start_ps)));
+                            fields.push(("dur_ps".into(), Json::U64(t.dur_ps)));
+                            fields.push(("causes".into(), causes_to_json(&t.causes)));
+                            Json::Obj(fields)
                         })
                         .collect(),
                 ),
@@ -1166,8 +1178,7 @@ impl FromJson for AttrSummary {
                 .get("scope")
                 .and_then(Json::as_str)
                 .ok_or_else(|| JsonError::new("missing scope key"))?;
-            AttrScope::from_key(key)
-                .ok_or_else(|| JsonError::new(format!("unknown scope `{key}`")))
+            AttrScope::from_key(key).ok_or_else(|| JsonError::new(format!("unknown scope `{key}`")))
         };
         let causes_of = |o: &Json| -> Result<[u64; NUM_CAUSES], JsonError> {
             causes_from_json(
@@ -1202,6 +1213,10 @@ impl FromJson for AttrSummary {
                     start_ps: crate::json::field(o, "start_ps")?,
                     dur_ps: crate::json::field(o, "dur_ps")?,
                     causes: causes_of(o)?,
+                    tenant: match o.get("tenant") {
+                        Some(t) => Some(u32::from_json(t)?),
+                        None => None,
+                    },
                 })
             })
             .collect::<Result<Vec<_>, JsonError>>()?;
@@ -1426,7 +1441,11 @@ mod tests {
         }
         // And the reported p99 bounds the true sample p99 within one
         // log2 bucket (<= 2x, > 1x).
-        let mut all: Vec<u64> = samples_a.iter().chain(&samples_b).map(|s| s / 1_000).collect();
+        let mut all: Vec<u64> = samples_a
+            .iter()
+            .chain(&samples_b)
+            .map(|s| s / 1_000)
+            .collect();
         all.sort_unstable();
         let true_p99 = all[((all.len() as f64 * 0.99).ceil() as usize).min(all.len()) - 1];
         let rep = a.quantile_ns(0.99);
@@ -1499,6 +1518,7 @@ mod tests {
                 start_ps: index * 10,
                 dur_ps: dur,
                 span,
+                tenant: None,
             }
         };
         for (i, d) in [(0, 50), (1, 900), (2, 10), (3, 700)] {
@@ -1573,6 +1593,9 @@ mod tests {
                 start_ps: i * 123,
                 dur_ps: span.total(),
                 span,
+                // Exercise both arms of the optional tenant tag: tagged
+                // requests round-trip it, untagged ones omit the key.
+                tenant: (i % 3 == 0).then_some(i as u32),
             });
         }
         let s = col.summarize();

@@ -16,7 +16,7 @@ use accel::trace::Trace;
 use std::fmt;
 
 /// The 15 evaluated kernels, with the paper's figure labels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum Kernel {
     Adi,

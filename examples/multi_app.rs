@@ -1,77 +1,83 @@
-//! Multi-application execution (§IV): one image carries several kernels;
-//! the server dispatches each across the agents while everything stays
-//! resident in the accelerator's PRAM — with the §VII controller
-//! extensions (start-gap wear leveling + write pausing) switched on.
+//! Multi-application execution (§IV), promoted to the fleet serving
+//! path: two tenants share ONE DRAM-less accelerator, each firing its
+//! own kernel mix through a seeded open-loop arrival process. The
+//! per-tenant QoS rows show what sharing a resident PRAM image costs at
+//! the tail — and the whole run is byte-deterministic from the seed.
 //!
 //! ```sh
 //! cargo run --release --example multi_app
 //! ```
 
-use accel::exec::{AccelConfig, Accelerator};
-use pram_ctrl::{PramController, SchedulerKind, SubsystemConfig};
-use sim_core::Picos;
-use workloads::{Kernel, Scale, Workload};
+use dramless::{run_fleet, ArrivalProcess, BalancerKind, ClassMix, FleetSpec};
+use sim_core::time::Picos;
+use util::json::ToJson;
+use workloads::Kernel;
 
 fn main() {
-    let accel = Accelerator::new(AccelConfig::default());
-    let agents = accel.agents();
-
-    // Three applications packed into one offload: a solver, a stencil
-    // and a factorization, each split across the agents.
-    let apps = [Kernel::Trisolv, Kernel::Jaco2d, Kernel::Lu];
-    let jobs: Vec<_> = apps
-        .iter()
-        .map(|&k| Workload::of(k, Scale::small()).build(agents))
-        .collect();
-
-    // The DRAM-less platform with both §VII extensions enabled.
-    let cfg = SubsystemConfig {
-        write_pausing: true,
-        wear_leveling: Some(128),
-        ..SubsystemConfig::paper(SchedulerKind::Final, 7)
+    // Two applications packed onto one accelerator: a solver tenant and
+    // a stencil tenant, arrivals bursty enough that they collide.
+    let spec = FleetSpec {
+        name: Some("two-tenant-cell".into()),
+        accelerators: 1,
+        slots_per_accel: 2,
+        balancer: BalancerKind::RoundRobin,
+        tenants: 2,
+        class_mix: ClassMix::default(),
+        arrivals: ArrivalProcess::Bursty {
+            base_per_s: 500.0,
+            burst_per_s: 5_000.0,
+            mean_burst_ms: 10.0,
+            mean_calm_ms: 40.0,
+        },
+        kernels: vec![Kernel::Trisolv, Kernel::Jaco2d],
+        requests: 600,
+        ..FleetSpec::example()
     };
-    let mut pram = PramController::new(cfg);
+    let report = run_fleet(&spec).expect("the example cell serves");
 
-    let traces: Vec<Vec<accel::Trace>> = jobs.iter().map(|b| b.traces.clone()).collect();
-    let report = accel.run_jobs(Picos::ZERO, &traces, &mut pram);
-
-    println!("three applications on one resident PRAM image:");
-    for ((app, job), done) in apps.iter().zip(&report.reports).zip(&report.job_done) {
+    println!("two tenants on one resident PRAM image:");
+    for t in &report.per_tenant {
         println!(
-            "  {:<8} {:>10} instructions, done at {:>10}, IPC {:.2}",
-            app.label(),
-            job.instructions,
-            format!("{done}"),
-            job.total_ipc()
+            "  tenant {} ({:<17}) {:>4} offered, {:>4} completed, \
+             p50 {:>10}, p99.9 {:>10}",
+            t.tenant,
+            t.class.key(),
+            t.offered,
+            t.completed,
+            format!("{}", Picos::from_ns(t.latency.quantile_ns(0.50))),
+            format!("{}", Picos::from_ns(t.latency.quantile_ns(0.999)))
         );
     }
     println!(
-        "\nqueue completes at {} ({} instructions total)",
-        report.total_time(),
-        report.instructions()
+        "\ncell completes at {} — {} request(s), {:.0} offered req/s",
+        Picos::from_ps(report.makespan_ps),
+        report.completed,
+        report.offered_rate_per_s()
     );
-    let (max_row, rows) = pram.endurance();
+    let accel = &report.accels[0];
     println!(
-        "endurance: {} rows touched, hottest row programmed {} times, {} gap moves",
-        rows,
-        max_row,
-        pram.stats().gap_moves
+        "accelerator: busy {}, partition wait {}, {} erase window(s) ({} blocked)",
+        Picos::from_ps(accel.busy_ps),
+        Picos::from_ps(accel.partition_wait_ps),
+        accel.erase_windows,
+        Picos::from_ps(accel.erase_blocked_ps)
     );
-    println!(
-        "controller: {} pre-erase hits, {} RAB skips, {} RDB skips",
-        pram.stats().preerase_hits,
-        pram.stats().pre_active_skips,
-        pram.stats().activate_skips
-    );
-
-    // Functional spot check: the kernels really computed.
-    for (app, built) in apps.iter().zip(&jobs) {
-        let reference = Workload::of(*app, Scale::small()).reference();
-        assert_eq!(reference.checksum, built.run.checksum);
+    if let Some(worst) = report.top_request() {
         println!(
-            "  {} checksum verified: {:.6}",
-            app.label(),
-            built.run.checksum
+            "worst request: tenant {}, request {}, {} end to end",
+            worst.tenant.expect("fleet entries carry their tenant"),
+            worst.index,
+            Picos::from_ps(worst.dur_ps)
         );
     }
+
+    // The contracts the fleet path is built on, checked live: the QoS
+    // ledger balances, and a re-run from the same seed is byte-equal.
+    report.check_conservation().expect("conservation ledger");
+    let rerun = run_fleet(&spec).expect("the example cell serves again");
+    assert_eq!(report.to_json(), rerun.to_json());
+    println!(
+        "\nconservation holds; re-run from seed {} is byte-identical",
+        spec.seed
+    );
 }

@@ -68,10 +68,7 @@ fn conservation_holds_for_every_preset_tier_and_fault_mode() {
                     continue;
                 }
                 let out = run_attributed(kind, tier, faults);
-                let a = out
-                    .attr
-                    .as_ref()
-                    .expect("attribution on yields a summary");
+                let a = out.attr.as_ref().expect("attribution on yields a summary");
                 assert!(
                     a.conserves(),
                     "{kind}/{tier:?}/faults={faults}: {} violation(s), \
@@ -154,13 +151,8 @@ fn worst_exec_request_replays_in_isolation() {
 
     let mut plain = kind.spec();
     plain.faults = Some(FaultPlan::seeded(7));
-    let rec = record_run(
-        &[(SystemId::Preset(kind), plain)],
-        &[w],
-        &p,
-        40,
-    )
-    .expect("recording composes");
+    let rec =
+        record_run(&[(SystemId::Preset(kind), plain)], &[w], &p, 40).expect("recording composes");
     assert!(
         worst.index < rec.cells[0].fingerprint.requests,
         "worst index {} outside the recorded stream of {}",
@@ -168,5 +160,57 @@ fn worst_exec_request_replays_in_isolation() {
         rec.cells[0].fingerprint.requests
     );
     let report = replay(&rec, 0, worst.index..worst.index + 1).expect("window replays cleanly");
-    assert!(report.replayed_to >= worst.index + 1);
+    assert!(report.replayed_to > worst.index);
+}
+
+#[test]
+fn worst_fleet_request_isolates_on_the_owning_accelerator() {
+    // The fleet extension of the tail-forensics contract: the worst
+    // entry a fleet report's `top` table names carries its owning
+    // tenant, the tenant model reconstructs that request's kernel from
+    // the seed alone, and a recording of that kernel on the fleet's own
+    // system composition replays a single-request window in isolation —
+    // no re-running the fleet.
+    use dramless::{run_fleet_on, ArrivalProcess, BalancerKind, FleetSpec};
+    use util::pool::Pool;
+
+    let spec = FleetSpec {
+        name: Some("forensics".into()),
+        accelerators: 1,
+        slots_per_accel: 1,
+        balancer: BalancerKind::RoundRobin,
+        tenants: 16,
+        arrivals: ArrivalProcess::Poisson {
+            rate_per_s: 2_000.0,
+        },
+        requests: 800,
+        erase_every_kb: 64,
+        ..FleetSpec::example()
+    };
+    let report = run_fleet_on(&Pool::new(2), &spec).expect("cell serves");
+    let worst = report.top_request().expect("a non-empty top table");
+    assert_eq!(worst.source, "fleet.request");
+    let tenant = worst.tenant.expect("fleet top entries carry their tenant");
+
+    // Reconstruct the offending request's kernel from the seed alone.
+    let model = spec.tenant_model().expect("mix validates");
+    assert_eq!(model.tenant_of(worst.index), tenant);
+    let kernel = model.kernel_of(worst.index, tenant);
+    assert!(spec.kernels.contains(&kernel));
+
+    // Record that kernel on the fleet's own system composition and
+    // isolate a window through the replay machinery.
+    let w = Workload::of(kernel, Scale(spec.scale));
+    let rec = record_run(
+        &[(SystemId::Custom("fleet-cell".into()), spec.system.clone())],
+        &[w],
+        &spec.params(),
+        40,
+    )
+    .expect("recording composes");
+    let backend = rec.cells[0].fingerprint.requests;
+    assert!(backend > 0);
+    let probe = worst.index.min(backend - 1);
+    let isolated = replay(&rec, 0, probe..probe + 1).expect("window replays cleanly");
+    assert!(isolated.replayed_to > probe);
 }
